@@ -1,0 +1,292 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5). Each benchmark runs the corresponding experiment driver end-to-end
+// on a reproduction-scale environment and reports the headline metrics
+// through testing.B metrics, so `go test -bench=.` both regenerates the
+// artifacts and records their values. The per-experiment index is in
+// DESIGN.md; recorded paper-vs-measured outcomes are in EXPERIMENTS.md.
+package splidt
+
+import (
+	"testing"
+
+	"splidt/internal/core"
+	"splidt/internal/experiments"
+	"splidt/internal/metrics"
+	"splidt/internal/pkt"
+	"splidt/internal/rangemark"
+	"splidt/internal/trace"
+)
+
+// benchEnv builds a benchmark-scale environment: large enough for stable
+// F1s, small enough that the full suite completes in minutes.
+func benchEnv(id trace.DatasetID) *experiments.Env {
+	env := experiments.NewEnv(id, 300)
+	env.BOIterations = 5
+	env.BOParallel = 4
+	return env
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (SpliDT vs top-k vs ideal, D1–3
+// representative dataset D2): F1 across flow targets.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2(benchEnv(trace.D2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SpliDT[0].F1, "splidt-F1@100K")
+		b.ReportMetric(r.TopK[0].F1, "topk-F1@100K")
+		b.ReportMetric(r.IdealF1, "ideal-F1")
+		b.ReportMetric(r.PerPacketF1, "perpacket-F1")
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (feature density per
+// partition/subtree; recirculation bandwidth WS/HD).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(benchEnv(trace.D1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PerSubtreeMean, "subtree-density-%")
+		b.ReportMetric(r.PerPartitionMean, "partition-density-%")
+		b.ReportMetric(r.WSMean, "WS-Mbps")
+		b.ReportMetric(r.HDMean, "HD-Mbps")
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6 / Table 3 (Pareto frontier and
+// resource usage, representative dataset D3).
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6Table3(benchEnv(trace.D3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp, _ := r.SpliDTRow(1_000_000)
+		nb, _ := r.RowOf("NB", 1_000_000)
+		leo, _ := r.RowOf("Leo", 1_000_000)
+		b.ReportMetric(sp.F1, "splidt-F1@1M")
+		b.ReportMetric(nb.F1, "NB-F1@1M")
+		b.ReportMetric(leo.F1, "Leo-F1@1M")
+		b.ReportMetric(float64(sp.Features), "splidt-features@1M")
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3's 100K row explicitly (feature
+// scaling at the resource-rich end).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6Table3(benchEnv(trace.D6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp, _ := r.SpliDTRow(100_000)
+		nb, _ := r.RowOf("NB", 100_000)
+		b.ReportMetric(sp.F1, "splidt-F1@100K")
+		b.ReportMetric(float64(sp.Features), "splidt-features")
+		b.ReportMetric(float64(nb.Features), "NB-topk")
+		b.ReportMetric(float64(sp.TCAMEntries), "splidt-entries")
+		b.ReportMetric(float64(sp.RegisterBits), "splidt-regbits")
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7 (BO convergence).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure7(benchEnv(trace.D2))
+		it, final := r.ConvergedAt(0.005)
+		b.ReportMetric(float64(it), "iters-to-peak")
+		b.ReportMetric(final, "peak-F1")
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4 (per-iteration framework stage times).
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table4(benchEnv(trace.D2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Training.Seconds()*1e3, "train-ms")
+		b.ReportMetric(r.Rulegen.Seconds()*1e3, "rulegen-ms")
+		b.ReportMetric(r.Backend.Seconds()*1e6, "backend-us")
+		b.ReportMetric(r.Total().Seconds()*1e3, "total-ms")
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5 (max recirculation bandwidth).
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table5(benchEnv(trace.D2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MaxMbps(), "max-Mbps")
+	}
+}
+
+// BenchmarkFigure8Depth regenerates Figure 8a (fixed tree depth sweep).
+func BenchmarkFigure8Depth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8(benchEnv(trace.D2), "depth", []int{10, 20, 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f10, _ := r.At(10, 100_000)
+		f30, _ := r.At(30, 100_000)
+		b.ReportMetric(f10, "F1-depth10@100K")
+		b.ReportMetric(f30, "F1-depth30@100K")
+	}
+}
+
+// BenchmarkFigure8Partitions regenerates Figure 8b (fixed partition-count
+// sweep).
+func BenchmarkFigure8Partitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8(benchEnv(trace.D2), "partitions", []int{1, 3, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1p, _ := r.At(1, 100_000)
+		f5p, _ := r.At(5, 100_000)
+		b.ReportMetric(f1p, "F1-1part@100K")
+		b.ReportMetric(f5p, "F1-5part@100K")
+	}
+}
+
+// BenchmarkFigure8Features regenerates Figure 8c (fixed features-per-subtree
+// sweep).
+func BenchmarkFigure8Features(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8(benchEnv(trace.D2), "features", []int{1, 2, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1k, _ := r.At(1, 100_000)
+		f3k, _ := r.At(3, 100_000)
+		b.ReportMetric(f1k, "F1-k1@100K")
+		b.ReportMetric(f3k, "F1-k3@100K")
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9 (F1 vs TCAM entries).
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure9(benchEnv(trace.D2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(experiments.BestUnder(r.SpliDT, 1000), "splidt-F1@1k-entries")
+		b.ReportMetric(experiments.BestUnder(r.NB, 1000), "NB-F1@1k-entries")
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10 (time-to-detection ECDF, D3,
+// Hadoop environment).
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure10(benchEnv(trace.D3), trace.Hadoop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Curves[0].Quantile(0.5), "splidt-p50-ms")
+		b.ReportMetric(r.Curves[1].Quantile(0.5), "NB-p50-ms")
+		b.ReportMetric(r.Curves[2].Quantile(0.5), "Leo-p50-ms")
+		b.ReportMetric(r.Curves[0].F1, "splidt-F1")
+	}
+}
+
+// BenchmarkFigure11 regenerates Figure 11 (register bits vs #features).
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure11(50, []int{1, 2, 3, 4})
+		spl4 := r.Series[3] // SpliDT:4
+		nb := r.Series[4]   // NB/Leo
+		b.ReportMetric(float64(spl4.Bits[49]), "splidt4-bits@50feat")
+		b.ReportMetric(float64(nb.Bits[49]), "NB-bits@50feat")
+	}
+}
+
+// BenchmarkFigure12 regenerates Figure 12 (Pareto vs bit precision, D3).
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(trace.D3)
+		env.BOIterations = 4
+		r, err := experiments.Figure12(env, []int{32, 16, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f32, _ := r.BestAt(32, 100_000)
+		f16, _ := r.BestAt(16, 100_000)
+		f8, _ := r.BestAt(8, 100_000)
+		b.ReportMetric(f32, "F1-32bit@100K")
+		b.ReportMetric(f16, "F1-16bit@100K")
+		b.ReportMetric(f8, "F1-8bit@100K")
+	}
+}
+
+// BenchmarkRangeMarkAblation compares range-marking rule counts against the
+// naive per-leaf prefix cross-product — the design choice that avoids rule
+// explosion (DESIGN.md ablation).
+func BenchmarkRangeMarkAblation(b *testing.B) {
+	flows := trace.Generate(trace.D3, 400, 11)
+	samples := trace.BuildSamples(flows, 2)
+	m, err := core.Train(samples, core.Config{
+		Partitions: []int{4, 3}, FeaturesPerSubtree: 4, NumClasses: 13,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := rangemark.Compile(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		naive := rangemark.NaiveEntries(m)
+		b.ReportMetric(float64(c.Entries()), "rangemark-entries")
+		b.ReportMetric(float64(naive), "naive-entries")
+		b.ReportMetric(float64(naive)/float64(len(c.ModelRules())), "model-rule-blowup")
+	}
+}
+
+// BenchmarkAdaptiveWindows ablates the §6 extension: uniform windows versus
+// front-loaded boundaries (first subtree sees the first 15% of a flow) on
+// the IDS-style dataset with early temporal signatures.
+func BenchmarkAdaptiveWindows(b *testing.B) {
+	flows := trace.Generate(trace.D6, 600, 3)
+	bounds := pkt.Bounds{0.15, 0.5, 1}
+	uniform := trace.BuildSamples(flows, 3)
+	adaptive := trace.BuildSamplesBounds(flows, bounds)
+	utr, ute := trace.Split(uniform, 0.7)
+	atr, ate := trace.Split(adaptive, 0.7)
+	score := func(m *core.Model, test []trace.Sample) float64 {
+		actual := make([]int, len(test))
+		pred := make([]int, len(test))
+		for i, s := range test {
+			actual[i] = s.Label
+			pred[i] = m.Classify(s.Windows)
+		}
+		return metrics.MacroF1Of(actual, pred, 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu, err := core.Train(utr, core.Config{
+			Partitions: []int{3, 2, 2}, FeaturesPerSubtree: 4, NumClasses: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ma, err := core.Train(atr, core.Config{
+			Partitions: []int{3, 2, 2}, FeaturesPerSubtree: 4, NumClasses: 10,
+			WindowBounds: bounds,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(score(mu, ute), "F1-uniform")
+		b.ReportMetric(score(ma, ate), "F1-frontloaded")
+	}
+}

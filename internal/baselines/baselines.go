@@ -1,0 +1,267 @@
+// Package baselines implements the comparison systems of the paper's
+// evaluation: NetBeacon and Leo (stateful top-k decision trees with one-shot
+// feature collection) and a per-packet, stateless-feature system in the
+// style of IIsy/Mousika.
+//
+// Both stateful baselines follow the paper's evaluation protocol (§5.1):
+// given a concurrent-flow target and a hardware profile, each system's own
+// design search enumerates its feasible (k, depth) configurations — all
+// pipeline stages available, one-shot register allocation — trains the best
+// tree, and reports its F1 plus resource usage. Their defining constraint
+// is shared: every stateful feature is chosen up front (global top-k) and
+// registers are held for the whole flow, so k and flow count trade off
+// directly.
+package baselines
+
+import (
+	"fmt"
+	"math/bits"
+
+	"splidt/internal/core"
+	"splidt/internal/dt"
+	"splidt/internal/features"
+	"splidt/internal/metrics"
+	"splidt/internal/rangemark"
+	"splidt/internal/resources"
+	"splidt/internal/trace"
+)
+
+// Result is one trained baseline deployment.
+type Result struct {
+	System string
+	F1     float64
+	K      int // stateful features used (top-k)
+	Depth  int
+	// TCAMEntries is the installed rule count (Leo rounds to its table
+	// allocation granularity).
+	TCAMEntries int
+	// RegisterBits is the per-flow feature register footprint (k × width).
+	RegisterBits int
+	// Tree is the trained classifier (nil for the per-packet system, which
+	// uses PacketTree).
+	Tree *dt.Tree
+	// Features is the global top-k feature set.
+	Features []int
+}
+
+// Options configures a baseline's design search.
+type Options struct {
+	Classes    int
+	FlowTarget int
+	Profile    resources.Profile
+	// MaxK and MaxDepth bound the enumeration (defaults 7 and 16, the
+	// ranges prior work reports).
+	MaxK     int
+	MaxDepth int
+	// ValueBits is the feature register width (32 unless sweeping
+	// precision, Figure 12).
+	ValueBits int
+	// EntryBudget optionally caps TCAM entries below the profile's bit
+	// budget (Figure 9's sweep); 0 means unlimited.
+	EntryBudget int
+}
+
+func (o *Options) defaults() {
+	if o.MaxK == 0 {
+		o.MaxK = 7
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 16
+	}
+	if o.ValueBits == 0 {
+		o.ValueBits = 32
+	}
+}
+
+// statefulRows extracts whole-flow rows.
+func statefulRows(samples []trace.Sample) ([][]float64, []int) {
+	X := make([][]float64, 0, len(samples))
+	y := make([]int, 0, len(samples))
+	for _, s := range samples {
+		v := s.WholeFlow()
+		row := make([]float64, len(v))
+		copy(row, v[:])
+		X = append(X, row)
+		y = append(y, s.Label)
+	}
+	return X, y
+}
+
+// quantizeRows applies per-feature register scaling (computed from the
+// training rows) to both sets when the deployment narrows registers.
+func quantizeRows(train, test [][]float64, valueBits int) (qtrain, qtest [][]float64, shifts []uint) {
+	if valueBits <= 0 || valueBits >= 32 {
+		return train, test, nil
+	}
+	shifts = features.ComputeShifts(train, valueBits)
+	q := func(rows [][]float64) [][]float64 {
+		out := make([][]float64, len(rows))
+		for i, r := range rows {
+			out[i] = features.QuantizeRow(r, shifts)
+		}
+		return out
+	}
+	return q(train), q(test), shifts
+}
+
+// compileEntries wraps a single tree as a one-partition model and compiles
+// it with range marking, returning its TCAM entry and bit counts. Both
+// baselines use NetBeacon's range-marking encoding (Leo improves the
+// stage mapping, not the encoding).
+func compileEntries(tree *dt.Tree, k, classes, valueBits int, shifts []uint) (entries int, tcamBits int64, err error) {
+	q := 0
+	if valueBits > 0 && valueBits < 32 {
+		q = valueBits
+	}
+	m := &core.Model{
+		Cfg: core.Config{
+			Partitions:         []int{maxInt(tree.Depth(), 1)},
+			FeaturesPerSubtree: maxInt(k, 1),
+			NumClasses:         classes,
+			QuantizeBits:       q,
+		},
+		Subtrees: []*core.Subtree{{SID: 1, Partition: 0, Tree: tree, Next: map[int]int{}}},
+		Shifts:   shifts,
+	}
+	c, err := rangemark.Compile(m)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.Entries(), int64(c.Bits()), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// baselineStateBits is the one-shot per-flow state of a top-k system: k
+// feature registers plus the packet counter and dependency-chain
+// intermediates (no SID register — there are no partitions). The counter is
+// a feature register and scales with the value width.
+func baselineStateBits(k, valueBits, depChain int) int {
+	chain := 0
+	if depChain > 1 {
+		chain = (depChain - 1) * valueBits
+	}
+	return k*valueBits + valueBits + chain
+}
+
+func depChainOf(feats []int) int {
+	d := 1
+	for _, f := range feats {
+		if f < features.NumTotal {
+			if c := features.ID(f).DependencyDepth(); c > d {
+				d = c
+			}
+		}
+	}
+	return d
+}
+
+// trainTopK runs one baseline's design search: enumerate feasible (k,
+// depth), train on the global top-k features, keep the best test F1.
+// logicStages maps a depth to the system's match-action stage demand.
+func trainTopK(name string, train, test []trace.Sample, opts Options,
+	logicStages func(depth int) int, allocEntries func(raw int) int) (Result, error) {
+
+	opts.defaults()
+	if len(train) == 0 || len(test) == 0 {
+		return Result{}, fmt.Errorf("baselines: empty train or test set")
+	}
+	X, y := statefulRows(train)
+	Xt, yt := statefulRows(test)
+	X, Xt, shifts := quantizeRows(X, Xt, opts.ValueBits)
+
+	best := Result{System: name, F1: -1}
+	for k := 1; k <= opts.MaxK; k++ {
+		top := dt.TopKFeatures(X, y, opts.Classes, k, minInt(opts.MaxDepth, 12), nil)
+		if len(top) == 0 {
+			continue
+		}
+		chain := depChainOf(top)
+		state := baselineStateBits(len(top), opts.ValueBits, chain)
+		for depth := 2; depth <= opts.MaxDepth; depth++ {
+			ls := logicStages(depth)
+			u := resources.Usage{
+				Flows:               opts.FlowTarget,
+				FeatureRegisterBits: len(top) * opts.ValueBits,
+				StateBitsPerFlow:    state,
+				DepChainDepth:       chain,
+				LogicStages:         ls,
+			}
+			// Stage feasibility first (cheap); TCAM after training.
+			if opts.Profile.OverheadStages+opts.Profile.StateStages(u)+ls > opts.Profile.Stages {
+				continue
+			}
+			tree := dt.Train(X, y, opts.Classes, dt.Config{
+				MaxDepth: depth, MinSamplesLeaf: 2, Features: top,
+			})
+			rawEntries, tcamBits, err := compileEntries(tree, len(top), opts.Classes, opts.ValueBits, shifts)
+			if err != nil {
+				return Result{}, err
+			}
+			entries := allocEntries(rawEntries)
+			if tcamBits > opts.Profile.TCAMBits {
+				continue
+			}
+			if opts.EntryBudget > 0 && entries > opts.EntryBudget {
+				continue
+			}
+			pred := make([]int, len(Xt))
+			for i, row := range Xt {
+				pred[i] = tree.Predict(row)
+			}
+			f1 := metrics.MacroF1Of(yt, pred, opts.Classes)
+			if f1 > best.F1 {
+				best = Result{
+					System: name, F1: f1, K: len(top), Depth: tree.Depth(),
+					TCAMEntries: entries, RegisterBits: len(top) * opts.ValueBits,
+					Tree: tree, Features: top,
+				}
+			}
+		}
+	}
+	if best.F1 < 0 {
+		return Result{}, fmt.Errorf("baselines: no feasible %s configuration at %d flows",
+			name, opts.FlowTarget)
+	}
+	return best, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TrainNetBeacon runs NetBeacon's design point: range-marking encoding with
+// a fixed 3-stage match-action program (phase management, key generation,
+// model table).
+func TrainNetBeacon(train, test []trace.Sample, opts Options) (Result, error) {
+	return trainTopK("NB", train, test, opts,
+		func(int) int { return 3 },
+		func(raw int) int { return raw },
+	)
+}
+
+// leoAllocGranularity rounds entry counts up to Leo's power-of-two table
+// allocation (its Table 3 footprints are 2048/8192/16384).
+func leoAlloc(raw int) int {
+	if raw <= 2048 {
+		return 2048
+	}
+	return 1 << uint(bits.Len(uint(raw-1)))
+}
+
+// TrainLeo runs Leo's design point: deeper trees mapped across stages
+// (one extra stage per three tree levels), power-of-two table allocation.
+func TrainLeo(train, test []trace.Sample, opts Options) (Result, error) {
+	return trainTopK("Leo", train, test, opts,
+		func(depth int) int { return 1 + (depth+2)/3 },
+		leoAlloc,
+	)
+}

@@ -1,0 +1,242 @@
+package baselines
+
+import (
+	"testing"
+
+	"splidt/internal/resources"
+	"splidt/internal/trace"
+)
+
+func dataset(t *testing.T, id trace.DatasetID, n int) ([]trace.Sample, []trace.Sample, []trace.LabeledFlow, []trace.LabeledFlow) {
+	t.Helper()
+	flows := trace.Generate(id, n, 55)
+	samples := trace.BuildSamples(flows, 1)
+	train, test := trace.Split(samples, 0.7)
+	cut := int(float64(n) * 0.7)
+	return train, test, flows[:cut], flows[cut:]
+}
+
+func TestNetBeaconTrains(t *testing.T) {
+	train, test, _, _ := dataset(t, trace.D2, 400)
+	r, err := TrainNetBeacon(train, test, Options{
+		Classes: 4, FlowTarget: 100_000, Profile: resources.Tofino1(),
+	})
+	if err != nil {
+		t.Fatalf("TrainNetBeacon: %v", err)
+	}
+	if r.F1 < 0.4 {
+		t.Fatalf("NB F1 %.3f too low on separable data", r.F1)
+	}
+	if r.K < 1 || r.K > 7 {
+		t.Fatalf("NB k = %d out of [1,7]", r.K)
+	}
+	if r.RegisterBits != r.K*32 {
+		t.Fatalf("register bits %d != k×32", r.RegisterBits)
+	}
+	if r.TCAMEntries <= 0 || r.Tree == nil {
+		t.Fatal("missing artifacts")
+	}
+}
+
+func TestLeoTrains(t *testing.T) {
+	train, test, _, _ := dataset(t, trace.D2, 400)
+	r, err := TrainLeo(train, test, Options{
+		Classes: 4, FlowTarget: 100_000, Profile: resources.Tofino1(),
+	})
+	if err != nil {
+		t.Fatalf("TrainLeo: %v", err)
+	}
+	if r.F1 < 0.4 {
+		t.Fatalf("Leo F1 %.3f too low", r.F1)
+	}
+	// Power-of-two allocation.
+	e := r.TCAMEntries
+	if e&(e-1) != 0 {
+		t.Fatalf("Leo entries %d not a power of two", e)
+	}
+}
+
+func TestFlowScalingShrinksK(t *testing.T) {
+	// The core limitation SpliDT lifts: at 1M flows, top-k systems must
+	// shed stateful features.
+	train, test, _, _ := dataset(t, trace.D3, 650)
+	at := func(flows int) int {
+		r, err := TrainNetBeacon(train, test, Options{
+			Classes: 13, FlowTarget: flows, Profile: resources.Tofino1(),
+		})
+		if err != nil {
+			t.Fatalf("flows=%d: %v", flows, err)
+		}
+		return r.K
+	}
+	k100 := at(100_000)
+	k1m := at(1_000_000)
+	if k1m > k100 {
+		t.Fatalf("k grew with flows: %d → %d", k100, k1m)
+	}
+	if k1m > 2 {
+		t.Fatalf("at 1M flows k = %d, expected ≤ 2 (Table 3 shape)", k1m)
+	}
+}
+
+func TestF1DegradesWithFlows(t *testing.T) {
+	train, test, _, _ := dataset(t, trace.D3, 650)
+	f1At := func(flows int) float64 {
+		r, err := TrainNetBeacon(train, test, Options{
+			Classes: 13, FlowTarget: flows, Profile: resources.Tofino1(),
+		})
+		if err != nil {
+			t.Fatalf("flows=%d: %v", flows, err)
+		}
+		return r.F1
+	}
+	lo := f1At(100_000)
+	hi := f1At(1_000_000)
+	if hi > lo+0.02 {
+		t.Fatalf("baseline F1 improved with more flows: %.3f → %.3f", lo, hi)
+	}
+}
+
+func TestEntryBudgetRespected(t *testing.T) {
+	train, test, _, _ := dataset(t, trace.D2, 400)
+	r, err := TrainNetBeacon(train, test, Options{
+		Classes: 4, FlowTarget: 100_000, Profile: resources.Tofino1(),
+		EntryBudget: 100,
+	})
+	if err != nil {
+		t.Fatalf("TrainNetBeacon: %v", err)
+	}
+	if r.TCAMEntries > 100 {
+		t.Fatalf("entries %d exceed budget 100", r.TCAMEntries)
+	}
+}
+
+func TestLeoAlloc(t *testing.T) {
+	cases := []struct{ raw, want int }{
+		{1, 2048}, {2048, 2048}, {2049, 4096}, {5000, 8192}, {8192, 8192},
+	}
+	for _, c := range cases {
+		if got := leoAlloc(c.raw); got != c.want {
+			t.Errorf("leoAlloc(%d) = %d, want %d", c.raw, got, c.want)
+		}
+	}
+}
+
+func TestPerPacketWeakerThanStateful(t *testing.T) {
+	train, test, trainF, testF := dataset(t, trace.D2, 400)
+	nb, err := TrainNetBeacon(train, test, Options{
+		Classes: 4, FlowTarget: 100_000, Profile: resources.Tofino1(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := TrainPerPacket(trainF, testF, 4, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.F1 <= 0 || pp.F1 > 1 {
+		t.Fatalf("per-packet F1 %v out of range", pp.F1)
+	}
+	// Figure 2's gap: stateless models trail stateful ones markedly.
+	if pp.F1 > nb.F1 {
+		t.Fatalf("per-packet F1 %.3f beat stateful %.3f — stateless fields too informative",
+			pp.F1, nb.F1)
+	}
+}
+
+func TestPerPacketValidation(t *testing.T) {
+	if _, err := TrainPerPacket(nil, nil, 4, 8, 16); err == nil {
+		t.Fatal("empty flows accepted")
+	}
+}
+
+func TestEmptySamplesRejected(t *testing.T) {
+	if _, err := TrainNetBeacon(nil, nil, Options{Classes: 4, FlowTarget: 1000, Profile: resources.Tofino1()}); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+}
+
+func TestBaselineStateBits(t *testing.T) {
+	if got := baselineStateBits(4, 32, 1); got != 4*32+32 {
+		t.Fatalf("stateBits = %d", got)
+	}
+	if got := baselineStateBits(4, 32, 3); got != 4*32+32+64 {
+		t.Fatalf("stateBits with chain = %d", got)
+	}
+}
+
+func BenchmarkTrainNetBeacon(b *testing.B) {
+	flows := trace.Generate(trace.D2, 300, 55)
+	samples := trace.BuildSamples(flows, 1)
+	train, test := trace.Split(samples, 0.7)
+	opts := Options{Classes: 4, FlowTarget: 100_000, Profile: resources.Tofino1(), MaxK: 4, MaxDepth: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainNetBeacon(train, test, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPhasedNetBeacon(t *testing.T) {
+	_, _, trainF, testF := dataset(t, trace.D2, 400)
+	r, err := TrainNetBeaconPhased(trainF, testF, 4, 4, 6, 6)
+	if err != nil {
+		t.Fatalf("TrainNetBeaconPhased: %v", err)
+	}
+	if r.Phases < 2 {
+		t.Fatalf("only %d phases trained", r.Phases)
+	}
+	if r.F1 < 0.4 {
+		t.Fatalf("phased NB F1 %.3f too low", r.F1)
+	}
+	if r.RegisterBits != r.K*32 {
+		t.Fatal("phases must share the top-k registers")
+	}
+	sum := 0
+	for _, tree := range r.Trees {
+		e, _, err := compileEntries(tree, r.K, 4, 32, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += e
+	}
+	if sum != r.TCAMEntries {
+		t.Fatalf("TCAM accounting: %d != %d", sum, r.TCAMEntries)
+	}
+}
+
+func TestPhasedEarlyInference(t *testing.T) {
+	_, _, trainF, testF := dataset(t, trace.D2, 400)
+	r, err := TrainNetBeaconPhased(trainF, testF, 4, 4, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := testF[0]
+	for _, f := range testF {
+		if len(f.Packets) > len(long.Packets) {
+			long = f
+		}
+	}
+	c, err := r.ClassifyAtPhase(long, 0)
+	if err != nil {
+		t.Fatalf("early inference failed: %v", err)
+	}
+	if c < 0 || c >= 4 {
+		t.Fatalf("class %d out of range", c)
+	}
+	if _, err := r.ClassifyAtPhase(long, 99); err == nil {
+		t.Fatal("out-of-range phase accepted")
+	}
+}
+
+func TestPhasedValidation(t *testing.T) {
+	if _, err := TrainNetBeaconPhased(nil, nil, 4, 4, 6, 6); err == nil {
+		t.Fatal("empty flows accepted")
+	}
+	_, _, trainF, testF := dataset(t, trace.D2, 100)
+	if _, err := TrainNetBeaconPhased(trainF, testF, 4, 0, 6, 6); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package baselines
+
+import (
+	"fmt"
+
+	"splidt/internal/dt"
+	"splidt/internal/features"
+	"splidt/internal/metrics"
+	"splidt/internal/pkt"
+	"splidt/internal/trace"
+)
+
+// PerPacketResult is a trained stateless (IIsy/Mousika-style) system: a tree
+// over per-packet header fields, with flow labels decided by majority vote
+// over packet predictions.
+type PerPacketResult struct {
+	F1    float64
+	Depth int
+	Tree  *dt.Tree
+}
+
+// packetRow renders one packet as a stateless feature row (full vector
+// width, with stateful components zeroed — candidate restriction keeps the
+// tree on the stateless fields).
+func packetRow(p pkt.Packet) []float64 {
+	row := make([]float64, features.NumTotal)
+	row[features.SrcPortField] = float64(p.Key.SrcPort)
+	row[features.DstPortField] = float64(p.Key.DstPort)
+	row[features.ProtoField] = float64(p.Key.Proto)
+	row[features.PktLenField] = float64(p.Len)
+	row[features.FlagsField] = float64(p.Flags)
+	return row
+}
+
+// statelessCandidates lists the per-packet fields the tree may consult.
+func statelessCandidates() []int {
+	ids := features.AllStateless()
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// TrainPerPacket trains the stateless baseline on packets subsampled from
+// the training flows (maxPerFlow packets each) and evaluates packet-level
+// macro-F1 on the test flows — per-packet systems classify every packet
+// independently, with no flow state to aggregate votes over.
+func TrainPerPacket(trainFlows, testFlows []trace.LabeledFlow, classes, depth, maxPerFlow int) (PerPacketResult, error) {
+	if len(trainFlows) == 0 || len(testFlows) == 0 {
+		return PerPacketResult{}, fmt.Errorf("baselines: empty flow sets")
+	}
+	if depth < 1 {
+		depth = 8
+	}
+	if maxPerFlow < 1 {
+		maxPerFlow = 16
+	}
+	var X [][]float64
+	var y []int
+	for _, f := range trainFlows {
+		step := 1
+		if len(f.Packets) > maxPerFlow {
+			step = len(f.Packets) / maxPerFlow
+		}
+		for i := 0; i < len(f.Packets); i += step {
+			X = append(X, packetRow(f.Packets[i]))
+			y = append(y, f.Label)
+		}
+	}
+	tree := dt.Train(X, y, classes, dt.Config{
+		MaxDepth: depth, MinSamplesLeaf: 2, Features: statelessCandidates(),
+	})
+
+	var actual, pred []int
+	for _, f := range testFlows {
+		step := 1
+		if len(f.Packets) > maxPerFlow {
+			step = len(f.Packets) / maxPerFlow
+		}
+		for i := 0; i < len(f.Packets); i += step {
+			actual = append(actual, f.Label)
+			pred = append(pred, tree.Predict(packetRow(f.Packets[i])))
+		}
+	}
+	return PerPacketResult{
+		F1:    metrics.MacroF1Of(actual, pred, classes),
+		Depth: tree.Depth(),
+		Tree:  tree,
+	}, nil
+}

@@ -1,0 +1,216 @@
+package bo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForestFitsLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 400
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		X[i] = []float64{a, b}
+		y[i] = 2*a + b
+	}
+	f := FitForest(X, y, DefaultForestConfig(), 7)
+	sse := 0.0
+	for i := range X {
+		d := f.Predict(X[i]) - y[i]
+		sse += d * d
+	}
+	rmse := math.Sqrt(sse / float64(n))
+	if rmse > 2.0 {
+		t.Fatalf("forest RMSE %.3f too high on linear target", rmse)
+	}
+}
+
+func TestForestUncertaintyHigherOffData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 200
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		a := rng.Float64() // confined to [0,1]
+		X[i] = []float64{a}
+		y[i] = a * a
+	}
+	f := FitForest(X, y, DefaultForestConfig(), 7)
+	in := f.Uncertainty([]float64{0.5})
+	out := f.Uncertainty([]float64{40})
+	// Off-data uncertainty should not be smaller than a dense in-data point
+	// (trees extrapolate differently at the fringe).
+	if out < in/2 {
+		t.Fatalf("uncertainty in=%.4f out=%.4f; exploration signal inverted", in, out)
+	}
+}
+
+func TestForestPanicsOnBadData(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty data")
+		}
+	}()
+	FitForest(nil, nil, DefaultForestConfig(), 1)
+}
+
+func TestSampleRespectsSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := DefaultSpace()
+	for i := 0; i < 500; i++ {
+		p := s.sample(rng)
+		if p.Depth < 2 || p.Depth > s.MaxDepth {
+			t.Fatalf("depth %d out of range", p.Depth)
+		}
+		if p.K < 1 || p.K > s.MaxK {
+			t.Fatalf("k %d out of range", p.K)
+		}
+		if len(p.Partitions) < 1 || len(p.Partitions) > s.MaxPartitions {
+			t.Fatalf("%d partitions out of range", len(p.Partitions))
+		}
+		sum := 0
+		for _, d := range p.Partitions {
+			if d < 1 {
+				t.Fatalf("partition depth %d < 1", d)
+			}
+			sum += d
+		}
+		if sum != p.Depth {
+			t.Fatalf("partition sum %d != depth %d", sum, p.Depth)
+		}
+	}
+}
+
+func TestSampleFixedDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := Space{MaxDepth: 30, MaxK: 7, MaxPartitions: 7, FixedDepth: 20, FixedK: 3, FixedPartitions: 5}
+	for i := 0; i < 100; i++ {
+		p := s.sample(rng)
+		if p.Depth != 20 || p.K != 3 || len(p.Partitions) != 5 {
+			t.Fatalf("fixed dimensions violated: %+v", p)
+		}
+	}
+}
+
+func TestMutateStaysInSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := DefaultSpace()
+	p := s.sample(rng)
+	for i := 0; i < 500; i++ {
+		p = s.mutate(p, rng)
+		sum := 0
+		for _, d := range p.Partitions {
+			sum += d
+		}
+		if sum != p.Depth || p.K < 1 || p.K > s.MaxK || p.Depth > s.MaxDepth {
+			t.Fatalf("mutation left space: %+v", p)
+		}
+	}
+}
+
+// syntheticObjective has a known optimum: F1 grows with depth and k but
+// feasibility requires k ≤ 4; flows fall with k.
+func syntheticObjective(p Point) Evaluation {
+	f1 := 0.3 + 0.015*float64(p.Depth) + 0.05*float64(p.K) + 0.01*float64(len(p.Partitions))
+	if f1 > 1 {
+		f1 = 1
+	}
+	return Evaluation{
+		Point:    p,
+		F1:       f1,
+		Flows:    2_000_000 / (1 + p.K),
+		Feasible: p.K <= 4,
+	}
+}
+
+func TestSearchConvergesOnSynthetic(t *testing.T) {
+	res := Search(DefaultSpace(), syntheticObjective, Config{
+		Iterations: 12, Parallel: 8, InitRandom: 3, Seed: 9, Forest: DefaultForestConfig(),
+	})
+	if len(res.Evaluations) == 0 {
+		t.Fatal("no evaluations")
+	}
+	if len(res.BestByIteration) != 12 {
+		t.Fatalf("convergence curve has %d points, want 12", len(res.BestByIteration))
+	}
+	for i := 1; i < len(res.BestByIteration); i++ {
+		if res.BestByIteration[i] < res.BestByIteration[i-1] {
+			t.Fatal("best-so-far curve not monotone")
+		}
+	}
+	// The best feasible point should approach the feasible optimum
+	// (depth=30, k=4, partitions=7 → 0.3+0.45+0.2+0.07 = 1.0 capped).
+	best := res.BestByIteration[len(res.BestByIteration)-1]
+	if best < 0.85 {
+		t.Fatalf("search reached %.3f, expected ≥ 0.85 on synthetic objective", best)
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	evs := []Evaluation{
+		{F1: 0.9, Flows: 100, Feasible: true},
+		{F1: 0.8, Flows: 200, Feasible: true},
+		{F1: 0.7, Flows: 150, Feasible: true},   // dominated by (0.8, 200)
+		{F1: 0.95, Flows: 300, Feasible: false}, // infeasible
+		{F1: 0.6, Flows: 400, Feasible: true},
+	}
+	front := ParetoFront(evs)
+	if len(front) != 3 {
+		t.Fatalf("front size %d, want 3: %+v", len(front), front)
+	}
+	// Sorted by descending flows.
+	if front[0].Flows != 400 || front[1].Flows != 200 || front[2].Flows != 100 {
+		t.Fatalf("front order wrong: %+v", front)
+	}
+}
+
+func TestParetoFrontDedup(t *testing.T) {
+	evs := []Evaluation{
+		{F1: 0.9, Flows: 100, Feasible: true},
+		{F1: 0.9, Flows: 100, Feasible: true},
+	}
+	if got := len(ParetoFront(evs)); got != 1 {
+		t.Fatalf("duplicate points kept: %d", got)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	cfg := Config{Iterations: 6, Parallel: 4, InitRandom: 2, Seed: 11, Forest: DefaultForestConfig()}
+	a := Search(DefaultSpace(), syntheticObjective, cfg)
+	b := Search(DefaultSpace(), syntheticObjective, cfg)
+	if len(a.Evaluations) != len(b.Evaluations) {
+		t.Fatal("evaluation counts differ across identical seeds")
+	}
+	for i := range a.Evaluations {
+		if a.Evaluations[i].F1 != b.Evaluations[i].F1 {
+			t.Fatal("evaluations differ across identical seeds")
+		}
+	}
+}
+
+func TestSearchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero iterations")
+		}
+	}()
+	Search(DefaultSpace(), syntheticObjective, Config{Iterations: 0, Parallel: 1})
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = X[i][0] * X[i][1]
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FitForest(X, y, DefaultForestConfig(), int64(i))
+	}
+}

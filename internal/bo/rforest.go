@@ -1,0 +1,219 @@
+// Package bo implements the design-space exploration engine of SpliDT's
+// training framework (§3.2.1): multi-objective Bayesian optimisation with a
+// random-forest surrogate (the reproduction's HyperMapper), feasibility
+// constraint handling, and Pareto-frontier extraction over (F1, #flows).
+package bo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// rtree is a regression tree with variance-reduction splits — the building
+// block of the surrogate forest.
+type rtree struct {
+	feature   int
+	threshold float64
+	left      *rtree
+	right     *rtree
+	leaf      bool
+	value     float64
+}
+
+type rtreeConfig struct {
+	maxDepth       int
+	minSamplesLeaf int
+	// featureFrac subsamples candidate features at each split (the forest's
+	// de-correlation knob).
+	featureFrac float64
+}
+
+func trainRTree(X [][]float64, y []float64, cfg rtreeConfig, rng *rand.Rand) *rtree {
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	return growR(X, y, idx, 0, cfg, rng)
+}
+
+func meanOf(y []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sseOf(y []float64, idx []int) float64 {
+	m := meanOf(y, idx)
+	s := 0.0
+	for _, i := range idx {
+		d := y[i] - m
+		s += d * d
+	}
+	return s
+}
+
+func growR(X [][]float64, y []float64, idx []int, depth int, cfg rtreeConfig, rng *rand.Rand) *rtree {
+	if depth >= cfg.maxDepth || len(idx) < 2*cfg.minSamplesLeaf {
+		return &rtree{leaf: true, value: meanOf(y, idx)}
+	}
+	parentSSE := sseOf(y, idx)
+	if parentSSE < 1e-12 {
+		return &rtree{leaf: true, value: meanOf(y, idx)}
+	}
+
+	width := len(X[0])
+	nFeat := int(math.Ceil(cfg.featureFrac * float64(width)))
+	if nFeat < 1 {
+		nFeat = 1
+	}
+	feats := rng.Perm(width)[:nFeat]
+
+	bestGain, bestF, bestT := 0.0, -1, 0.0
+	n := len(idx)
+	vals := make([]float64, n)
+	order := make([]int, n)
+	prefix := make([]float64, n+1)
+	prefix2 := make([]float64, n+1)
+	for _, f := range feats {
+		for j, i := range idx {
+			vals[j] = X[i][f]
+			order[j] = i
+		}
+		sort.Sort(&pairSort{vals, order})
+		// Prefix sums give an O(n) variance-reduction scan.
+		for j := 0; j < n; j++ {
+			v := y[order[j]]
+			prefix[j+1] = prefix[j] + v
+			prefix2[j+1] = prefix2[j] + v*v
+		}
+		total, total2 := prefix[n], prefix2[n]
+		for j := cfg.minSamplesLeaf; j <= n-cfg.minSamplesLeaf; j++ {
+			if vals[j-1] == vals[j] {
+				continue // no threshold between equal values
+			}
+			nl, nr := float64(j), float64(n-j)
+			sseL := prefix2[j] - prefix[j]*prefix[j]/nl
+			sseR := (total2 - prefix2[j]) - (total-prefix[j])*(total-prefix[j])/nr
+			gain := parentSSE - sseL - sseR
+			if gain > bestGain+1e-12 {
+				bestGain, bestF, bestT = gain, f, (vals[j-1]+vals[j])/2
+			}
+		}
+	}
+	if bestF < 0 {
+		return &rtree{leaf: true, value: meanOf(y, idx)}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestF] <= bestT {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return &rtree{leaf: true, value: meanOf(y, idx)}
+	}
+	return &rtree{
+		feature: bestF, threshold: bestT,
+		left:  growR(X, y, li, depth+1, cfg, rng),
+		right: growR(X, y, ri, depth+1, cfg, rng),
+	}
+}
+
+type pairSort struct {
+	vals  []float64
+	order []int
+}
+
+func (p *pairSort) Len() int           { return len(p.vals) }
+func (p *pairSort) Less(i, j int) bool { return p.vals[i] < p.vals[j] }
+func (p *pairSort) Swap(i, j int) {
+	p.vals[i], p.vals[j] = p.vals[j], p.vals[i]
+	p.order[i], p.order[j] = p.order[j], p.order[i]
+}
+
+func (t *rtree) predict(x []float64) float64 {
+	for !t.leaf {
+		if x[t.feature] <= t.threshold {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return t.value
+}
+
+// Forest is a bootstrap-aggregated regression forest used as the BO
+// surrogate: Predict returns the tree-ensemble mean, and Uncertainty the
+// cross-tree standard deviation that drives exploration.
+type Forest struct {
+	trees []*rtree
+}
+
+// ForestConfig controls surrogate training.
+type ForestConfig struct {
+	Trees          int
+	MaxDepth       int
+	MinSamplesLeaf int
+	FeatureFrac    float64
+}
+
+// DefaultForestConfig mirrors HyperMapper's modest defaults.
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{Trees: 24, MaxDepth: 8, MinSamplesLeaf: 2, FeatureFrac: 0.7}
+}
+
+// FitForest trains a surrogate on rows X with targets y.
+func FitForest(X [][]float64, y []float64, cfg ForestConfig, seed int64) *Forest {
+	if len(X) == 0 || len(X) != len(y) {
+		panic("bo: bad training data")
+	}
+	if cfg.Trees < 1 {
+		cfg = DefaultForestConfig()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &Forest{}
+	n := len(X)
+	for t := 0; t < cfg.Trees; t++ {
+		// Bootstrap sample.
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i], by[i] = X[j], y[j]
+		}
+		f.trees = append(f.trees, trainRTree(bx, by, rtreeConfig{
+			maxDepth:       cfg.MaxDepth,
+			minSamplesLeaf: cfg.MinSamplesLeaf,
+			featureFrac:    cfg.FeatureFrac,
+		}, rng))
+	}
+	return f
+}
+
+// Predict returns the ensemble mean at x.
+func (f *Forest) Predict(x []float64) float64 {
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// Uncertainty returns the cross-tree standard deviation at x.
+func (f *Forest) Uncertainty(x []float64) float64 {
+	m := f.Predict(x)
+	s := 0.0
+	for _, t := range f.trees {
+		d := t.predict(x) - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(f.trees)))
+}

@@ -1,0 +1,396 @@
+package bo
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Point is one SpliDT configuration in the search space: total tree depth,
+// features per subtree, and the partition-size vector (summing to Depth).
+type Point struct {
+	Depth      int
+	K          int
+	Partitions []int
+}
+
+// encode maps a point into the surrogate's feature space.
+func (p Point) encode() []float64 {
+	return []float64{
+		float64(p.Depth),
+		float64(p.K),
+		float64(len(p.Partitions)),
+		float64(minPart(p.Partitions)),
+		float64(maxPart(p.Partitions)),
+	}
+}
+
+func minPart(ps []int) int {
+	m := 1 << 30
+	for _, p := range ps {
+		if p < m {
+			m = p
+		}
+	}
+	if m == 1<<30 {
+		return 0
+	}
+	return m
+}
+
+func maxPart(ps []int) int {
+	m := 0
+	for _, p := range ps {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// Space bounds the search. Fixed* values pin a dimension (the Figure 8
+// ablations); zero leaves it free.
+type Space struct {
+	MaxDepth      int
+	MaxK          int
+	MaxPartitions int
+
+	FixedDepth      int
+	FixedK          int
+	FixedPartitions int
+}
+
+// DefaultSpace mirrors the paper's ranges: depth to 30, k to 7, up to 7
+// partitions (beyond 7 accuracy drops, §5.1).
+func DefaultSpace() Space {
+	return Space{MaxDepth: 30, MaxK: 7, MaxPartitions: 7}
+}
+
+// sample draws a random point from the space.
+func (s Space) sample(rng *rand.Rand) Point {
+	depth := s.FixedDepth
+	if depth == 0 {
+		depth = 2 + rng.Intn(s.MaxDepth-1)
+	}
+	nPart := s.FixedPartitions
+	if nPart == 0 {
+		maxP := s.MaxPartitions
+		if maxP > depth {
+			maxP = depth
+		}
+		nPart = 1 + rng.Intn(maxP)
+	}
+	if nPart > depth {
+		nPart = depth
+	}
+	k := s.FixedK
+	if k == 0 {
+		k = 1 + rng.Intn(s.MaxK)
+	}
+	return Point{Depth: depth, K: k, Partitions: composition(depth, nPart, rng)}
+}
+
+// composition splits depth into nPart positive parts uniformly at random.
+func composition(depth, nPart int, rng *rand.Rand) []int {
+	parts := make([]int, nPart)
+	for i := range parts {
+		parts[i] = 1
+	}
+	for r := depth - nPart; r > 0; r-- {
+		parts[rng.Intn(nPart)]++
+	}
+	return parts
+}
+
+// mutate perturbs a point within the space (local exploration around the
+// current Pareto set).
+func (s Space) mutate(p Point, rng *rand.Rand) Point {
+	q := Point{Depth: p.Depth, K: p.K, Partitions: append([]int(nil), p.Partitions...)}
+	switch rng.Intn(3) {
+	case 0: // nudge k
+		if s.FixedK == 0 {
+			q.K += rng.Intn(3) - 1
+			if q.K < 1 {
+				q.K = 1
+			}
+			if q.K > s.MaxK {
+				q.K = s.MaxK
+			}
+		}
+	case 1: // nudge depth, keeping the composition shape
+		if s.FixedDepth == 0 {
+			d := q.Depth + rng.Intn(5) - 2
+			if d < len(q.Partitions) {
+				d = len(q.Partitions)
+			}
+			if d < 2 {
+				d = 2
+			}
+			if d > s.MaxDepth {
+				d = s.MaxDepth
+			}
+			q.Partitions = composition(d, len(q.Partitions), rng)
+			q.Depth = d
+		}
+	default: // reshuffle partition sizes
+		if s.FixedPartitions == 0 && q.Depth >= 2 {
+			maxP := s.MaxPartitions
+			if maxP > q.Depth {
+				maxP = q.Depth
+			}
+			nPart := 1 + rng.Intn(maxP)
+			q.Partitions = composition(q.Depth, nPart, rng)
+		} else {
+			q.Partitions = composition(q.Depth, len(q.Partitions), rng)
+		}
+	}
+	return q
+}
+
+// Evaluation is one black-box result fed back into the loop.
+type Evaluation struct {
+	Point    Point
+	F1       float64
+	Flows    int // maximum supported concurrent flows
+	Feasible bool
+}
+
+// Objective evaluates one candidate configuration: train the partitioned
+// tree, score it, estimate resources, test feasibility.
+type Objective func(Point) Evaluation
+
+// Result is a completed search.
+type Result struct {
+	Evaluations []Evaluation
+	// Pareto is the non-dominated feasible set over (F1, Flows), sorted by
+	// descending flows.
+	Pareto []Evaluation
+	// BestByIteration[i] is the best feasible F1 seen through iteration i
+	// (the convergence curve of Figure 7).
+	BestByIteration []float64
+}
+
+// Config tunes the search loop.
+type Config struct {
+	Iterations int
+	Parallel   int // candidates evaluated per iteration (paper: 16)
+	InitRandom int // pure-random warmup iterations
+	Seed       int64
+	Forest     ForestConfig
+	// Warmstart points are evaluated before any sampled batch, anchoring
+	// the surrogate with known-coverage configurations (e.g. the low-k
+	// corner that high flow targets require).
+	Warmstart []Point
+}
+
+// DefaultConfig mirrors the paper's setup at reproduction scale.
+func DefaultConfig() Config {
+	return Config{Iterations: 30, Parallel: 8, InitRandom: 4, Seed: 1, Forest: DefaultForestConfig()}
+}
+
+// Search runs the BO loop: warmup with random sampling, then iterate
+// surrogate-guided candidate selection (random-scalarisation acquisition
+// over the two objectives, weighted by predicted feasibility), evaluating
+// Parallel candidates concurrently per iteration.
+func Search(space Space, obj Objective, cfg Config) Result {
+	if cfg.Iterations < 1 || cfg.Parallel < 1 {
+		panic("bo: non-positive iterations or parallelism")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var res Result
+	seen := map[string]bool{}
+
+	evalBatch := func(points []Point) {
+		evs := make([]Evaluation, len(points))
+		var wg sync.WaitGroup
+		for i := range points {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				evs[i] = obj(points[i])
+			}(i)
+		}
+		wg.Wait()
+		res.Evaluations = append(res.Evaluations, evs...)
+	}
+
+	uniquePoints := func(gen func() Point, n int) []Point {
+		var out []Point
+		for tries := 0; len(out) < n && tries < 50*n; tries++ {
+			p := gen()
+			key := pointKey(p)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, p)
+		}
+		return out
+	}
+
+	if len(cfg.Warmstart) > 0 {
+		var batch []Point
+		for _, p := range cfg.Warmstart {
+			key := pointKey(p)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			batch = append(batch, p)
+		}
+		if len(batch) > 0 {
+			evalBatch(batch)
+		}
+	}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		var batch []Point
+		if it < cfg.InitRandom || len(res.Evaluations) < 4 {
+			batch = uniquePoints(func() Point { return space.sample(rng) }, cfg.Parallel)
+		} else {
+			batch = acquire(space, res.Evaluations, cfg, rng, seen)
+		}
+		if len(batch) == 0 {
+			batch = uniquePoints(func() Point { return space.sample(rng) }, cfg.Parallel)
+			if len(batch) == 0 {
+				break // space exhausted
+			}
+		}
+		evalBatch(batch)
+
+		best := 0.0
+		for _, e := range res.Evaluations {
+			if e.Feasible && e.F1 > best {
+				best = e.F1
+			}
+		}
+		res.BestByIteration = append(res.BestByIteration, best)
+	}
+
+	res.Pareto = ParetoFront(res.Evaluations)
+	return res
+}
+
+func pointKey(p Point) string {
+	b := make([]byte, 0, 16)
+	b = append(b, byte(p.Depth), byte(p.K))
+	for _, x := range p.Partitions {
+		b = append(b, byte(x))
+	}
+	return string(b)
+}
+
+// acquire fits surrogates on the history and returns the Parallel candidates
+// with the best acquisition value from a large sampled pool.
+func acquire(space Space, hist []Evaluation, cfg Config, rng *rand.Rand, seen map[string]bool) []Point {
+	X := make([][]float64, len(hist))
+	yF1 := make([]float64, len(hist))
+	yFlows := make([]float64, len(hist))
+	yFeas := make([]float64, len(hist))
+	maxFlows := 1.0
+	for _, e := range hist {
+		if f := float64(e.Flows); f > maxFlows {
+			maxFlows = f
+		}
+	}
+	for i, e := range hist {
+		X[i] = e.Point.encode()
+		yF1[i] = e.F1
+		yFlows[i] = float64(e.Flows) / maxFlows
+		if e.Feasible {
+			yFeas[i] = 1
+		}
+	}
+	fF1 := FitForest(X, yF1, cfg.Forest, cfg.Seed+101)
+	fFlows := FitForest(X, yFlows, cfg.Forest, cfg.Seed+202)
+	fFeas := FitForest(X, yFeas, cfg.Forest, cfg.Seed+303)
+
+	// Candidate pool: random samples plus mutations of the current Pareto.
+	pool := make([]Point, 0, 256)
+	for i := 0; i < 192; i++ {
+		pool = append(pool, space.sample(rng))
+	}
+	for _, e := range ParetoFront(hist) {
+		for i := 0; i < 8; i++ {
+			pool = append(pool, space.mutate(e.Point, rng))
+		}
+	}
+
+	// ParEGO-style random scalarisation with a UCB exploration bonus,
+	// discounted by predicted feasibility.
+	w := rng.Float64()
+	type scored struct {
+		p Point
+		a float64
+	}
+	var ss []scored
+	for _, p := range pool {
+		if seen[pointKey(p)] {
+			continue
+		}
+		x := p.encode()
+		mu := w*fF1.Predict(x) + (1-w)*fFlows.Predict(x)
+		sigma := w*fF1.Uncertainty(x) + (1-w)*fFlows.Uncertainty(x)
+		feas := fFeas.Predict(x)
+		if feas < 0.05 {
+			feas = 0.05
+		}
+		ss = append(ss, scored{p, (mu + 1.5*sigma) * feas})
+	}
+	sort.SliceStable(ss, func(i, j int) bool { return ss[i].a > ss[j].a })
+
+	var out []Point
+	for _, s := range ss {
+		key := pointKey(s.p)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, s.p)
+		if len(out) == cfg.Parallel {
+			break
+		}
+	}
+	return out
+}
+
+// ParetoFront extracts the non-dominated feasible evaluations over
+// (F1, Flows), sorted by descending flow count.
+func ParetoFront(evs []Evaluation) []Evaluation {
+	var feas []Evaluation
+	for _, e := range evs {
+		if e.Feasible {
+			feas = append(feas, e)
+		}
+	}
+	var front []Evaluation
+	for i, a := range feas {
+		dominated := false
+		for j, b := range feas {
+			if i == j {
+				continue
+			}
+			if b.F1 >= a.F1 && b.Flows >= a.Flows && (b.F1 > a.F1 || b.Flows > a.Flows) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, a)
+		}
+	}
+	sort.SliceStable(front, func(i, j int) bool {
+		if front[i].Flows != front[j].Flows {
+			return front[i].Flows > front[j].Flows
+		}
+		return front[i].F1 > front[j].F1
+	})
+	// Deduplicate identical (F1, Flows) pairs.
+	dst := front[:0]
+	for i, e := range front {
+		if i == 0 || e.Flows != front[i-1].Flows || e.F1 != front[i-1].F1 {
+			dst = append(dst, e)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,217 @@
+// Package controller implements the control-plane side of a SpliDT
+// deployment: it consumes the digests the data plane emits at final
+// classification (§3.1.2), maintains the authoritative flow→class table,
+// aggregates per-class telemetry, and invokes operator policy (e.g. block
+// on attack classes). The paper's artifact pairs its P4 program with a
+// bfrt-driven controller; this package plays that role against the
+// simulated pipeline.
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"splidt/internal/dataplane"
+	"splidt/internal/flow"
+)
+
+// Action is a policy verdict for a classified flow.
+type Action int
+
+// Policy verdicts.
+const (
+	ActionAllow Action = iota
+	ActionBlock
+	ActionMirror
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActionAllow:
+		return "allow"
+	case ActionBlock:
+		return "block"
+	case ActionMirror:
+		return "mirror"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Policy maps a classification digest to an action.
+type Policy func(dataplane.Digest) Action
+
+// AllowAll is the default policy.
+func AllowAll(dataplane.Digest) Action { return ActionAllow }
+
+// BlockClasses returns a policy that blocks the listed classes.
+func BlockClasses(classes ...int) Policy {
+	set := make(map[int]bool, len(classes))
+	for _, c := range classes {
+		set[c] = true
+	}
+	return func(d dataplane.Digest) Action {
+		if set[d.Class] {
+			return ActionBlock
+		}
+		return ActionAllow
+	}
+}
+
+// Record is the controller's view of one classified flow.
+type Record struct {
+	Class   int
+	Action  Action
+	At      time.Duration // absolute classification time
+	TTD     time.Duration
+	Packets int
+}
+
+// Controller is safe for concurrent use.
+type Controller struct {
+	classes int
+	policy  Policy
+
+	mu        sync.Mutex
+	flows     map[flow.Key]Record
+	perClass  []int
+	perAction map[Action]int
+	ttdSum    time.Duration
+	digests   int
+}
+
+// New builds a controller for a deployment with the given class count.
+// policy may be nil (AllowAll).
+func New(classes int, policy Policy) *Controller {
+	if classes < 2 {
+		panic("controller: class count < 2")
+	}
+	if policy == nil {
+		policy = AllowAll
+	}
+	return &Controller{
+		classes:   classes,
+		policy:    policy,
+		flows:     make(map[flow.Key]Record),
+		perClass:  make([]int, classes),
+		perAction: make(map[Action]int),
+	}
+}
+
+// HandleDigest ingests one data-plane digest and returns the policy action.
+// Digests for out-of-range classes panic: they indicate corrupt rules.
+func (c *Controller) HandleDigest(d dataplane.Digest) Action {
+	if d.Class < 0 || d.Class >= c.classes {
+		panic(fmt.Sprintf("controller: digest class %d out of range", d.Class))
+	}
+	act := c.policy(d)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flows[d.Key] = Record{
+		Class: d.Class, Action: act, At: d.At, TTD: d.TTD(), Packets: d.Packets,
+	}
+	c.perClass[d.Class]++
+	c.perAction[act]++
+	c.ttdSum += d.TTD()
+	c.digests++
+	return act
+}
+
+// ClassOf returns the recorded classification of a flow.
+func (c *Controller) ClassOf(k flow.Key) (Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.flows[k.Canonical()]
+	return r, ok
+}
+
+// Forget drops a flow's record (e.g. on flow-table eviction).
+func (c *Controller) Forget(k flow.Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.flows, k.Canonical())
+}
+
+// Flows returns the number of tracked flows.
+func (c *Controller) Flows() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.flows)
+}
+
+// Digests returns the number of digests ingested (flows may repeat).
+func (c *Controller) Digests() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.digests
+}
+
+// ClassCounts returns a copy of the per-class digest counts.
+func (c *Controller) ClassCounts() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, len(c.perClass))
+	copy(out, c.perClass)
+	return out
+}
+
+// ActionCounts returns per-action digest counts.
+func (c *Controller) ActionCounts() map[Action]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[Action]int, len(c.perAction))
+	for k, v := range c.perAction {
+		out[k] = v
+	}
+	return out
+}
+
+// MeanTTD returns the mean time-to-detection across digests.
+func (c *Controller) MeanTTD() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.digests == 0 {
+		return 0
+	}
+	return c.ttdSum / time.Duration(c.digests)
+}
+
+// TopClasses returns the n most frequent classes with counts, descending.
+func (c *Controller) TopClasses(n int) []struct{ Class, Count int } {
+	counts := c.ClassCounts()
+	type cc struct{ Class, Count int }
+	all := make([]cc, 0, len(counts))
+	for cls, cnt := range counts {
+		if cnt > 0 {
+			all = append(all, cc{cls, cnt})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Class < all[j].Class
+	})
+	if n < len(all) {
+		all = all[:n]
+	}
+	out := make([]struct{ Class, Count int }, len(all))
+	for i, x := range all {
+		out[i] = struct{ Class, Count int }{x.Class, x.Count}
+	}
+	return out
+}
+
+// Attach wires the controller to a replayed pipeline: it ingests every
+// digest from the results and returns how many were blocked.
+func (c *Controller) Attach(results []dataplane.ReplayResult) (blocked int) {
+	for _, r := range results {
+		if c.HandleDigest(r.Digest) == ActionBlock {
+			blocked++
+		}
+	}
+	return blocked
+}

@@ -1,0 +1,164 @@
+package controller
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"splidt/internal/dataplane"
+	"splidt/internal/flow"
+)
+
+func key(i byte) flow.Key {
+	return flow.Key{
+		SrcIP: flow.AddrFrom4(10, 0, 0, i), DstIP: flow.AddrFrom4(172, 16, 0, 1),
+		SrcPort: 1000 + uint16(i), DstPort: 80, Proto: flow.ProtoTCP,
+	}
+}
+
+func digest(i byte, class int, ttd time.Duration) dataplane.Digest {
+	return dataplane.Digest{
+		Key: key(i).Canonical(), Class: class,
+		Started: 0, At: ttd, Packets: 10,
+	}
+}
+
+func TestHandleDigestRecords(t *testing.T) {
+	c := New(4, nil)
+	act := c.HandleDigest(digest(1, 2, time.Second))
+	if act != ActionAllow {
+		t.Fatalf("default policy = %v, want allow", act)
+	}
+	r, ok := c.ClassOf(key(1))
+	if !ok || r.Class != 2 || r.TTD != time.Second {
+		t.Fatalf("record = %+v, ok=%v", r, ok)
+	}
+	if c.Flows() != 1 || c.Digests() != 1 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestBlockPolicy(t *testing.T) {
+	c := New(4, BlockClasses(1, 3))
+	if c.HandleDigest(digest(1, 1, 0)) != ActionBlock {
+		t.Fatal("class 1 not blocked")
+	}
+	if c.HandleDigest(digest(2, 0, 0)) != ActionAllow {
+		t.Fatal("class 0 blocked")
+	}
+	acts := c.ActionCounts()
+	if acts[ActionBlock] != 1 || acts[ActionAllow] != 1 {
+		t.Fatalf("action counts %v", acts)
+	}
+}
+
+func TestClassCountsAndTop(t *testing.T) {
+	c := New(5, nil)
+	for i := 0; i < 5; i++ {
+		c.HandleDigest(digest(byte(i), 2, 0))
+	}
+	for i := 5; i < 8; i++ {
+		c.HandleDigest(digest(byte(i), 4, 0))
+	}
+	counts := c.ClassCounts()
+	if counts[2] != 5 || counts[4] != 3 {
+		t.Fatalf("counts %v", counts)
+	}
+	top := c.TopClasses(1)
+	if len(top) != 1 || top[0].Class != 2 || top[0].Count != 5 {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
+func TestMeanTTD(t *testing.T) {
+	c := New(4, nil)
+	c.HandleDigest(digest(1, 0, 2*time.Second))
+	c.HandleDigest(digest(2, 0, 4*time.Second))
+	if got := c.MeanTTD(); got != 3*time.Second {
+		t.Fatalf("mean TTD = %v, want 3s", got)
+	}
+	empty := New(4, nil)
+	if empty.MeanTTD() != 0 {
+		t.Fatal("empty mean TTD")
+	}
+}
+
+func TestForget(t *testing.T) {
+	c := New(4, nil)
+	c.HandleDigest(digest(1, 0, 0))
+	c.Forget(key(1))
+	if _, ok := c.ClassOf(key(1)); ok {
+		t.Fatal("Forget did not remove the record")
+	}
+}
+
+func TestClassOfBothDirections(t *testing.T) {
+	c := New(4, nil)
+	c.HandleDigest(digest(7, 1, 0))
+	if _, ok := c.ClassOf(key(7).Reverse()); !ok {
+		t.Fatal("reverse-direction lookup failed (keys must canonicalise)")
+	}
+}
+
+func TestOutOfRangeClassPanics(t *testing.T) {
+	c := New(2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on class out of range")
+		}
+	}()
+	c.HandleDigest(digest(1, 5, 0))
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on classes < 2")
+		}
+	}()
+	New(1, nil)
+}
+
+func TestConcurrentDigests(t *testing.T) {
+	c := New(4, BlockClasses(3))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.HandleDigest(digest(byte(g*32+i%32), i%4, time.Duration(i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Digests() != 800 {
+		t.Fatalf("digests = %d, want 800", c.Digests())
+	}
+	sum := 0
+	for _, v := range c.ClassCounts() {
+		sum += v
+	}
+	if sum != 800 {
+		t.Fatalf("class counts sum %d", sum)
+	}
+}
+
+func TestAttach(t *testing.T) {
+	c := New(4, BlockClasses(2))
+	results := []dataplane.ReplayResult{
+		{Digest: digest(1, 2, 0), Label: 2},
+		{Digest: digest(2, 0, 0), Label: 0},
+		{Digest: digest(3, 2, 0), Label: 1},
+	}
+	if blocked := c.Attach(results); blocked != 2 {
+		t.Fatalf("blocked = %d, want 2", blocked)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionAllow.String() != "allow" || ActionBlock.String() != "block" ||
+		ActionMirror.String() != "mirror" || Action(9).String() == "" {
+		t.Fatal("Action.String broken")
+	}
+}

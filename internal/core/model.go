@@ -1,0 +1,387 @@
+// Package core implements the paper's primary contribution: partitioned
+// decision trees with per-subtree feature sets, trained by the recursive
+// window-specialised procedure of Algorithm 1 and evaluated window-by-window
+// exactly as the data plane executes them.
+//
+// A Model is a DAG of subtrees grouped into partitions. Partition p's active
+// subtree observes the features of flow window p; its leaves either exit
+// with a class label or name the subtree to activate in partition p+1 (the
+// transition the data plane performs via recirculation).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"splidt/internal/dt"
+	"splidt/internal/features"
+	"splidt/internal/pkt"
+	"splidt/internal/trace"
+)
+
+// Config describes a partitioned-tree architecture — the hyperparameters the
+// design search explores (§3.2.1).
+type Config struct {
+	// Partitions lists the subtree depth of each partition; the sum is the
+	// total tree depth D.
+	Partitions []int
+	// FeaturesPerSubtree is k: the register slots available to any one
+	// subtree.
+	FeaturesPerSubtree int
+	// NumClasses is the label arity.
+	NumClasses int
+	// MinSamplesLeaf guards subtree splits (default 2).
+	MinSamplesLeaf int
+	// Candidates restricts the feature vocabulary (nil = all features).
+	Candidates []int
+	// MaxSubtrees caps model growth (default 512, ample for the paper's
+	// configurations which use single-digit subtree counts).
+	MaxSubtrees int
+	// QuantizeBits, when in [1,31], trains and classifies on reduced-
+	// precision features (Figure 12). 0 or 32 means full 32-bit precision.
+	QuantizeBits int
+	// WindowBounds, when set, selects non-uniform window boundaries
+	// (adaptive window sizing, §6 future work): cumulative flow fractions,
+	// one per partition, ending at 1. Training samples must have been built
+	// with the same bounds (trace.BuildSamplesBounds). Nil means uniform.
+	WindowBounds pkt.Bounds
+}
+
+// Depth returns the total tree depth D = Σ partition sizes.
+func (c Config) Depth() int {
+	d := 0
+	for _, p := range c.Partitions {
+		d += p
+	}
+	return d
+}
+
+func (c Config) validate() error {
+	if len(c.Partitions) == 0 {
+		return fmt.Errorf("core: no partitions")
+	}
+	for _, d := range c.Partitions {
+		if d < 1 {
+			return fmt.Errorf("core: partition depth %d < 1", d)
+		}
+	}
+	if c.FeaturesPerSubtree < 1 {
+		return fmt.Errorf("core: features per subtree %d < 1", c.FeaturesPerSubtree)
+	}
+	if c.NumClasses < 2 {
+		return fmt.Errorf("core: need >= 2 classes")
+	}
+	if c.QuantizeBits < 0 || c.QuantizeBits > 32 {
+		return fmt.Errorf("core: quantize bits %d out of [0,32]", c.QuantizeBits)
+	}
+	if c.WindowBounds != nil {
+		if !c.WindowBounds.Valid() {
+			return fmt.Errorf("core: invalid window bounds %v", c.WindowBounds)
+		}
+		if len(c.WindowBounds) != len(c.Partitions) {
+			return fmt.Errorf("core: %d window bounds for %d partitions",
+				len(c.WindowBounds), len(c.Partitions))
+		}
+	}
+	return nil
+}
+
+// Subtree is one trained subtree: its partition, its CART tree over window
+// features, and the per-leaf transition table.
+type Subtree struct {
+	SID       int // 1-based subtree ID; SID 1 is the root subtree
+	Partition int // 0-based partition index
+	Tree      *dt.Tree
+	// Next maps a leaf's LeafID to the SID activated in the next partition.
+	// Leaves absent from Next are exit nodes (classify immediately).
+	Next map[int]int
+}
+
+// Features returns the subtree's distinct feature set.
+func (s *Subtree) Features() []int { return s.Tree.DistinctFeatures() }
+
+// Model is a trained partitioned decision tree.
+type Model struct {
+	Cfg      Config
+	Subtrees []*Subtree // indexed by SID-1
+	// Shifts holds the per-feature right shifts of a quantised deployment
+	// (QuantizeBits < 32): the compiler scales each feature into its narrow
+	// register by its training range. Nil for full-precision models.
+	Shifts []uint
+}
+
+// Train runs Algorithm 1: it trains the root subtree of partition 0 on all
+// samples' window-0 features, then recursively trains one subtree per
+// impure leaf on the samples reaching that leaf, using the next window's
+// features. Training is deterministic.
+func Train(samples []trace.Sample, cfg Config) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: no training samples")
+	}
+	if cfg.MinSamplesLeaf < 1 {
+		cfg.MinSamplesLeaf = 2
+	}
+	if cfg.MaxSubtrees < 1 {
+		cfg.MaxSubtrees = 512
+	}
+
+	m := &Model{Cfg: cfg}
+	if b := cfg.QuantizeBits; b > 0 && b < 32 {
+		// Per-feature register scaling from the training range (Figure 12):
+		// wide counters shift right to fit b-bit registers.
+		var rows [][]float64
+		for _, s := range samples {
+			for _, w := range s.Windows {
+				rows = append(rows, w[:])
+			}
+		}
+		m.Shifts = features.ComputeShifts(rows, b)
+	}
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	m.trainSubtree(samples, idx, 0)
+	if len(m.Subtrees) == 0 {
+		return nil, fmt.Errorf("core: training produced no subtrees")
+	}
+	return m, nil
+}
+
+// window returns sample i's feature row for partition p, or nil if the flow
+// ended before window p (the flow would have exited at its last window).
+func (m *Model) window(samples []trace.Sample, i, p int) []float64 {
+	w := samples[i].Windows
+	if p >= len(w) {
+		return nil
+	}
+	return m.quantize(w[p])
+}
+
+// quantize renders a window vector at the model's register precision.
+func (m *Model) quantize(v features.Vector) []float64 {
+	if m.Shifts == nil {
+		return v[:]
+	}
+	return features.QuantizeRow(v[:], m.Shifts)
+}
+
+// trainSubtree trains the subtree for partition p over the given sample
+// indices and returns its SID (0 if no subtree could be trained).
+func (m *Model) trainSubtree(samples []trace.Sample, idx []int, p int) int {
+	if len(m.Subtrees) >= m.Cfg.MaxSubtrees {
+		return 0
+	}
+	// Collect rows that still have a window at this partition.
+	var X [][]float64
+	var y []int
+	var alive []int
+	for _, i := range idx {
+		row := m.window(samples, i, p)
+		if row == nil {
+			continue
+		}
+		X = append(X, row)
+		y = append(y, samples[i].Label)
+		alive = append(alive, i)
+	}
+	if len(X) < 2*m.Cfg.MinSamplesLeaf {
+		return 0
+	}
+	tree := dt.Train(X, y, m.Cfg.NumClasses, dt.Config{
+		MaxDepth:            m.Cfg.Partitions[p],
+		MinSamplesLeaf:      m.Cfg.MinSamplesLeaf,
+		MaxDistinctFeatures: m.Cfg.FeaturesPerSubtree,
+		Features:            m.Cfg.Candidates,
+	})
+
+	st := &Subtree{SID: len(m.Subtrees) + 1, Partition: p, Tree: tree, Next: map[int]int{}}
+	m.Subtrees = append(m.Subtrees, st)
+
+	if p+1 >= len(m.Cfg.Partitions) {
+		return st.SID // final partition: all leaves exit
+	}
+
+	// Route surviving samples to leaves; recurse per impure leaf.
+	byLeaf := make(map[int][]int)
+	for j, i := range alive {
+		leaf := tree.Leaf(X[j])
+		byLeaf[leaf.LeafID] = append(byLeaf[leaf.LeafID], i)
+	}
+	// Deterministic order over leaves.
+	leafIDs := make([]int, 0, len(byLeaf))
+	for id := range byLeaf {
+		leafIDs = append(leafIDs, id)
+	}
+	sort.Ints(leafIDs)
+	for _, id := range leafIDs {
+		subset := byLeaf[id]
+		if pureLabels(samples, subset) {
+			continue // early exit: nothing left to separate
+		}
+		if next := m.trainSubtree(samples, subset, p+1); next != 0 {
+			st.Next[id] = next
+		}
+	}
+	return st.SID
+}
+
+func pureLabels(samples []trace.Sample, idx []int) bool {
+	if len(idx) == 0 {
+		return true
+	}
+	first := samples[idx[0]].Label
+	for _, i := range idx[1:] {
+		if samples[i].Label != first {
+			return false
+		}
+	}
+	return true
+}
+
+// Classify runs windowed inference over a sample's windows and returns the
+// predicted class — the software twin of the data-plane execution: window i
+// is evaluated by the active subtree; transitions happen at window
+// boundaries; the flow's last window forces an exit with the current leaf's
+// majority class.
+func (m *Model) Classify(windows []features.Vector) int {
+	sid := 1
+	for i, w := range windows {
+		st := m.Subtrees[sid-1]
+		leaf := st.Tree.Leaf(m.quantize(w))
+		next, ok := st.Next[leaf.LeafID]
+		if !ok || i == len(windows)-1 {
+			return leaf.Class
+		}
+		sid = next
+	}
+	// No windows: majority class of the root subtree.
+	return m.Subtrees[0].Tree.Root.Class
+}
+
+// Transitions returns the number of subtree transitions (recirculations) the
+// sample incurs — one control packet per completed non-final window whose
+// leaf has a successor (§3.1.3).
+func (m *Model) Transitions(windows []features.Vector) int {
+	sid, n := 1, 0
+	for i, w := range windows {
+		st := m.Subtrees[sid-1]
+		leaf := st.Tree.Leaf(m.quantize(w))
+		next, ok := st.Next[leaf.LeafID]
+		if !ok || i == len(windows)-1 {
+			return n
+		}
+		sid = next
+		n++
+	}
+	return n
+}
+
+// NumPartitions returns the configured partition count.
+func (m *Model) NumPartitions() int { return len(m.Cfg.Partitions) }
+
+// Depth returns the realised model depth: the maximum, over root-to-exit
+// subtree chains, of the sum of realised subtree depths.
+func (m *Model) Depth() int {
+	var depth func(sid int) int
+	depth = func(sid int) int {
+		st := m.Subtrees[sid-1]
+		best := 0
+		for _, next := range st.Next {
+			if d := depth(next); d > best {
+				best = d
+			}
+		}
+		return st.Tree.Depth() + best
+	}
+	return depth(1)
+}
+
+// TotalFeatures returns the union of features across all subtrees — the
+// quantity SpliDT scales 5× beyond top-k systems.
+func (m *Model) TotalFeatures() []int {
+	set := map[int]bool{}
+	for _, st := range m.Subtrees {
+		for _, f := range st.Features() {
+			set[f] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MaxSubtreeFeatures returns the largest per-subtree distinct feature count
+// (must be ≤ k by construction).
+func (m *Model) MaxSubtreeFeatures() int {
+	best := 0
+	for _, st := range m.Subtrees {
+		if n := len(st.Features()); n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// PartitionSubtrees returns the subtrees of partition p.
+func (m *Model) PartitionSubtrees(p int) []*Subtree {
+	var out []*Subtree
+	for _, st := range m.Subtrees {
+		if st.Partition == p {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// FeatureDensity reports mean and standard deviation of the fraction of the
+// feature vocabulary used per subtree and per partition (Table 1). n is the
+// vocabulary size (paper: N).
+func (m *Model) FeatureDensity(n int) (perSubtreeMean, perSubtreeStd, perPartMean, perPartStd float64) {
+	var sub []float64
+	for _, st := range m.Subtrees {
+		sub = append(sub, 100*float64(len(st.Features()))/float64(n))
+	}
+	var part []float64
+	for p := 0; p < m.NumPartitions(); p++ {
+		set := map[int]bool{}
+		for _, st := range m.PartitionSubtrees(p) {
+			for _, f := range st.Features() {
+				set[f] = true
+			}
+		}
+		if len(set) > 0 || p == 0 {
+			part = append(part, 100*float64(len(set))/float64(n))
+		}
+	}
+	perSubtreeMean, perSubtreeStd = meanStd(sub)
+	perPartMean, perPartStd = meanStd(part)
+	return
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}
+
+// String summarises the model.
+func (m *Model) String() string {
+	return fmt.Sprintf("splidt model: depth=%d partitions=%v k=%d subtrees=%d features=%d",
+		m.Depth(), m.Cfg.Partitions, m.Cfg.FeaturesPerSubtree, len(m.Subtrees), len(m.TotalFeatures()))
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"testing"
+
+	"splidt/internal/features"
+	"splidt/internal/metrics"
+	"splidt/internal/pkt"
+	"splidt/internal/trace"
+)
+
+func trainTest(t *testing.T, id trace.DatasetID, n int, cfg Config) (*Model, []trace.Sample, []trace.Sample) {
+	t.Helper()
+	parts := len(cfg.Partitions)
+	flows := trace.Generate(id, n, 42)
+	samples := trace.BuildSamples(flows, parts)
+	train, test := trace.Split(samples, 0.7)
+	m, err := Train(train, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return m, train, test
+}
+
+func evalF1(m *Model, test []trace.Sample, classes int) float64 {
+	c := metrics.NewConfusion(classes)
+	for _, s := range test {
+		c.Add(s.Label, m.Classify(s.Windows))
+	}
+	return c.MacroF1()
+}
+
+func TestTrainBasic(t *testing.T) {
+	cfg := Config{Partitions: []int{3, 3}, FeaturesPerSubtree: 4, NumClasses: 4}
+	m, _, test := trainTest(t, trace.D2, 400, cfg)
+	if len(m.Subtrees) == 0 {
+		t.Fatal("no subtrees")
+	}
+	if m.Subtrees[0].SID != 1 || m.Subtrees[0].Partition != 0 {
+		t.Fatal("root subtree must be SID 1 in partition 0")
+	}
+	f1 := evalF1(m, test, 4)
+	if f1 < 0.5 {
+		t.Fatalf("test F1 %.3f too low for separable 4-class data", f1)
+	}
+}
+
+func TestFeatureBudgetHolds(t *testing.T) {
+	cfg := Config{Partitions: []int{2, 2, 2}, FeaturesPerSubtree: 3, NumClasses: 13}
+	m, _, _ := trainTest(t, trace.D3, 390, cfg)
+	if got := m.MaxSubtreeFeatures(); got > 3 {
+		t.Fatalf("subtree used %d features, budget 3", got)
+	}
+}
+
+func TestTotalFeaturesExceedPerSubtree(t *testing.T) {
+	// The point of SpliDT: union of features across subtrees exceeds k.
+	cfg := Config{Partitions: []int{3, 3, 3}, FeaturesPerSubtree: 4, NumClasses: 19}
+	m, _, _ := trainTest(t, trace.D1, 570, cfg)
+	if tot := len(m.TotalFeatures()); tot <= cfg.FeaturesPerSubtree {
+		t.Fatalf("total features %d not greater than k=%d (no feature scaling)",
+			tot, cfg.FeaturesPerSubtree)
+	}
+}
+
+func TestSubtreePartitionsOrdered(t *testing.T) {
+	cfg := Config{Partitions: []int{2, 2, 1}, FeaturesPerSubtree: 4, NumClasses: 4}
+	m, _, _ := trainTest(t, trace.D2, 200, cfg)
+	for _, st := range m.Subtrees {
+		if st.Partition < 0 || st.Partition >= len(cfg.Partitions) {
+			t.Fatalf("subtree %d in partition %d out of range", st.SID, st.Partition)
+		}
+		for _, next := range st.Next {
+			nst := m.Subtrees[next-1]
+			if nst.Partition != st.Partition+1 {
+				t.Fatalf("transition %d→%d skips partitions (%d→%d)",
+					st.SID, next, st.Partition, nst.Partition)
+			}
+		}
+	}
+}
+
+func TestSubtreeDepthBounds(t *testing.T) {
+	cfg := Config{Partitions: []int{2, 3, 1}, FeaturesPerSubtree: 4, NumClasses: 4}
+	m, _, _ := trainTest(t, trace.D2, 300, cfg)
+	for _, st := range m.Subtrees {
+		if d := st.Tree.Depth(); d > cfg.Partitions[st.Partition] {
+			t.Fatalf("subtree %d depth %d exceeds partition budget %d",
+				st.SID, d, cfg.Partitions[st.Partition])
+		}
+	}
+	if m.Depth() > cfg.Depth() {
+		t.Fatalf("model depth %d exceeds configured depth %d", m.Depth(), cfg.Depth())
+	}
+}
+
+func TestClassifyConsistentWithTransitions(t *testing.T) {
+	cfg := Config{Partitions: []int{2, 2, 2}, FeaturesPerSubtree: 4, NumClasses: 4}
+	m, _, test := trainTest(t, trace.D2, 300, cfg)
+	for _, s := range test {
+		tr := m.Transitions(s.Windows)
+		if tr < 0 || tr >= len(cfg.Partitions) {
+			t.Fatalf("transitions %d out of [0,%d)", tr, len(cfg.Partitions))
+		}
+		if tr > len(s.Windows)-1 {
+			t.Fatalf("more transitions (%d) than window boundaries (%d)", tr, len(s.Windows)-1)
+		}
+	}
+}
+
+func TestClassifyEmptyWindows(t *testing.T) {
+	cfg := Config{Partitions: []int{2}, FeaturesPerSubtree: 2, NumClasses: 4}
+	m, _, _ := trainTest(t, trace.D2, 100, cfg)
+	got := m.Classify(nil)
+	if got < 0 || got >= 4 {
+		t.Fatalf("Classify(nil) = %d out of range", got)
+	}
+}
+
+func TestSinglePartitionIsPlainTree(t *testing.T) {
+	cfg := Config{Partitions: []int{4}, FeaturesPerSubtree: 4, NumClasses: 4}
+	m, _, _ := trainTest(t, trace.D2, 300, cfg)
+	if len(m.Subtrees) != 1 {
+		t.Fatalf("single partition produced %d subtrees, want 1", len(m.Subtrees))
+	}
+	if len(m.Subtrees[0].Next) != 0 {
+		t.Fatal("single-partition subtree has transitions")
+	}
+}
+
+func TestMoreFeaturesHelp(t *testing.T) {
+	// k=1 should be no better than k=6 on a multi-feature dataset.
+	flows := trace.Generate(trace.D3, 650, 42)
+	samples := trace.BuildSamples(flows, 3)
+	train, test := trace.Split(samples, 0.7)
+	lo, err := Train(train, Config{Partitions: []int{2, 2, 2}, FeaturesPerSubtree: 1, NumClasses: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Train(train, Config{Partitions: []int{2, 2, 2}, FeaturesPerSubtree: 6, NumClasses: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1lo := evalF1(lo, test, 13)
+	f1hi := evalF1(hi, test, 13)
+	if f1hi < f1lo-0.02 {
+		t.Fatalf("more features per subtree hurt: k=1 F1 %.3f vs k=6 F1 %.3f", f1lo, f1hi)
+	}
+}
+
+func TestFeatureDensity(t *testing.T) {
+	cfg := Config{Partitions: []int{3, 3}, FeaturesPerSubtree: 4, NumClasses: 19}
+	m, _, _ := trainTest(t, trace.D1, 380, cfg)
+	subMean, _, partMean, _ := m.FeatureDensity(features.NumStateful)
+	if subMean <= 0 || subMean > 100 || partMean <= 0 || partMean > 100 {
+		t.Fatalf("densities out of range: subtree %.1f%%, partition %.1f%%", subMean, partMean)
+	}
+	if subMean > partMean+1e-9 {
+		t.Fatalf("per-subtree density %.1f%% exceeds per-partition %.1f%%", subMean, partMean)
+	}
+	// Feature sparsity: single subtrees use a small slice of the vocabulary.
+	if subMean > 25 {
+		t.Fatalf("per-subtree density %.1f%% too high; sparsity property violated", subMean)
+	}
+}
+
+func TestQuantizedTraining(t *testing.T) {
+	cfg := Config{Partitions: []int{3, 3}, FeaturesPerSubtree: 4, NumClasses: 4, QuantizeBits: 16}
+	m, _, test := trainTest(t, trace.D2, 300, cfg)
+	f1 := evalF1(m, test, 4)
+	if f1 < 0.3 {
+		t.Fatalf("16-bit quantised model F1 %.3f collapsed", f1)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	samples := trace.BuildSamples(trace.Generate(trace.D2, 50, 1), 2)
+	bad := []Config{
+		{Partitions: nil, FeaturesPerSubtree: 2, NumClasses: 4},
+		{Partitions: []int{0}, FeaturesPerSubtree: 2, NumClasses: 4},
+		{Partitions: []int{2}, FeaturesPerSubtree: 0, NumClasses: 4},
+		{Partitions: []int{2}, FeaturesPerSubtree: 2, NumClasses: 1},
+		{Partitions: []int{2}, FeaturesPerSubtree: 2, NumClasses: 4, QuantizeBits: 40},
+	}
+	for i, cfg := range bad {
+		if _, err := Train(samples, cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+	if _, err := Train(nil, Config{Partitions: []int{2}, FeaturesPerSubtree: 2, NumClasses: 4}); err == nil {
+		t.Error("empty samples: expected error")
+	}
+}
+
+func TestMaxSubtreesCap(t *testing.T) {
+	flows := trace.Generate(trace.D1, 950, 42)
+	samples := trace.BuildSamples(flows, 5)
+	m, err := Train(samples, Config{
+		Partitions: []int{3, 3, 3, 3, 3}, FeaturesPerSubtree: 4,
+		NumClasses: 19, MaxSubtrees: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Subtrees) > 10 {
+		t.Fatalf("%d subtrees exceed cap 10", len(m.Subtrees))
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	cfg := Config{Partitions: []int{2, 2}, FeaturesPerSubtree: 3, NumClasses: 4}
+	flows := trace.Generate(trace.D2, 200, 9)
+	samples := trace.BuildSamples(flows, 2)
+	a, _ := Train(samples, cfg)
+	b, _ := Train(samples, cfg)
+	if a.String() != b.String() {
+		t.Fatal("training not deterministic")
+	}
+	if len(a.Subtrees) != len(b.Subtrees) {
+		t.Fatal("subtree counts differ")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	cfg := Config{Partitions: []int{2}, FeaturesPerSubtree: 2, NumClasses: 4}
+	m, _, _ := trainTest(t, trace.D2, 100, cfg)
+	if m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestAdaptiveWindowTraining(t *testing.T) {
+	// Front-loaded windows: first subtree sees the first 15% of each flow.
+	bounds := pkt.Bounds{0.15, 0.5, 1}
+	flows := trace.Generate(trace.D6, 500, 23)
+	samples := trace.BuildSamplesBounds(flows, bounds)
+	train, test := trace.Split(samples, 0.7)
+	m, err := Train(train, Config{
+		Partitions:         []int{3, 2, 2},
+		FeaturesPerSubtree: 4,
+		NumClasses:         10,
+		WindowBounds:       bounds,
+	})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	f1 := evalF1(m, test, 10)
+	if f1 < 0.4 {
+		t.Fatalf("adaptive-window F1 %.3f collapsed", f1)
+	}
+}
+
+func TestWindowBoundsValidation(t *testing.T) {
+	samples := trace.BuildSamples(trace.Generate(trace.D2, 50, 1), 2)
+	bad := []Config{
+		{Partitions: []int{2, 2}, FeaturesPerSubtree: 2, NumClasses: 4,
+			WindowBounds: pkt.Bounds{0.5}}, // wrong arity
+		{Partitions: []int{2, 2}, FeaturesPerSubtree: 2, NumClasses: 4,
+			WindowBounds: pkt.Bounds{0.9, 0.5}}, // not increasing
+	}
+	for i, cfg := range bad {
+		if _, err := Train(samples, cfg); err == nil {
+			t.Errorf("config %d: invalid bounds accepted", i)
+		}
+	}
+}

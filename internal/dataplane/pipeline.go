@@ -1,0 +1,261 @@
+// Package dataplane simulates the RMT switch pipeline SpliDT deploys onto —
+// the reproduction's stand-in for the paper's Tofino1 testbed.
+//
+// The pipeline executes compiled SpliDT programs with the mechanism of §3.1:
+// packets are parsed into PHV fields, the 5-tuple CRC32 locates the flow's
+// register slot, reserved registers track the subtree ID (SID) and packet
+// count, feature state accumulates through the dependency chain, and at each
+// window boundary the match-key generator tables produce range marks that
+// the model table matches to either a class (emitted as a digest) or the
+// next SID (propagated by a recirculated control packet that also clears the
+// flow's feature and dependency-chain registers).
+//
+// Resource budgets are enforced at construction through the same
+// resources.Profile model the design search uses, so a pipeline that
+// constructs is a pipeline that fits the target.
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"splidt/internal/core"
+	"splidt/internal/features"
+	"splidt/internal/flow"
+	"splidt/internal/pkt"
+	"splidt/internal/rangemark"
+	"splidt/internal/resources"
+	"splidt/internal/trace"
+)
+
+// Config assembles a deployment: the hardware target, the trained model and
+// its compiled tables, and the register array size (concurrent flow slots).
+type Config struct {
+	Profile  resources.Profile
+	Model    *core.Model
+	Compiled *rangemark.Compiled
+	// FlowSlots is the register array length; flows hash onto slots with
+	// CRC32, so it bounds concurrent flows (collisions share state, as on
+	// real hardware).
+	FlowSlots int
+	// Workload, when set, is used for the recirculation budget check.
+	Workload trace.Workload
+}
+
+// Digest is the classification record the pipeline sends to the controller
+// when a flow exits the model (§3.1.2).
+type Digest struct {
+	Key     flow.Key
+	Class   int
+	At      time.Duration // absolute time of the classifying packet
+	Started time.Duration // absolute time of the flow's first packet
+	Packets int           // packets observed when classified
+}
+
+// TTD returns the flow's time-to-detection.
+func (d Digest) TTD() time.Duration { return d.At - d.Started }
+
+// Stats aggregates pipeline counters.
+type Stats struct {
+	Packets        int // data packets processed
+	ControlPackets int // recirculated subtree transitions
+	Digests        int // classifications emitted
+	Collisions     int // packets that hit a slot owned by another flow
+	RecircBytes    int // control-channel bytes
+}
+
+type slot struct {
+	sid      uint16
+	pktCount uint32
+	owner    flow.Key
+	started  time.Duration
+	state    features.FlowState
+}
+
+// doneSID parks a slot after an early exit: the flow is classified but still
+// has packets in flight, so the slot stays owned (no further inference)
+// until the final packet frees it.
+const doneSID = 0xFFFF
+
+// Pipeline is one simulated switch pipeline with a deployed SpliDT program.
+type Pipeline struct {
+	cfg   Config
+	parts int
+	slots []slot
+	stats Stats
+}
+
+// New validates the deployment against the hardware profile and builds the
+// pipeline. It fails exactly when the design search's feasibility test
+// would, sharing the resources model.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Model == nil || cfg.Compiled == nil {
+		return nil, fmt.Errorf("dataplane: model and compiled tables required")
+	}
+	if cfg.FlowSlots <= 0 {
+		return nil, fmt.Errorf("dataplane: non-positive flow slots")
+	}
+	w := cfg.Workload
+	if w.Name == "" {
+		w = trace.Webserver
+	}
+	u := resources.EstimateSpliDT(cfg.Model, cfg.Compiled, cfg.FlowSlots, w)
+	if err := cfg.Profile.Feasible(u); err != nil {
+		return nil, fmt.Errorf("dataplane: deployment infeasible: %w", err)
+	}
+	return &Pipeline{
+		cfg:   cfg,
+		parts: cfg.Model.NumPartitions(),
+		slots: make([]slot, cfg.FlowSlots),
+	}, nil
+}
+
+// Process runs one packet through the pipeline. It returns a non-nil Digest
+// when the packet triggered a final classification.
+func (pl *Pipeline) Process(p pkt.Packet) *Digest {
+	pl.stats.Packets++
+	ck := p.Key.Canonical()
+	idx := int(p.Key.SymHash() % uint32(len(pl.slots)))
+	s := &pl.slots[idx]
+
+	if s.sid == 0 {
+		// Fresh slot: activate the root subtree.
+		s.sid = 1
+		s.owner = ck
+		s.started = p.TS
+		s.state.Reset()
+		s.pktCount = 0
+	} else if s.owner != ck {
+		// Hash collision: on hardware the flows would silently share
+		// registers. Count it and proceed with shared state.
+		pl.stats.Collisions++
+	}
+
+	if s.sid == doneSID {
+		// Flow already classified via early exit; drain remaining packets
+		// and free the slot at flow end.
+		if s.owner == ck && p.Seq >= p.FlowSize {
+			*s = slot{}
+		}
+		return nil
+	}
+
+	// Feature collection and engineering: fold the packet into the window
+	// registers (simple accumulators, dependency chain, k feature slots).
+	s.state.Update(p)
+	s.pktCount++
+
+	if !pl.windowEnd(p) {
+		return nil
+	}
+
+	// Subtree model prediction: key generators → range marks → model table.
+	vec := s.state.Snapshot()
+	marks := pl.cfg.Compiled.Marks(int(s.sid), vec[:])
+	rule, ok := pl.cfg.Compiled.Lookup(int(s.sid), marks)
+	if !ok {
+		// Model tables partition the mark space; a miss means the deployed
+		// rules are corrupt.
+		panic(fmt.Sprintf("dataplane: model table miss at SID %d marks %v", s.sid, marks))
+	}
+
+	if p.Seq >= p.FlowSize || rule.Exit {
+		d := &Digest{
+			Key:     ck,
+			Class:   rule.Class,
+			At:      p.TS,
+			Started: s.started,
+			Packets: int(s.pktCount),
+		}
+		pl.stats.Digests++
+		if p.Seq >= p.FlowSize {
+			*s = slot{} // flow over: free the slot
+		} else {
+			s.sid = doneSID // early exit: park until the flow ends
+			s.state.Reset()
+		}
+		return d
+	}
+
+	// In-band control channel: one resubmitted packet updates the SID and
+	// clears the feature and dependency-chain registers (§3.1.3).
+	pl.stats.ControlPackets++
+	pl.stats.RecircBytes += pkt.ControlPacketBytes
+	s.sid = uint16(rule.Next)
+	s.state.Reset()
+	return nil
+}
+
+// ProcessBytes parses a serialised data packet (pkt.Marshal layout) and
+// runs it through the pipeline — the path a wire-attached traffic source
+// would take. ts is the capture timestamp. Control packets (pipeline-
+// internal) are rejected: the simulator generates its own recirculations.
+func (pl *Pipeline) ProcessBytes(data []byte, ts time.Duration) (*Digest, error) {
+	if pkt.IsControl(data) {
+		return nil, fmt.Errorf("dataplane: control packets are pipeline-internal")
+	}
+	p, err := pkt.Unmarshal(data, ts)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Process(p), nil
+}
+
+// windowEnd applies the model's window policy: uniform partitions by
+// default, non-uniform boundaries for adaptive-window models.
+func (pl *Pipeline) windowEnd(p pkt.Packet) bool {
+	if b := pl.cfg.Model.Cfg.WindowBounds; b != nil {
+		return p.IsWindowEndBounds(b)
+	}
+	return p.IsWindowEnd(pl.parts)
+}
+
+// Stats returns a copy of the counters.
+func (pl *Pipeline) Stats() Stats { return pl.stats }
+
+// ActiveFlows returns the number of occupied slots.
+func (pl *Pipeline) ActiveFlows() int {
+	n := 0
+	for i := range pl.slots {
+		if pl.slots[i].sid != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Replay interleaves labelled flows (flow i shifted by i × spacing), runs
+// every packet through the pipeline in timestamp order, and returns the
+// digests in emission order keyed back to ground truth.
+type ReplayResult struct {
+	Digest Digest
+	Label  int // ground-truth class of the digested flow
+}
+
+// Replay processes complete flows through the pipeline.
+func (pl *Pipeline) Replay(flows []trace.LabeledFlow, spacing time.Duration) []ReplayResult {
+	labels := make(map[flow.Key]int, len(flows))
+	type ev struct {
+		p pkt.Packet
+	}
+	var evs []ev
+	for i, f := range flows {
+		labels[f.Key] = f.Label
+		off := time.Duration(i) * spacing
+		for _, p := range f.Packets {
+			q := p
+			q.TS += off
+			evs = append(evs, ev{q})
+		}
+	}
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].p.TS < evs[b].p.TS })
+
+	var out []ReplayResult
+	for _, e := range evs {
+		if d := pl.Process(e.p); d != nil {
+			out = append(out, ReplayResult{Digest: *d, Label: labels[d.Key]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package dataplane
+
+import (
+	"testing"
+	"time"
+
+	"splidt/internal/core"
+	"splidt/internal/metrics"
+	"splidt/internal/pkt"
+	"splidt/internal/rangemark"
+	"splidt/internal/resources"
+	"splidt/internal/trace"
+)
+
+func deploy(t *testing.T, id trace.DatasetID, n int, cfg core.Config, slots int) (*Pipeline, *core.Model, []trace.LabeledFlow) {
+	t.Helper()
+	flows := trace.Generate(id, n, 33)
+	samples := trace.BuildSamples(flows, len(cfg.Partitions))
+	train, _ := trace.Split(samples, 0.7)
+	m, err := core.Train(train, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	c, err := rangemark.Compile(m)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	pl, err := New(Config{
+		Profile: resources.Tofino1(), Model: m, Compiled: c, FlowSlots: slots,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Test on the held-out 30% of the underlying flows.
+	testFlows := flows[int(float64(n)*0.7):]
+	return pl, m, testFlows
+}
+
+func TestPipelineMatchesSoftwareModel(t *testing.T) {
+	// The headline equivalence: per-packet pipeline execution must classify
+	// every flow exactly as the software model does on its windows.
+	cfg := core.Config{Partitions: []int{3, 2, 2}, FeaturesPerSubtree: 4, NumClasses: 13}
+	pl, m, testFlows := deploy(t, trace.D3, 400, cfg, 1<<16)
+	for _, f := range testFlows {
+		var got *Digest
+		for _, p := range f.Packets {
+			if d := pl.Process(p); d != nil {
+				if got != nil {
+					t.Fatal("flow digested twice")
+				}
+				dd := *d
+				got = &dd
+			}
+		}
+		if got == nil {
+			t.Fatal("flow never digested")
+		}
+		want := m.Classify(trace.BuildSamples([]trace.LabeledFlow{f}, len(cfg.Partitions))[0].Windows)
+		if got.Class != want {
+			t.Fatalf("pipeline class %d != software %d", got.Class, want)
+		}
+	}
+}
+
+func TestRecirculationCounts(t *testing.T) {
+	cfg := core.Config{Partitions: []int{2, 2, 2}, FeaturesPerSubtree: 4, NumClasses: 4}
+	pl, m, testFlows := deploy(t, trace.D2, 300, cfg, 1<<16)
+	for _, f := range testFlows {
+		before := pl.Stats().ControlPackets
+		for _, p := range f.Packets {
+			pl.Process(p)
+		}
+		transitions := m.Transitions(trace.BuildSamples([]trace.LabeledFlow{f}, 3)[0].Windows)
+		if got := pl.Stats().ControlPackets - before; got != transitions {
+			t.Fatalf("control packets %d != software transitions %d", got, transitions)
+		}
+	}
+	s := pl.Stats()
+	if s.RecircBytes != s.ControlPackets*64 {
+		t.Fatalf("recirc bytes %d != %d × 64", s.RecircBytes, s.ControlPackets)
+	}
+	if s.ControlPackets >= s.Packets {
+		t.Fatal("control packets should be far fewer than data packets")
+	}
+}
+
+func TestSlotFreedAfterDigest(t *testing.T) {
+	cfg := core.Config{Partitions: []int{2}, FeaturesPerSubtree: 2, NumClasses: 4}
+	pl, _, testFlows := deploy(t, trace.D2, 200, cfg, 1<<16)
+	f := testFlows[0]
+	for _, p := range f.Packets {
+		pl.Process(p)
+	}
+	if pl.ActiveFlows() != 0 {
+		t.Fatalf("%d slots still active after flow completed", pl.ActiveFlows())
+	}
+}
+
+func TestCollisionCounting(t *testing.T) {
+	// Two distinct flows forced into one slot (array of size 1).
+	cfg := core.Config{Partitions: []int{2}, FeaturesPerSubtree: 2, NumClasses: 4}
+	flows := trace.Generate(trace.D2, 100, 7)
+	samples := trace.BuildSamples(flows, 1)
+	m, err := core.Train(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rangemark.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := New(Config{Profile: resources.Tofino1(), Model: m, Compiled: c, FlowSlots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := flows[0], flows[1]
+	pl.Process(a.Packets[0])
+	pl.Process(b.Packets[0]) // same slot, different owner
+	if pl.Stats().Collisions == 0 {
+		t.Fatal("collision not counted")
+	}
+}
+
+func TestReplayAccuracy(t *testing.T) {
+	cfg := core.Config{Partitions: []int{3, 3}, FeaturesPerSubtree: 4, NumClasses: 4}
+	pl, _, testFlows := deploy(t, trace.D2, 400, cfg, 1<<18)
+	results := pl.Replay(testFlows, 10*time.Millisecond)
+	if len(results) != len(testFlows) {
+		t.Fatalf("%d digests for %d flows", len(results), len(testFlows))
+	}
+	conf := metrics.NewConfusion(4)
+	for _, r := range results {
+		conf.Add(r.Label, r.Digest.Class)
+	}
+	if f1 := conf.MacroF1(); f1 < 0.5 {
+		t.Fatalf("replay F1 %.3f too low", f1)
+	}
+	for _, r := range results {
+		if r.Digest.TTD() < 0 {
+			t.Fatal("negative TTD")
+		}
+		if r.Digest.Packets <= 0 {
+			t.Fatal("digest without packets")
+		}
+	}
+}
+
+func TestInfeasibleDeploymentRejected(t *testing.T) {
+	cfg := core.Config{Partitions: []int{2, 2}, FeaturesPerSubtree: 6, NumClasses: 4}
+	flows := trace.Generate(trace.D2, 100, 7)
+	samples := trace.BuildSamples(flows, 2)
+	m, err := core.Train(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rangemark.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100M flows at k=6 cannot fit Tofino1's register SRAM.
+	if _, err := New(Config{
+		Profile: resources.Tofino1(), Model: m, Compiled: c, FlowSlots: 100_000_000,
+	}); err == nil {
+		t.Fatal("infeasible deployment accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := core.Config{Partitions: []int{2}, FeaturesPerSubtree: 2, NumClasses: 4}
+	flows := trace.Generate(trace.D2, 60, 7)
+	m, _ := core.Train(trace.BuildSamples(flows, 1), cfg)
+	c, _ := rangemark.Compile(m)
+	if _, err := New(Config{Profile: resources.Tofino1(), Model: m, Compiled: c, FlowSlots: 0}); err == nil {
+		t.Fatal("zero slots accepted")
+	}
+}
+
+func TestDigestTTDPositiveOnOffsetFlows(t *testing.T) {
+	cfg := core.Config{Partitions: []int{2, 2}, FeaturesPerSubtree: 3, NumClasses: 4}
+	pl, _, testFlows := deploy(t, trace.D2, 200, cfg, 1<<16)
+	results := pl.Replay(testFlows, time.Second)
+	for _, r := range results {
+		d := r.Digest
+		if d.At < d.Started {
+			t.Fatalf("digest at %v before flow start %v", d.At, d.Started)
+		}
+	}
+}
+
+func BenchmarkProcess(b *testing.B) {
+	cfg := core.Config{Partitions: []int{3, 3}, FeaturesPerSubtree: 4, NumClasses: 4}
+	flows := trace.Generate(trace.D2, 400, 33)
+	samples := trace.BuildSamples(flows, 2)
+	m, err := core.Train(samples, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := rangemark.Compile(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := New(Config{Profile: resources.Tofino1(), Model: m, Compiled: c, FlowSlots: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pkts []int
+	_ = pkts
+	b.ReportAllocs()
+	b.ResetTimer()
+	i := 0
+	for n := 0; n < b.N; n++ {
+		f := flows[i%len(flows)]
+		p := f.Packets[n%len(f.Packets)]
+		pl.Process(p)
+		if n%len(f.Packets) == len(f.Packets)-1 {
+			i++
+		}
+	}
+}
+
+func TestProcessBytes(t *testing.T) {
+	cfg := core.Config{Partitions: []int{2}, FeaturesPerSubtree: 2, NumClasses: 4}
+	pl, _, testFlows := deploy(t, trace.D2, 200, cfg, 1<<16)
+	f := testFlows[0]
+	var got *Digest
+	for _, p := range f.Packets {
+		d, err := pl.ProcessBytes(pkt.Marshal(p, nil), p.TS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			got = d
+		}
+	}
+	if got == nil {
+		t.Fatal("wire-fed flow never digested")
+	}
+	// Control packets are pipeline-internal.
+	ctrl := pkt.MarshalControl(pkt.Control{NextSID: 2}, nil)
+	if _, err := pl.ProcessBytes(ctrl, 0); err == nil {
+		t.Fatal("control packet accepted from the wire")
+	}
+	if _, err := pl.ProcessBytes([]byte{1, 2, 3}, 0); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestAdaptiveWindowPipelineMatchesSoftware(t *testing.T) {
+	bounds := pkt.Bounds{0.2, 0.6, 1}
+	flows := trace.Generate(trace.D2, 300, 33)
+	samples := trace.BuildSamplesBounds(flows, bounds)
+	train, _ := trace.Split(samples, 0.7)
+	m, err := core.Train(train, core.Config{
+		Partitions: []int{2, 2, 2}, FeaturesPerSubtree: 4, NumClasses: 4,
+		WindowBounds: bounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rangemark.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := New(Config{Profile: resources.Tofino1(), Model: m, Compiled: c, FlowSlots: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows[210:] {
+		var got *Digest
+		for _, p := range f.Packets {
+			if d := pl.Process(p); d != nil {
+				got = d
+			}
+		}
+		if got == nil {
+			t.Fatal("adaptive-window flow never digested")
+		}
+		want := m.Classify(trace.BuildSamplesBounds([]trace.LabeledFlow{f}, bounds)[0].Windows)
+		if got.Class != want {
+			t.Fatalf("adaptive pipeline class %d != software %d", got.Class, want)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package dt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// xorData builds a 2-feature dataset requiring both features: class =
+// (x0>0.5) XOR (x1>0.5).
+func xorData(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		a, b := rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b, rng.Float64()} // third feature is noise
+		c := 0
+		if (a > 0.5) != (b > 0.5) {
+			c = 1
+		}
+		y[i] = c
+	}
+	return X, y
+}
+
+func accuracy(t *Tree, X [][]float64, y []int) float64 {
+	ok := 0
+	for i, x := range X {
+		if t.Predict(x) == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(X))
+}
+
+func TestLearnsXOR(t *testing.T) {
+	X, y := xorData(400, 1)
+	tr := Train(X, y, 2, Config{MaxDepth: 6, MinSamplesLeaf: 2})
+	if acc := accuracy(tr, X, y); acc < 0.95 {
+		t.Fatalf("XOR training accuracy %.3f < 0.95", acc)
+	}
+	if d := tr.Depth(); d < 2 || d > 6 {
+		t.Fatalf("depth %d outside [2,6]", d)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	X, y := xorData(400, 2)
+	tr := Train(X, y, 2, Config{MaxDepth: 1})
+	if tr.Depth() > 1 {
+		t.Fatalf("depth %d > MaxDepth 1", tr.Depth())
+	}
+}
+
+func TestFeatureBudgetRespected(t *testing.T) {
+	// 6 informative features; budget of 2 must cap the distinct set.
+	rng := rand.New(rand.NewSource(3))
+	n := 600
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, 6)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		X[i] = row
+		c := 0
+		for j := 0; j < 6; j++ {
+			if row[j] > 0.5 {
+				c ^= 1
+			}
+		}
+		y[i] = c
+	}
+	tr := Train(X, y, 2, Config{MaxDepth: 8, MaxDistinctFeatures: 2})
+	if got := len(tr.DistinctFeatures()); got > 2 {
+		t.Fatalf("tree used %d distinct features, budget 2", got)
+	}
+}
+
+func TestCandidateRestriction(t *testing.T) {
+	X, y := xorData(300, 4)
+	tr := Train(X, y, 2, Config{MaxDepth: 6, Features: []int{2}})
+	for _, f := range tr.DistinctFeatures() {
+		if f != 2 {
+			t.Fatalf("tree split on feature %d outside candidate set", f)
+		}
+	}
+}
+
+func TestMinSamplesLeaf(t *testing.T) {
+	X, y := xorData(100, 5)
+	tr := Train(X, y, 2, Config{MaxDepth: 10, MinSamplesLeaf: 10})
+	for _, l := range tr.Leaves() {
+		n := 0
+		for _, c := range l.Counts {
+			n += c
+		}
+		if n < 10 {
+			t.Fatalf("leaf with %d samples < MinSamplesLeaf 10", n)
+		}
+	}
+}
+
+func TestPureNodeStops(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []int{0, 0, 0, 0}
+	// All one class: the root must be a leaf even with depth available.
+	// Need numClasses >= 2 even if only one appears.
+	tr := Train(X, y, 2, Config{MaxDepth: 5})
+	if !tr.Root.Leaf {
+		t.Fatal("pure training set must produce a leaf root")
+	}
+	if tr.Root.Class != 0 {
+		t.Fatalf("class = %d, want 0", tr.Root.Class)
+	}
+}
+
+func TestLeafIDsDense(t *testing.T) {
+	X, y := xorData(300, 6)
+	tr := Train(X, y, 2, Config{MaxDepth: 4})
+	ls := tr.Leaves()
+	if len(ls) != tr.NumLeaves() {
+		t.Fatal("Leaves()/NumLeaves mismatch")
+	}
+	for i, l := range ls {
+		if l.LeafID != i {
+			t.Fatalf("leaf %d has LeafID %d", i, l.LeafID)
+		}
+	}
+}
+
+func TestLeafRouting(t *testing.T) {
+	X, y := xorData(300, 7)
+	tr := Train(X, y, 2, Config{MaxDepth: 4})
+	for _, x := range X {
+		l := tr.Leaf(x)
+		if !l.Leaf {
+			t.Fatal("Leaf returned internal node")
+		}
+		if tr.Predict(x) != l.Class {
+			t.Fatal("Predict disagrees with Leaf")
+		}
+	}
+}
+
+func TestThresholdsSortedDistinct(t *testing.T) {
+	X, y := xorData(500, 8)
+	tr := Train(X, y, 2, Config{MaxDepth: 6})
+	for f, ts := range tr.Thresholds() {
+		for i := 1; i < len(ts); i++ {
+			if ts[i] <= ts[i-1] {
+				t.Fatalf("feature %d thresholds not sorted distinct: %v", f, ts)
+			}
+		}
+	}
+}
+
+func TestImportancesSumToOne(t *testing.T) {
+	X, y := xorData(500, 9)
+	tr := Train(X, y, 2, Config{MaxDepth: 6})
+	imp := tr.Importances(3)
+	sum := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("importances sum to %v, want 1", sum)
+	}
+	// The noise feature (2) must matter less than the signal features.
+	if imp[2] > imp[0] || imp[2] > imp[1] {
+		t.Fatalf("noise feature ranked above signal: %v", imp)
+	}
+}
+
+func TestTopKFeatures(t *testing.T) {
+	X, y := xorData(500, 10)
+	top := TopKFeatures(X, y, 2, 2, 6, nil)
+	if len(top) != 2 {
+		t.Fatalf("TopK returned %d features, want 2", len(top))
+	}
+	for _, f := range top {
+		if f == 2 {
+			t.Fatalf("noise feature in top-2: %v", top)
+		}
+	}
+}
+
+func TestMinImpurityDecrease(t *testing.T) {
+	X, y := xorData(300, 11)
+	full := Train(X, y, 2, Config{MaxDepth: 8})
+	pruned := Train(X, y, 2, Config{MaxDepth: 8, MinImpurityDecrease: 0.2})
+	if pruned.NumNodes() >= full.NumNodes() {
+		t.Fatalf("MinImpurityDecrease did not shrink tree: %d vs %d",
+			pruned.NumNodes(), full.NumNodes())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	X, y := xorData(100, 12)
+	tr := Train(X, y, 2, Config{MaxDepth: 3})
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	X, y := xorData(50, 13)
+	tr := Train(X, y, 2, Config{MaxDepth: 2})
+	if tr.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestTrainPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"empty", func() { Train(nil, nil, 2, Config{MaxDepth: 1}) }},
+		{"mismatch", func() { Train([][]float64{{1}}, []int{0, 1}, 2, Config{MaxDepth: 1}) }},
+		{"classes", func() { Train([][]float64{{1}}, []int{0}, 1, Config{MaxDepth: 1}) }},
+		{"depth", func() { Train([][]float64{{1}}, []int{0}, 2, Config{MaxDepth: 0}) }},
+		{"badfeature", func() {
+			Train([][]float64{{1}}, []int{0}, 2, Config{MaxDepth: 1, Features: []int{5}})
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", c.name)
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+func TestPredictionsPartitionSpaceProperty(t *testing.T) {
+	// Every input routes to exactly one leaf and predicted class is that
+	// leaf's majority class.
+	X, y := xorData(300, 14)
+	tr := Train(X, y, 2, Config{MaxDepth: 5})
+	f := func(a, b, c float64) bool {
+		x := []float64{abs(a), abs(b), abs(c)}
+		l := tr.Leaf(x)
+		return l.Leaf && l.Class == argmax(l.Counts)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	X, y := xorData(300, 15)
+	a := Train(X, y, 2, Config{MaxDepth: 5})
+	b := Train(X, y, 2, Config{MaxDepth: 5})
+	if a.String() != b.String() {
+		t.Fatal("training is not deterministic")
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	X, y := xorData(1000, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Train(X, y, 2, Config{MaxDepth: 6})
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	X, y := xorData(1000, 17)
+	tr := Train(X, y, 2, Config{MaxDepth: 6})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Predict(X[i%len(X)])
+	}
+}

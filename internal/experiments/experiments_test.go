@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"splidt/internal/bo"
+	"splidt/internal/trace"
+)
+
+// smallEnv keeps unit tests fast: a light dataset and a tiny search budget.
+func smallEnv(t *testing.T, id trace.DatasetID) *Env {
+	t.Helper()
+	env := NewEnv(id, 240)
+	env.BOIterations = 5
+	env.BOParallel = 4
+	return env
+}
+
+func TestEvaluatePoint(t *testing.T) {
+	env := smallEnv(t, trace.D2)
+	tp := env.EvaluatePoint(bo.Point{Depth: 6, K: 4, Partitions: []int{3, 3}})
+	if tp.Model == nil || tp.Compiled == nil {
+		t.Fatal("missing artifacts")
+	}
+	if tp.F1 <= 0 || tp.F1 > 1 {
+		t.Fatalf("F1 %v out of range", tp.F1)
+	}
+	if !tp.Feasible || tp.MaxFlows <= 0 {
+		t.Fatalf("typical point infeasible: flows=%d", tp.MaxFlows)
+	}
+}
+
+func TestSearchAndBestAtFlows(t *testing.T) {
+	env := smallEnv(t, trace.D2)
+	res, store := env.Search(bo.DefaultSpace())
+	if len(res.Evaluations) == 0 {
+		t.Fatal("no evaluations")
+	}
+	tp, ok := BestAtFlows(res, store, 100_000)
+	if !ok {
+		t.Fatal("no feasible point at 100K flows")
+	}
+	if tp.MaxFlows < 100_000 {
+		t.Fatalf("selected point supports %d < 100K flows", tp.MaxFlows)
+	}
+	// Higher targets can only lower (or keep) the achievable F1.
+	if tp2, ok2 := BestAtFlows(res, store, 1_000_000); ok2 && tp2.F1 > tp.F1+1e-9 {
+		t.Fatalf("1M-flow best F1 %.3f exceeds 100K best %.3f", tp2.F1, tp.F1)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	env := smallEnv(t, trace.D2)
+	r, err := Figure2(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.TopK) != len(FlowTargets) || len(r.SpliDT) != len(FlowTargets) {
+		t.Fatal("missing series points")
+	}
+	// The paper's headline shape: ideal ≥ SpliDT ≥ top-k at scale, and
+	// per-packet trails stateful models.
+	if r.IdealF1 <= 0.5 {
+		t.Fatalf("ideal F1 %.3f too low", r.IdealF1)
+	}
+	sp1m := r.SpliDT[len(r.SpliDT)-1].F1
+	nb1m := r.TopK[len(r.TopK)-1].F1
+	if sp1m < nb1m-0.05 {
+		t.Fatalf("SpliDT at 1M (%.3f) clearly below top-k (%.3f)", sp1m, nb1m)
+	}
+	if r.PerPacketF1 > r.IdealF1 {
+		t.Fatal("per-packet beat ideal")
+	}
+	if !strings.Contains(r.Render(), "Figure 2") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	env := smallEnv(t, trace.D1)
+	r, err := Table1(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerSubtreeMean <= 0 || r.PerSubtreeMean > 40 {
+		t.Fatalf("per-subtree density %.1f%% outside sparse band", r.PerSubtreeMean)
+	}
+	if r.PerPartitionMean < r.PerSubtreeMean-1e-9 {
+		t.Fatal("partition density below subtree density")
+	}
+	if r.HDMean < r.WSMean {
+		t.Fatal("HD recirculation should exceed WS")
+	}
+	if !strings.Contains(r.Render(), "Table 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig6Table3Shape(t *testing.T) {
+	env := smallEnv(t, trace.D3)
+	r, err := Fig6Table3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3*len(FlowTargets) {
+		t.Fatalf("%d rows, want %d", len(r.Rows), 3*len(FlowTargets))
+	}
+	sp, ok := r.SpliDTRow(1_000_000)
+	if !ok {
+		t.Fatal("missing SpliDT row at 1M")
+	}
+	nb, _ := r.RowOf("NB", 1_000_000)
+	if sp.F1 < nb.F1-0.08 {
+		t.Fatalf("SpliDT at 1M (%.3f) clearly below NB (%.3f)", sp.F1, nb.F1)
+	}
+	// Feature scaling: SpliDT's total features should exceed its k-slots
+	// and generally the baselines' top-k at 100K.
+	sp100, _ := r.SpliDTRow(100_000)
+	nb100, _ := r.RowOf("NB", 100_000)
+	if sp100.Features < nb100.Features {
+		t.Fatalf("SpliDT features %d below NB top-k %d at 100K", sp100.Features, nb100.Features)
+	}
+	if !strings.Contains(r.Render(), "Table 3") {
+		t.Fatal("render missing table")
+	}
+}
+
+func TestFigure7Converges(t *testing.T) {
+	env := smallEnv(t, trace.D2)
+	r := Figure7(env)
+	if len(r.BestF1) != env.BOIterations {
+		t.Fatalf("curve has %d points, want %d", len(r.BestF1), env.BOIterations)
+	}
+	for i := 1; i < len(r.BestF1); i++ {
+		if r.BestF1[i] < r.BestF1[i-1] {
+			t.Fatal("convergence curve not monotone")
+		}
+	}
+	it, final := r.ConvergedAt(0.005)
+	if it < 1 || it > env.BOIterations || final <= 0 {
+		t.Fatalf("ConvergedAt = %d, %.3f", it, final)
+	}
+	if !strings.Contains(r.Render(), "Figure 7") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestTable4Stages(t *testing.T) {
+	env := smallEnv(t, trace.D2)
+	r, err := Table4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Training <= 0 || r.Rulegen <= 0 || r.Backend <= 0 {
+		t.Fatalf("non-positive stage times: %+v", r)
+	}
+	// Training dominates (the paper reports ~88% of iteration time).
+	if r.Training < r.Backend {
+		t.Fatal("training cheaper than backend — implausible")
+	}
+	if r.Total() < r.Training {
+		t.Fatal("total below training")
+	}
+	if !strings.Contains(r.Render(), "Table 4") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	env := smallEnv(t, trace.D2)
+	r, err := Table5(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.WS) != len(FlowTargets) || len(r.HD) != len(FlowTargets) {
+		t.Fatal("missing cells")
+	}
+	// The paper's envelope: worst case well under 100 Mbps (≤0.05% of the
+	// 100 Gbps channel was ~50 Mbps).
+	if r.MaxMbps() > 150 {
+		t.Fatalf("max recirc %.1f Mbps implausibly high", r.MaxMbps())
+	}
+	for i := range r.WS {
+		if r.WS[i].Partitions > 1 && r.HD[i].Mean < r.WS[i].Mean {
+			t.Fatal("HD below WS at same partitions")
+		}
+		if r.WS[i].Partitions == 1 && (r.WS[i].Mean != 0 || r.HD[i].Mean != 0) {
+			t.Fatal("single-partition winner must not recirculate")
+		}
+	}
+	if !strings.Contains(r.Render(), "Table 5") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFigure8Sweeps(t *testing.T) {
+	env := smallEnv(t, trace.D2)
+	r, err := Figure8(env, "features", []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatal("missing series")
+	}
+	f1k1, ok1 := r.At(1, 100_000)
+	f1k3, ok3 := r.At(3, 100_000)
+	if !ok1 || !ok3 {
+		t.Fatal("missing points")
+	}
+	// More features per subtree should not hurt at low flow counts.
+	if f1k3 < f1k1-0.1 {
+		t.Fatalf("k=3 (%.3f) far below k=1 (%.3f) at 100K", f1k3, f1k1)
+	}
+	if _, err := Figure8(env, "bogus", []int{1}); err == nil {
+		t.Fatal("unknown dimension accepted")
+	}
+	if !strings.Contains(r.Render(), "Figure 8") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	env := smallEnv(t, trace.D2)
+	r, err := Figure9(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SpliDT) == 0 || len(r.NB) == 0 {
+		t.Fatal("missing series")
+	}
+	// Monotone: more entries can only help.
+	last := 0.0
+	for _, budget := range entryBudgets {
+		f1 := BestUnder(r.NB, budget)
+		if f1 < last-1e-9 {
+			t.Fatal("BestUnder not monotone")
+		}
+		last = f1
+	}
+	if !strings.Contains(r.Render(), "Figure 9") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	env := smallEnv(t, trace.D3)
+	r, err := Figure10(env, trace.Hadoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Curves) != 3 {
+		t.Fatalf("%d curves, want 3", len(r.Curves))
+	}
+	for _, c := range r.Curves {
+		if c.ECDF.Len() == 0 {
+			t.Fatalf("%s: empty ECDF", c.System)
+		}
+		if c.Quantile(0.5) < 0 {
+			t.Fatalf("%s: negative median TTD", c.System)
+		}
+	}
+	// SpliDT's median TTD must be within the same order of magnitude as the
+	// baselines' (the paper: "closely matches").
+	sp := r.Curves[0].Quantile(0.5)
+	leo := r.Curves[2].Quantile(0.5)
+	if leo > 0 && (sp > 10*leo) {
+		t.Fatalf("SpliDT median TTD %.1fms an order above Leo %.1fms", sp, leo)
+	}
+	if !strings.Contains(r.Render(), "Figure 10") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFigure11Analytic(t *testing.T) {
+	r := Figure11(50, []int{1, 2, 3, 4})
+	if len(r.Series) != 5 {
+		t.Fatalf("%d series, want 5", len(r.Series))
+	}
+	// SpliDT:k flat; NB/Leo linear.
+	for _, s := range r.Series[:4] {
+		if s.Bits[0] != s.Bits[len(s.Bits)-1] {
+			t.Fatalf("%s not constant", s.System)
+		}
+	}
+	nb := r.Series[4]
+	if nb.Bits[49] != 50*32 || nb.Bits[0] != 32 {
+		t.Fatalf("NB/Leo line wrong: %d..%d", nb.Bits[0], nb.Bits[49])
+	}
+	if !strings.Contains(r.Render(), "Figure 11") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	env := smallEnv(t, trace.D3)
+	env.BOIterations = 4
+	r, err := Figure12(env, []int{32, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(r.Rows))
+	}
+	// 16-bit precision reaches 2M flows.
+	if _, ok := r.BestAt(16, 2_000_000); !ok {
+		t.Fatal("missing 16-bit 2M point")
+	}
+	f32, _ := r.BestAt(32, 100_000)
+	f16, _ := r.BestAt(16, 100_000)
+	// Reduced precision costs some accuracy but must not collapse.
+	if f16 < f32-0.3 {
+		t.Fatalf("16-bit F1 %.3f collapsed vs 32-bit %.3f", f16, f32)
+	}
+	if !strings.Contains(r.Render(), "Figure 12") {
+		t.Fatal("render missing title")
+	}
+}

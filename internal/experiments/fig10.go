@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"splidt/internal/baselines"
+	"splidt/internal/bo"
+	"splidt/internal/dataplane"
+	"splidt/internal/flow"
+	"splidt/internal/metrics"
+	"splidt/internal/trace"
+)
+
+// TTDCurve is one system's time-to-detection distribution with its F1.
+type TTDCurve struct {
+	System string
+	F1     float64
+	ECDF   *metrics.ECDF // observations in milliseconds
+}
+
+// Quantile returns the q-th TTD quantile in milliseconds.
+func (c TTDCurve) Quantile(q float64) float64 { return c.ECDF.Quantile(q) }
+
+// Figure10Result reproduces Figure 10 for one dataset and environment:
+// per-flow time-to-detection ECDFs of SpliDT (measured on the simulated
+// pipeline) and the baselines (classification at their final inference
+// point).
+type Figure10Result struct {
+	Dataset trace.DatasetID
+	Env     string
+	Curves  []TTDCurve
+}
+
+// Figure10 replays workload-shaped test traffic through a deployed SpliDT
+// pipeline and compares detection-time distributions against the baselines.
+func Figure10(env *Env, w trace.Workload) (Figure10Result, error) {
+	out := Figure10Result{Dataset: env.Dataset, Env: w.Name}
+
+	// Train SpliDT (multi-partition winner) and deploy it on the simulator.
+	res, store := env.Search(bo.DefaultSpace())
+	tp, ok := BestAtFlows(res, store, 100_000)
+	if !ok {
+		return out, fmt.Errorf("figure10: no feasible SpliDT config")
+	}
+	pl, err := dataplane.New(dataplane.Config{
+		Profile: env.Profile, Model: tp.Model, Compiled: tp.Compiled,
+		FlowSlots: 1 << 18, Workload: w,
+	})
+	if err != nil {
+		return out, fmt.Errorf("figure10: deploy: %w", err)
+	}
+
+	// Replay the test flows unmodified (the model was trained on this
+	// timing), then shape detection times to the environment: each flow
+	// draws a lifetime from the workload distribution, and its measured
+	// TTD scales by target/original duration — detection happens at the
+	// same *fraction* of the flow regardless of how long the flow lives.
+	_, testFlows := env.FlowSplit()
+	rng := rand.New(rand.NewSource(env.Seed ^ 0xF16))
+	targets := make(map[flowKeyT]time.Duration, len(testFlows))
+	origDur := make(map[flowKeyT]time.Duration, len(testFlows))
+	for _, f := range testFlows {
+		targets[f.Key] = w.SampleDuration(rng)
+		n := len(f.Packets)
+		origDur[f.Key] = f.Packets[n-1].TS - f.Packets[0].TS
+	}
+
+	results := pl.Replay(testFlows, time.Millisecond)
+	var ttdMS []float64
+	conf := metrics.NewConfusion(env.Classes)
+	for _, r := range results {
+		ttd := scaleTTD(r.Digest.TTD(), origDur[r.Digest.Key], targets[r.Digest.Key])
+		ttdMS = append(ttdMS, float64(ttd)/float64(time.Millisecond))
+		conf.Add(r.Label, r.Digest.Class)
+	}
+	out.Curves = append(out.Curves, TTDCurve{
+		System: "SpliDT", F1: conf.MacroF1(), ECDF: metrics.NewECDF(ttdMS),
+	})
+
+	// Baselines: NetBeacon's final inference lands on its last exponential
+	// phase boundary (2^⌊log2 n⌋ packets); Leo's on the flow's last packet.
+	trainS, testS := env.Split(1)
+	nb, err := baselines.TrainNetBeacon(trainS, testS, baselines.Options{
+		Classes: env.Classes, FlowTarget: 100_000, Profile: env.Profile,
+	})
+	if err != nil {
+		return out, fmt.Errorf("figure10: NB: %w", err)
+	}
+	leo, err := baselines.TrainLeo(trainS, testS, baselines.Options{
+		Classes: env.Classes, FlowTarget: 100_000, Profile: env.Profile,
+	})
+	if err != nil {
+		return out, fmt.Errorf("figure10: Leo: %w", err)
+	}
+
+	var nbTTD, leoTTD []float64
+	for _, f := range testFlows {
+		n := len(f.Packets)
+		phase := 1
+		for phase*2 <= n {
+			phase *= 2
+		}
+		nbAt := f.Packets[phase-1].TS - f.Packets[0].TS
+		nbScaled := scaleTTD(nbAt, origDur[f.Key], targets[f.Key])
+		nbTTD = append(nbTTD, float64(nbScaled)/float64(time.Millisecond))
+		leoTTD = append(leoTTD, float64(targets[f.Key])/float64(time.Millisecond))
+	}
+	out.Curves = append(out.Curves,
+		TTDCurve{System: "NetBeacon", F1: nb.F1, ECDF: metrics.NewECDF(nbTTD)},
+		TTDCurve{System: "Leo", F1: leo.F1, ECDF: metrics.NewECDF(leoTTD)},
+	)
+	return out, nil
+}
+
+// Render prints TTD quantiles per system.
+func (r Figure10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10 — %v time-to-detection ECDF, %s environment\n", r.Dataset, r.Env)
+	t := newTable("System", "F1", "p25 (ms)", "p50 (ms)", "p75 (ms)", "p90 (ms)", "p99 (ms)")
+	for _, c := range r.Curves {
+		t.add(c.System, c.F1,
+			fmt.Sprintf("%.1f", c.Quantile(0.25)),
+			fmt.Sprintf("%.1f", c.Quantile(0.50)),
+			fmt.Sprintf("%.1f", c.Quantile(0.75)),
+			fmt.Sprintf("%.1f", c.Quantile(0.90)),
+			fmt.Sprintf("%.1f", c.Quantile(0.99)))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// flowKeyT aliases the flow key type used for per-flow lookups.
+type flowKeyT = flow.Key
+
+// scaleTTD maps a detection time measured on the original trace onto the
+// environment's flow lifetime: same detection fraction, workload-shaped
+// duration.
+func scaleTTD(ttd, orig, target time.Duration) time.Duration {
+	if orig <= 0 {
+		return ttd
+	}
+	return time.Duration(float64(ttd) * float64(target) / float64(orig))
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"splidt/internal/baselines"
+	"splidt/internal/bo"
+	"splidt/internal/trace"
+)
+
+// Figure11Series is register footprint as a function of total model
+// features for one system variant.
+type Figure11Series struct {
+	System string
+	// BitsAt[i] is the per-flow register bits needed to support Features[i]
+	// total distinct features.
+	Features []int
+	Bits     []int
+}
+
+// Figure11Result reproduces Figure 11: SpliDT:k holds a constant register
+// footprint regardless of total feature count (features multiplex through k
+// slots), while one-shot systems grow linearly.
+type Figure11Result struct {
+	Series []Figure11Series
+}
+
+// Figure11 is analytic: it evaluates the register-allocation rule of each
+// system over a feature-count sweep.
+func Figure11(maxFeatures int, ks []int) Figure11Result {
+	if maxFeatures < 1 {
+		maxFeatures = 50
+	}
+	if len(ks) == 0 {
+		ks = []int{1, 2, 3, 4}
+	}
+	var out Figure11Result
+	counts := make([]int, 0, maxFeatures)
+	for n := 1; n <= maxFeatures; n++ {
+		counts = append(counts, n)
+	}
+	for _, k := range ks {
+		s := Figure11Series{System: fmt.Sprintf("SpliDT:%d", k), Features: counts}
+		for range counts {
+			s.Bits = append(s.Bits, k*32) // constant in total features
+		}
+		out.Series = append(out.Series, s)
+	}
+	nb := Figure11Series{System: "NB/Leo", Features: counts}
+	for _, n := range counts {
+		nb.Bits = append(nb.Bits, n*32) // one register per feature, upfront
+	}
+	out.Series = append(out.Series, nb)
+	return out
+}
+
+// Render prints the register-bits series at selected feature counts.
+func (r Figure11Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 11 — register bits vs number of model features\n")
+	marks := []int{1, 2, 4, 6, 8, 10, 20, 50}
+	header := []string{"#Features"}
+	for _, s := range r.Series {
+		header = append(header, s.System)
+	}
+	t := newTable(header...)
+	for _, n := range marks {
+		row := []interface{}{n}
+		for _, s := range r.Series {
+			if n <= len(s.Bits) {
+				row = append(row, s.Bits[n-1])
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.add(row...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// PrecisionRow is one bit-precision operating point of Figure 12.
+type PrecisionRow struct {
+	Bits     int
+	Flows    int
+	NBF1     float64
+	LeoF1    float64
+	SpliDTF1 float64
+}
+
+// Figure12Result reproduces Figure 12: Pareto frontiers under 32-, 16-, and
+// 8-bit feature precision; halving precision roughly doubles flow capacity
+// at a modest accuracy cost.
+type Figure12Result struct {
+	Dataset trace.DatasetID
+	Rows    []PrecisionRow
+}
+
+// Figure12 sweeps feature bit precision.
+func Figure12(env *Env, bitsList []int) (Figure12Result, error) {
+	if len(bitsList) == 0 {
+		bitsList = []int{32, 16, 8}
+	}
+	out := Figure12Result{Dataset: env.Dataset}
+	for _, bits := range bitsList {
+		sub := NewEnv(env.Dataset, env.NFlows)
+		sub.Seed = env.Seed
+		sub.Profile = env.Profile
+		sub.BOIterations = env.BOIterations
+		sub.BOParallel = env.BOParallel
+		sub.ValueBits = bits
+
+		// Narrower registers scale the reachable flow targets (1M → 2M at
+		// 16 bits → 4M at 8 bits).
+		scale := 32 / bits
+		targets := []int{100_000, 500_000 * scale, 1_000_000 * scale}
+
+		trainS, testS := sub.Split(1)
+		res, store := sub.Search(bo.DefaultSpace())
+		for _, flows := range targets {
+			row := PrecisionRow{Bits: bits, Flows: flows}
+			if nb, err := baselines.TrainNetBeacon(trainS, testS, baselines.Options{
+				Classes: sub.Classes, FlowTarget: flows, Profile: sub.Profile, ValueBits: bits,
+			}); err == nil {
+				row.NBF1 = nb.F1
+			}
+			if leo, err := baselines.TrainLeo(trainS, testS, baselines.Options{
+				Classes: sub.Classes, FlowTarget: flows, Profile: sub.Profile, ValueBits: bits,
+			}); err == nil {
+				row.LeoF1 = leo.F1
+			}
+			if tp, ok := BestAtFlows(res, store, flows); ok {
+				row.SpliDTF1 = tp.F1
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// BestAt returns SpliDT's F1 at the given precision and flow target.
+func (r Figure12Result) BestAt(bits, flows int) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Bits == bits && row.Flows == flows {
+			return row.SpliDTF1, true
+		}
+	}
+	return 0, false
+}
+
+// Render prints the precision panels.
+func (r Figure12Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12 — %v Pareto frontier vs bit precision\n", r.Dataset)
+	t := newTable("Bits", "#Flows", "NB", "Leo", "SpliDT")
+	for _, row := range r.Rows {
+		t.add(row.Bits, flowLabel(row.Flows), row.NBF1, row.LeoF1, row.SpliDTF1)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

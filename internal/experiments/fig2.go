@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"splidt/internal/baselines"
+	"splidt/internal/bo"
+	"splidt/internal/dt"
+	"splidt/internal/metrics"
+	"splidt/internal/trace"
+)
+
+// Figure2Point is one (flows, F1) measurement of one system.
+type Figure2Point struct {
+	Flows int
+	F1    float64
+}
+
+// Figure2Result reproduces Figure 2 for one dataset: SpliDT versus the
+// top-k (k ≤ 7) one-shot model versus the ideal unlimited-resource model,
+// with the per-packet peak noted in the caption.
+type Figure2Result struct {
+	Dataset      trace.DatasetID
+	TopK         []Figure2Point
+	SpliDT       []Figure2Point
+	IdealF1      float64
+	PerPacketF1  float64
+	SpliDTSearch bo.Result
+}
+
+// Figure2 runs the comparison across the paper's flow targets.
+func Figure2(env *Env) (Figure2Result, error) {
+	out := Figure2Result{Dataset: env.Dataset}
+
+	// Ideal: every feature, unbounded depth/resources, whole-flow stats.
+	trainS, testS := env.Split(1)
+	Xtr, ytr := wholeRows(trainS)
+	Xte, yte := wholeRows(testS)
+	ideal := dt.Train(Xtr, ytr, env.Classes, dt.Config{MaxDepth: 16, MinSamplesLeaf: 2})
+	pred := make([]int, len(Xte))
+	for i, row := range Xte {
+		pred[i] = ideal.Predict(row)
+	}
+	out.IdealF1 = metrics.MacroF1Of(yte, pred, env.Classes)
+
+	// Per-packet peak (stateless fields only).
+	trainF, testF := env.FlowSplit()
+	pp, err := baselines.TrainPerPacket(trainF, testF, env.Classes, 10, 16)
+	if err != nil {
+		return out, fmt.Errorf("figure2: per-packet: %w", err)
+	}
+	out.PerPacketF1 = pp.F1
+
+	// One SpliDT design search reused across flow targets.
+	res, store := env.Search(bo.DefaultSpace())
+	out.SpliDTSearch = res
+
+	for _, flows := range FlowTargets {
+		nb, err := baselines.TrainNetBeacon(trainS, testS, baselines.Options{
+			Classes: env.Classes, FlowTarget: flows, Profile: env.Profile,
+		})
+		if err != nil {
+			return out, fmt.Errorf("figure2: top-k at %d flows: %w", flows, err)
+		}
+		out.TopK = append(out.TopK, Figure2Point{Flows: flows, F1: nb.F1})
+
+		if tp, ok := BestAtFlows(res, store, flows); ok {
+			out.SpliDT = append(out.SpliDT, Figure2Point{Flows: flows, F1: tp.F1})
+		} else {
+			out.SpliDT = append(out.SpliDT, Figure2Point{Flows: flows, F1: 0})
+		}
+	}
+	return out, nil
+}
+
+// Render prints the figure's series as rows.
+func (r Figure2Result) Render() string {
+	t := newTable("#Flows", "Top-k F1", "SpliDT F1", "Ideal F1", "PerPacket F1")
+	for i := range r.TopK {
+		t.add(flowLabel(r.TopK[i].Flows), r.TopK[i].F1, r.SpliDT[i].F1, r.IdealF1, r.PerPacketF1)
+	}
+	return fmt.Sprintf("Figure 2 — %v: SpliDT vs top-k vs ideal\n%s", r.Dataset, t)
+}
+
+func wholeRows(samples []trace.Sample) ([][]float64, []int) {
+	X := make([][]float64, len(samples))
+	y := make([]int, len(samples))
+	for i, s := range samples {
+		v := s.WholeFlow()
+		row := make([]float64, len(v))
+		copy(row, v[:])
+		X[i] = row
+		y[i] = s.Label
+	}
+	return X, y
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"splidt/internal/baselines"
+	"splidt/internal/bo"
+	"splidt/internal/resources"
+	"splidt/internal/trace"
+)
+
+// SystemRow is one system's measurement at one flow target — a point of
+// Figure 6's frontier and a cell group of Table 3.
+type SystemRow struct {
+	System       string
+	Flows        int
+	F1           float64
+	Depth        int
+	Partitions   int
+	Features     int // total distinct stateful features used
+	TCAMEntries  int
+	RegisterBits int
+}
+
+// Fig6Table3Result carries, for one dataset, the per-target rows of all
+// three systems (Figure 6's frontier points and Table 3's rows) plus
+// SpliDT's full Pareto frontier from the design search.
+type Fig6Table3Result struct {
+	Dataset trace.DatasetID
+	Rows    []SystemRow // NB, Leo, SpliDT at each flow target
+	Pareto  []bo.Evaluation
+}
+
+// Fig6Table3 runs the head-to-head evaluation: one SpliDT design search and
+// one baseline design search per flow target.
+func Fig6Table3(env *Env) (Fig6Table3Result, error) {
+	out := Fig6Table3Result{Dataset: env.Dataset}
+	trainS, testS := env.Split(1)
+
+	res, store := env.Search(bo.DefaultSpace())
+	out.Pareto = res.Pareto
+
+	for _, flows := range FlowTargets {
+		nb, err := baselines.TrainNetBeacon(trainS, testS, baselines.Options{
+			Classes: env.Classes, FlowTarget: flows, Profile: env.Profile,
+		})
+		if err != nil {
+			return out, fmt.Errorf("fig6: NB at %d: %w", flows, err)
+		}
+		out.Rows = append(out.Rows, SystemRow{
+			System: "NB", Flows: flows, F1: nb.F1, Depth: nb.Depth, Partitions: 1,
+			Features: nb.K, TCAMEntries: nb.TCAMEntries, RegisterBits: nb.RegisterBits,
+		})
+
+		leo, err := baselines.TrainLeo(trainS, testS, baselines.Options{
+			Classes: env.Classes, FlowTarget: flows, Profile: env.Profile,
+		})
+		if err != nil {
+			return out, fmt.Errorf("fig6: Leo at %d: %w", flows, err)
+		}
+		out.Rows = append(out.Rows, SystemRow{
+			System: "Leo", Flows: flows, F1: leo.F1, Depth: leo.Depth, Partitions: 1,
+			Features: leo.K, TCAMEntries: leo.TCAMEntries, RegisterBits: leo.RegisterBits,
+		})
+
+		if tp, ok := BestAtFlows(res, store, flows); ok {
+			m := tp.Model
+			out.Rows = append(out.Rows, SystemRow{
+				System: "SpliDT", Flows: flows, F1: tp.F1,
+				Depth:        m.Cfg.Depth(),
+				Partitions:   m.NumPartitions(),
+				Features:     len(m.TotalFeatures()),
+				TCAMEntries:  tp.Compiled.Entries(),
+				RegisterBits: m.Cfg.FeaturesPerSubtree * resources.ValueBits(m),
+			})
+		} else {
+			out.Rows = append(out.Rows, SystemRow{System: "SpliDT", Flows: flows})
+		}
+	}
+	return out, nil
+}
+
+// SpliDTRow returns the SpliDT row at a flow target (ok=false if absent).
+func (r Fig6Table3Result) SpliDTRow(flows int) (SystemRow, bool) {
+	for _, row := range r.Rows {
+		if row.System == "SpliDT" && row.Flows == flows {
+			return row, true
+		}
+	}
+	return SystemRow{}, false
+}
+
+// RowOf returns a named system's row at a flow target.
+func (r Fig6Table3Result) RowOf(system string, flows int) (SystemRow, bool) {
+	for _, row := range r.Rows {
+		if row.System == system && row.Flows == flows {
+			return row, true
+		}
+	}
+	return SystemRow{}, false
+}
+
+// Render prints both artifacts: the frontier series (Figure 6) and the
+// resource table (Table 3).
+func (r Fig6Table3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 — %v Pareto frontier (F1 at #flows)\n", r.Dataset)
+	ft := newTable("#Flows", "NB", "Leo", "SpliDT")
+	for _, flows := range FlowTargets {
+		nb, _ := r.RowOf("NB", flows)
+		leo, _ := r.RowOf("Leo", flows)
+		sp, _ := r.RowOf("SpliDT", flows)
+		ft.add(flowLabel(flows), nb.F1, leo.F1, sp.F1)
+	}
+	b.WriteString(ft.String())
+
+	fmt.Fprintf(&b, "\nTable 3 — %v model performance vs resource usage\n", r.Dataset)
+	t := newTable("#Flows", "System", "F1", "Depth/#Part", "#Features", "#TCAM", "Reg(bits)")
+	for _, flows := range FlowTargets {
+		for _, sys := range []string{"NB", "Leo", "SpliDT"} {
+			row, ok := r.RowOf(sys, flows)
+			if !ok {
+				continue
+			}
+			dp := fmt.Sprint(row.Depth)
+			if sys == "SpliDT" {
+				dp = fmt.Sprintf("%d / %d", row.Depth, row.Partitions)
+			}
+			t.add(flowLabel(flows), sys, row.F1, dp, row.Features, row.TCAMEntries, row.RegisterBits)
+		}
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"splidt/internal/bo"
+	"splidt/internal/core"
+	"splidt/internal/rangemark"
+	"splidt/internal/resources"
+	"splidt/internal/trace"
+)
+
+// Figure7Result is the BO convergence curve: best feasible F1 through each
+// iteration.
+type Figure7Result struct {
+	Dataset trace.DatasetID
+	BestF1  []float64
+}
+
+// Figure7 runs the design search from scratch (no warm-start anchors — the
+// study measures how fast BO converges on its own) and records the curve.
+func Figure7(env *Env) Figure7Result {
+	prev := env.DisableWarmstart
+	env.DisableWarmstart = true
+	defer func() { env.DisableWarmstart = prev }()
+	res, _ := env.Search(bo.DefaultSpace())
+	return Figure7Result{Dataset: env.Dataset, BestF1: res.BestByIteration}
+}
+
+// ConvergedAt returns the first iteration (1-based) reaching within eps of
+// the final best, and the final best.
+func (r Figure7Result) ConvergedAt(eps float64) (int, float64) {
+	if len(r.BestF1) == 0 {
+		return 0, 0
+	}
+	final := r.BestF1[len(r.BestF1)-1]
+	for i, v := range r.BestF1 {
+		if v >= final-eps {
+			return i + 1, final
+		}
+	}
+	return len(r.BestF1), final
+}
+
+// Render prints the convergence series.
+func (r Figure7Result) Render() string {
+	t := newTable("Iteration", "Best F1")
+	for i, v := range r.BestF1 {
+		t.add(i+1, v)
+	}
+	it, final := r.ConvergedAt(0.005)
+	return fmt.Sprintf("Figure 7 — %v BO convergence (peak %.3f reached by iteration %d)\n%s",
+		r.Dataset, final, it, t)
+}
+
+// Table4Result is the per-iteration stage cost breakdown of the framework
+// (Table 4): dataset fetch, partitioned training, optimizer, rule
+// generation, and backend (resource estimation / feasibility).
+type Table4Result struct {
+	Dataset   trace.DatasetID
+	Fetch     time.Duration
+	Training  time.Duration
+	Optimizer time.Duration
+	Rulegen   time.Duration
+	Backend   time.Duration
+}
+
+// Total returns the summed per-iteration time.
+func (r Table4Result) Total() time.Duration {
+	return r.Fetch + r.Training + r.Optimizer + r.Rulegen + r.Backend
+}
+
+// Table4 times one representative iteration of the framework on a mid-size
+// configuration.
+func Table4(env *Env) (Table4Result, error) {
+	out := Table4Result{Dataset: env.Dataset}
+	p := bo.Point{Depth: 9, K: 4, Partitions: []int{3, 3, 3}}
+
+	start := time.Now()
+	train, test := env.Split(len(p.Partitions))
+	out.Fetch = time.Since(start)
+
+	start = time.Now()
+	m, err := core.Train(train, core.Config{
+		Partitions: p.Partitions, FeaturesPerSubtree: p.K, NumClasses: env.Classes,
+	})
+	if err != nil {
+		return out, fmt.Errorf("table4: %w", err)
+	}
+	for _, s := range test {
+		m.Classify(s.Windows)
+	}
+	out.Training = time.Since(start)
+
+	// Optimizer stage: one surrogate fit + acquisition over a synthetic
+	// history the size of a warm BO loop.
+	start = time.Now()
+	X := make([][]float64, 64)
+	y := make([]float64, 64)
+	for i := range X {
+		X[i] = []float64{float64(i % 30), float64(i % 7), float64(i % 5), 1, float64(i % 9)}
+		y[i] = float64(i%10) / 10
+	}
+	f := bo.FitForest(X, y, bo.DefaultForestConfig(), env.Seed)
+	for i := range X {
+		f.Predict(X[i])
+		f.Uncertainty(X[i])
+	}
+	out.Optimizer = time.Since(start)
+
+	start = time.Now()
+	c, err := rangemark.Compile(m)
+	if err != nil {
+		return out, fmt.Errorf("table4: %w", err)
+	}
+	out.Rulegen = time.Since(start)
+
+	start = time.Now()
+	u := resources.EstimateSpliDT(m, c, 500_000, trace.Webserver)
+	_ = env.Profile.Feasible(u)
+	out.Backend = time.Since(start)
+	return out, nil
+}
+
+// Render prints the stage timings in the paper's layout.
+func (r Table4Result) Render() string {
+	t := newTable("Stage", r.Dataset.String())
+	t.add("Fetch", r.Fetch.String())
+	t.add("Training", r.Training.String())
+	t.add("Optimizer", r.Optimizer.String())
+	t.add("Rulegen", r.Rulegen.String())
+	t.add("Backend", r.Backend.String())
+	t.add("Time", r.Total().String())
+	return fmt.Sprintf("Table 4 — average time per iteration across framework stages\n%s", t)
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"splidt/internal/bo"
+	"splidt/internal/trace"
+)
+
+// Fig8Series is one constrained frontier: the swept dimension's value plus
+// the best F1 at each flow target.
+type Fig8Series struct {
+	Value  int
+	Points []Figure2Point
+}
+
+// Figure8Result reproduces one panel of Figure 8: Pareto frontiers of
+// SpliDT under a fixed tree depth (a), fixed partition count (b), or fixed
+// features per subtree (c).
+type Figure8Result struct {
+	Dataset   trace.DatasetID
+	Dimension string // "depth", "partitions", or "features"
+	Series    []Fig8Series
+}
+
+// Figure8 sweeps the named dimension over the given values, running one
+// constrained design search per value.
+func Figure8(env *Env, dimension string, values []int) (Figure8Result, error) {
+	out := Figure8Result{Dataset: env.Dataset, Dimension: dimension}
+	for _, v := range values {
+		space := bo.DefaultSpace()
+		switch dimension {
+		case "depth":
+			space.FixedDepth = v
+		case "partitions":
+			space.FixedPartitions = v
+		case "features":
+			space.FixedK = v
+		default:
+			return out, fmt.Errorf("figure8: unknown dimension %q", dimension)
+		}
+		res, store := env.Search(space)
+		s := Fig8Series{Value: v}
+		for _, flows := range FlowTargets {
+			if tp, ok := BestAtFlows(res, store, flows); ok {
+				s.Points = append(s.Points, Figure2Point{Flows: flows, F1: tp.F1})
+			} else {
+				s.Points = append(s.Points, Figure2Point{Flows: flows, F1: 0})
+			}
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}
+
+// At returns the F1 of a series value at a flow target.
+func (r Figure8Result) At(value, flows int) (float64, bool) {
+	for _, s := range r.Series {
+		if s.Value != value {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.Flows == flows {
+				return p.F1, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Render prints the panel's series.
+func (r Figure8Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8 (%s) — %v Pareto frontiers under fixed %s\n",
+		r.Dimension, r.Dataset, r.Dimension)
+	header := []string{"#Flows"}
+	for _, s := range r.Series {
+		header = append(header, fmt.Sprintf("%s=%d", r.Dimension, s.Value))
+	}
+	t := newTable(header...)
+	for i, flows := range FlowTargets {
+		row := []interface{}{flowLabel(flows)}
+		for _, s := range r.Series {
+			row = append(row, s.Points[i].F1)
+		}
+		t.add(row...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

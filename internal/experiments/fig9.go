@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"splidt/internal/baselines"
+	"splidt/internal/bo"
+	"splidt/internal/trace"
+)
+
+// EntryPoint is one (TCAM entries, F1) measurement.
+type EntryPoint struct {
+	Entries int
+	F1      float64
+}
+
+// Figure9Result reproduces Figure 9: classification F1 as a function of
+// installed TCAM entries for SpliDT and the baselines.
+type Figure9Result struct {
+	Dataset trace.DatasetID
+	NB      []EntryPoint
+	Leo     []EntryPoint
+	SpliDT  []EntryPoint
+}
+
+// entryBudgets sweeps 10^1..10^5 in half-decades (the paper sweeps to 10^7;
+// rule counts saturate well before that on both sides).
+var entryBudgets = []int{10, 30, 100, 300, 1_000, 3_000, 10_000, 30_000, 100_000}
+
+// Figure9 sweeps TCAM entry budgets. Baselines re-run their design search
+// per budget; SpliDT's points come from its design-search evaluations
+// (each evaluated configuration contributes its own entry count).
+func Figure9(env *Env) (Figure9Result, error) {
+	out := Figure9Result{Dataset: env.Dataset}
+	trainS, testS := env.Split(1)
+
+	for _, budget := range entryBudgets {
+		nb, err := baselines.TrainNetBeacon(trainS, testS, baselines.Options{
+			Classes: env.Classes, FlowTarget: 100_000, Profile: env.Profile,
+			EntryBudget: budget,
+		})
+		if err == nil {
+			out.NB = append(out.NB, EntryPoint{Entries: nb.TCAMEntries, F1: nb.F1})
+		}
+		leo, err := baselines.TrainLeo(trainS, testS, baselines.Options{
+			Classes: env.Classes, FlowTarget: 100_000, Profile: env.Profile,
+			EntryBudget: budget,
+		})
+		if err == nil {
+			out.Leo = append(out.Leo, EntryPoint{Entries: leo.TCAMEntries, F1: leo.F1})
+		}
+	}
+
+	res, store := env.Search(bo.DefaultSpace())
+	for _, ev := range res.Evaluations {
+		if !ev.Feasible {
+			continue
+		}
+		v, ok := store.Load(pointID(ev.Point))
+		if !ok {
+			continue
+		}
+		tp := v.(TrainedPoint)
+		if tp.Compiled == nil {
+			continue
+		}
+		out.SpliDT = append(out.SpliDT, EntryPoint{Entries: tp.Compiled.Entries(), F1: tp.F1})
+	}
+	sortEntries(out.NB)
+	sortEntries(out.Leo)
+	sortEntries(out.SpliDT)
+	return out, nil
+}
+
+func sortEntries(ps []EntryPoint) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Entries < ps[j].Entries })
+}
+
+// BestUnder returns the best F1 among a system's points with at most the
+// given entry count.
+func BestUnder(ps []EntryPoint, entries int) float64 {
+	best := 0.0
+	for _, p := range ps {
+		if p.Entries <= entries && p.F1 > best {
+			best = p.F1
+		}
+	}
+	return best
+}
+
+// Render prints the per-system frontier of F1 against entries.
+func (r Figure9Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9 — %v F1 vs #TCAM entries\n", r.Dataset)
+	t := newTable("#Entries ≤", "NB", "Leo", "SpliDT")
+	for _, budget := range entryBudgets {
+		t.add(budget, BestUnder(r.NB, budget), BestUnder(r.Leo, budget), BestUnder(r.SpliDT, budget))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

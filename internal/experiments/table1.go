@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"splidt/internal/bo"
+	"splidt/internal/features"
+	"splidt/internal/resources"
+	"splidt/internal/trace"
+)
+
+// Table1Result reproduces Table 1 for one dataset: feature density across
+// partitions and subtrees of a trained SpliDT tree, and the maximum
+// recirculation bandwidth under the Webserver and Hadoop environments.
+type Table1Result struct {
+	Dataset trace.DatasetID
+
+	PerPartitionMean, PerPartitionStd float64
+	PerSubtreeMean, PerSubtreeStd     float64
+
+	// Recirculation bandwidth (Mbps, mean ± std) per environment at the
+	// representative 500K-flow operating point.
+	WSMean, WSStd float64
+	HDMean, HDStd float64
+
+	Partitions int
+	Subtrees   int
+}
+
+// Table1 trains a representative multi-partition configuration (the best
+// 500K-capable point of a small design search) and measures its feature
+// density and recirculation profile.
+func Table1(env *Env) (Table1Result, error) {
+	out := Table1Result{Dataset: env.Dataset}
+
+	res, store := env.Search(bo.DefaultSpace())
+	// Table 1 characterises partitioned trees, so prefer the best
+	// multi-partition point; fall back progressively.
+	tp, ok := bestPartitionedAtFlows(res, store, 500_000)
+	if !ok {
+		if tp, ok = BestAtFlows(res, store, 500_000); !ok {
+			if tp, ok = BestAtFlows(res, store, 1); !ok {
+				return out, fmt.Errorf("table1: no feasible configuration for %v", env.Dataset)
+			}
+		}
+	}
+	m := tp.Model
+	out.Partitions = m.NumPartitions()
+	out.Subtrees = len(m.Subtrees)
+	out.PerSubtreeMean, out.PerSubtreeStd, out.PerPartitionMean, out.PerPartitionStd =
+		m.FeatureDensity(features.NumStateful)
+
+	const flows = 500_000
+	wsm, wss := resources.EstimateRecirc(m, flows, trace.Webserver, env.Seed)
+	hdm, hds := resources.EstimateRecirc(m, flows, trace.Hadoop, env.Seed)
+	out.WSMean, out.WSStd = resources.Mbps(wsm), resources.Mbps(wss)
+	out.HDMean, out.HDStd = resources.Mbps(hdm), resources.Mbps(hds)
+	return out, nil
+}
+
+// Render prints the table row in the paper's format.
+func (r Table1Result) Render() string {
+	t := newTable("Data", "Density/Partition(%)", "Density/Subtree(%)", "WS (Mbps)", "HD (Mbps)")
+	t.add(r.Dataset.String(),
+		fmt.Sprintf("%.2f ± %.2f", r.PerPartitionMean, r.PerPartitionStd),
+		fmt.Sprintf("%.2f ± %.2f", r.PerSubtreeMean, r.PerSubtreeStd),
+		fmt.Sprintf("%.2f ± %.2f", r.WSMean, r.WSStd),
+		fmt.Sprintf("%.2f ± %.2f", r.HDMean, r.HDStd))
+	return fmt.Sprintf("Table 1 — feature density and recirculation bandwidth\n%s", t)
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"splidt/internal/bo"
+	"splidt/internal/resources"
+	"splidt/internal/trace"
+)
+
+// Table5Cell is one recirculation measurement (Mbps, mean ± std).
+type Table5Cell struct {
+	Flows      int
+	Mean, Std  float64
+	Partitions int
+}
+
+// Table5Result reproduces Table 5 for one dataset: maximum recirculation
+// bandwidth across environments and flow scales, using the partition count
+// of the best configuration at each scale (single-partition winners
+// recirculate nothing — the paper's 0.0 ± 0.0 rows).
+type Table5Result struct {
+	Dataset trace.DatasetID
+	WS, HD  []Table5Cell
+}
+
+// Table5 derives recirculation loads from the design search's per-target
+// winners.
+func Table5(env *Env) (Table5Result, error) {
+	out := Table5Result{Dataset: env.Dataset}
+	res, store := env.Search(bo.DefaultSpace())
+	for _, flows := range FlowTargets {
+		tp, ok := BestAtFlows(res, store, flows)
+		if !ok {
+			return out, fmt.Errorf("table5: no feasible config at %d flows", flows)
+		}
+		parts := tp.Model.NumPartitions()
+		for _, w := range trace.Workloads() {
+			mean, std := resources.RecircStats(flows, parts, w, env.Seed)
+			cell := Table5Cell{
+				Flows: flows, Partitions: parts,
+				Mean: resources.Mbps(mean), Std: resources.Mbps(std),
+			}
+			if w.Name == "WS" {
+				out.WS = append(out.WS, cell)
+			} else {
+				out.HD = append(out.HD, cell)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MaxMbps returns the largest mean cell across both environments.
+func (r Table5Result) MaxMbps() float64 {
+	m := 0.0
+	for _, c := range append(append([]Table5Cell(nil), r.WS...), r.HD...) {
+		if c.Mean > m {
+			m = c.Mean
+		}
+	}
+	return m
+}
+
+// Render prints the table in the paper's layout.
+func (r Table5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5 — %v max recirculation bandwidth (Mbps)\n", r.Dataset)
+	t := newTable("Env", "Data", "100K", "500K", "1M")
+	row := func(envName string, cells []Table5Cell) {
+		vals := make([]interface{}, 0, 5)
+		vals = append(vals, envName, r.Dataset.String())
+		for _, c := range cells {
+			vals = append(vals, fmt.Sprintf("%.1f ± %.1f", c.Mean, c.Std))
+		}
+		t.add(vals...)
+	}
+	row("WS", r.WS)
+	row("HD", r.HD)
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package features
+
+import (
+	"sort"
+
+	"splidt/internal/flow"
+	"splidt/internal/pkt"
+)
+
+// WindowVectors computes the per-window feature vectors of a single flow's
+// packets when the flow is divided into parts uniform windows — the
+// behaviour of the paper's modified CICFlowMeter, which emits statistics at
+// every window boundary and resets flow state afterwards (§5.1).
+//
+// Packets must belong to one flow (either direction) and be ordered by
+// timestamp. The returned slice has one vector per non-empty window, in
+// window order; flows shorter than parts packets produce fewer vectors.
+func WindowVectors(packets []pkt.Packet, parts int) []Vector {
+	if parts <= 0 {
+		panic("features: non-positive partition count")
+	}
+	if len(packets) == 0 {
+		return nil
+	}
+	var (
+		out   []Vector
+		state FlowState
+		cur   = 0
+	)
+	for _, p := range packets {
+		w := p.WindowOf(parts)
+		if w != cur {
+			if state.Packets() > 0 {
+				out = append(out, state.Snapshot())
+			}
+			state.Reset()
+			cur = w
+		}
+		state.Update(p)
+	}
+	if state.Packets() > 0 {
+		out = append(out, state.Snapshot())
+	}
+	return out
+}
+
+// WindowVectorsBounds is WindowVectors under non-uniform window boundaries
+// (adaptive window sizing, the paper's §6): the i-th window covers the flow
+// fraction (bounds[i-1], bounds[i]].
+func WindowVectorsBounds(packets []pkt.Packet, bounds pkt.Bounds) []Vector {
+	if !bounds.Valid() {
+		panic("features: invalid window bounds")
+	}
+	if len(packets) == 0 {
+		return nil
+	}
+	var (
+		out   []Vector
+		state FlowState
+		cur   = 0
+	)
+	for _, p := range packets {
+		w := p.WindowOfBounds(bounds)
+		if w != cur {
+			if state.Packets() > 0 {
+				out = append(out, state.Snapshot())
+			}
+			state.Reset()
+			cur = w
+		}
+		state.Update(p)
+	}
+	if state.Packets() > 0 {
+		out = append(out, state.Snapshot())
+	}
+	return out
+}
+
+// FlowVector computes the single whole-flow feature vector (parts = 1),
+// which is what one-shot systems such as NetBeacon and Leo would observe
+// with unlimited collection time.
+func FlowVector(packets []pkt.Packet) Vector {
+	vs := WindowVectors(packets, 1)
+	if len(vs) == 0 {
+		return Vector{}
+	}
+	return vs[0]
+}
+
+// PhaseVectors computes NetBeacon-style phase snapshots: cumulative feature
+// vectors after 2, 4, 8, ... packets (exponential phase intervals, §5.1).
+// Unlike SpliDT windows, flow statistics are retained across phases — no
+// state reset — so each snapshot covers the flow prefix. Returns at most
+// maxPhases snapshots; the final snapshot covers the largest power-of-two
+// prefix that fits the flow.
+func PhaseVectors(packets []pkt.Packet, maxPhases int) []Vector {
+	if maxPhases <= 0 {
+		panic("features: non-positive phase count")
+	}
+	if len(packets) == 0 {
+		return nil
+	}
+	var (
+		out      []Vector
+		state    FlowState
+		boundary = 2
+	)
+	for i, p := range packets {
+		state.Update(p)
+		if i+1 == boundary && len(out) < maxPhases {
+			out = append(out, state.Snapshot())
+			boundary *= 2
+		}
+	}
+	if len(out) == 0 {
+		// Flow shorter than the first phase: one snapshot at flow end.
+		out = append(out, state.Snapshot())
+	}
+	return out
+}
+
+// GroupByFlow splits an interleaved packet trace into per-flow packet
+// sequences keyed by canonical flow key, preserving arrival order within
+// each flow. Flows are returned in first-arrival order for determinism.
+func GroupByFlow(trace []pkt.Packet) []FlowPackets {
+	idx := make(map[flow.Key]int)
+	var out []FlowPackets
+	for _, p := range trace {
+		ck := p.Key.Canonical()
+		i, ok := idx[ck]
+		if !ok {
+			i = len(out)
+			idx[ck] = i
+			out = append(out, FlowPackets{Key: ck})
+		}
+		out[i].Packets = append(out[i].Packets, p)
+	}
+	return out
+}
+
+// FlowPackets is one flow's packets in arrival order.
+type FlowPackets struct {
+	Key     flow.Key
+	Packets []pkt.Packet
+}
+
+// SortByTS stably orders the packets by timestamp (traces from concurrent
+// generators may need re-ordering before feature extraction).
+func (f *FlowPackets) SortByTS() {
+	sort.SliceStable(f.Packets, func(i, j int) bool {
+		return f.Packets[i].TS < f.Packets[j].TS
+	})
+}

@@ -1,0 +1,172 @@
+// Package features implements SpliDT's feature collection and engineering
+// substrate: the vocabulary of stateful flow features (CICFlowMeter-style),
+// per-flow accumulator state, and windowed extraction with state reset at
+// window boundaries — the modified-CICFlowMeter behaviour described in §5.1
+// of the paper.
+//
+// Features are computed from integer accumulators exactly as a switch
+// register file would hold them; Snapshot scales everything into uint32
+// range so the same values can be matched by TCAM range rules.
+package features
+
+import "fmt"
+
+// ID identifies one feature in the vocabulary.
+type ID int
+
+// The feature vocabulary. N = 41 stateful features (matching dataset D1 in
+// the paper, where N=41) plus a handful of stateless per-packet fields used
+// by the per-packet (IIsy-style) baseline.
+const (
+	PktCount ID = iota // packets observed in window
+	ByteCount
+	MeanPktLen
+	MinPktLen
+	MaxPktLen
+	StdPktLen
+	Duration // window duration, microseconds
+	MeanIAT  // inter-arrival time stats, microseconds
+	MinIAT
+	MaxIAT
+	StdIAT
+	SYNCount
+	ACKCount
+	FINCount
+	RSTCount
+	PSHCount
+	URGCount
+	PktRate  // packets per second
+	ByteRate // bytes per second
+	FwdPktCount
+	BwdPktCount
+	FwdByteCount
+	BwdByteCount
+	FwdMeanLen
+	BwdMeanLen
+	DownUpRatio // bwd/fwd packet ratio, scaled by 100
+	FwdIATMean
+	BwdIATMean
+	SmallPktCount // len < 128
+	LargePktCount // len > 1000
+	FirstPktLen
+	LenRange // max-min
+	HdrByteCount
+	PayloadByteCount
+	MeanPayloadLen
+	BurstCount // runs of IAT < 1ms
+	IdleCount  // gaps of IAT > 100ms
+	FlagKinds  // number of distinct flag bits seen
+	AvgFwdSeg  // fwd bytes per fwd packet
+	AvgBwdSeg
+	ActMeanLen // mean length of packets with payload
+	// ---- stateless per-packet fields (not counted in NumStateful) ----
+	SrcPortField
+	DstPortField
+	ProtoField
+	PktLenField
+	FlagsField
+
+	numIDs
+)
+
+// NumStateful is the number of stateful features in the vocabulary (N).
+const NumStateful = int(SrcPortField)
+
+// NumTotal is the total vector width including stateless per-packet fields.
+const NumTotal = int(numIDs)
+
+var names = [...]string{
+	"pkt_count", "byte_count", "mean_pkt_len", "min_pkt_len", "max_pkt_len",
+	"std_pkt_len", "duration_us", "mean_iat_us", "min_iat_us", "max_iat_us",
+	"std_iat_us", "syn_count", "ack_count", "fin_count", "rst_count",
+	"psh_count", "urg_count", "pkt_rate", "byte_rate", "fwd_pkt_count",
+	"bwd_pkt_count", "fwd_byte_count", "bwd_byte_count", "fwd_mean_len",
+	"bwd_mean_len", "down_up_ratio", "fwd_iat_mean", "bwd_iat_mean",
+	"small_pkt_count", "large_pkt_count", "first_pkt_len", "len_range",
+	"hdr_byte_count", "payload_byte_count", "mean_payload_len", "burst_count",
+	"idle_count", "flag_kinds", "avg_fwd_seg", "avg_bwd_seg", "act_mean_len",
+	"src_port", "dst_port", "proto", "pkt_len", "flags",
+}
+
+// String returns the feature's snake_case name.
+func (id ID) String() string {
+	if id < 0 || int(id) >= len(names) {
+		return fmt.Sprintf("feature(%d)", int(id))
+	}
+	return names[id]
+}
+
+// Stateless reports whether the feature is a per-packet header field that
+// needs no register state (usable by IIsy/Mousika-style models).
+func (id ID) Stateless() bool { return id >= SrcPortField && id < numIDs }
+
+// DependencyDepth returns the length of the register dependency chain needed
+// to compute the feature in the data plane (§3.1.1): 0 for stateless fields,
+// 1 for simple accumulators, 2 for features needing a carried intermediate
+// (e.g. previous timestamp for IATs), 3 for second-moment statistics that
+// additionally carry a sum of squares. The paper reports a maximum observed
+// chain of 3 stages.
+func (id ID) DependencyDepth() int {
+	switch {
+	case id.Stateless():
+		return 0
+	case id == StdPktLen || id == StdIAT:
+		return 3
+	case id == MeanIAT || id == MinIAT || id == MaxIAT ||
+		id == FwdIATMean || id == BwdIATMean || id == BurstCount || id == IdleCount:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// AllStateful returns the stateful feature IDs in order.
+func AllStateful() []ID {
+	out := make([]ID, NumStateful)
+	for i := range out {
+		out[i] = ID(i)
+	}
+	return out
+}
+
+// AllStateless returns the stateless per-packet field IDs.
+func AllStateless() []ID {
+	out := make([]ID, 0, NumTotal-NumStateful)
+	for i := NumStateful; i < NumTotal; i++ {
+		out = append(out, ID(i))
+	}
+	return out
+}
+
+// Vector is one feature vector: NumTotal values, indexed by ID. Values are
+// non-negative and bounded by MaxValue so they fit the switch's 32-bit
+// registers and TCAM match keys.
+type Vector [NumTotal]float64
+
+// MaxValue is the largest representable feature value (32-bit register).
+const MaxValue = float64(1<<32 - 1)
+
+// Quantize reduces every component to the given bit precision by dropping
+// low-order bits of the 32-bit fixed-point representation, modelling the
+// reduced-precision registers of Figure 12. bits must be in (0, 32].
+func (v Vector) Quantize(bits int) Vector {
+	if bits <= 0 || bits > 32 {
+		panic("features: bits out of range")
+	}
+	if bits == 32 {
+		return v
+	}
+	shift := uint(32 - bits)
+	var out Vector
+	for i, x := range v {
+		if x < 0 {
+			x = 0
+		}
+		if x > MaxValue {
+			x = MaxValue
+		}
+		u := uint64(x)
+		out[i] = float64(u >> shift << shift)
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+package features
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"splidt/internal/flow"
+	"splidt/internal/pkt"
+)
+
+func mkKey() flow.Key {
+	return flow.Key{
+		SrcIP: flow.AddrFrom4(10, 0, 0, 1), DstIP: flow.AddrFrom4(10, 0, 0, 2),
+		SrcPort: 1000, DstPort: 80, Proto: flow.ProtoTCP,
+	}
+}
+
+func mkFlow(n int, lens []int, gap time.Duration) []pkt.Packet {
+	k := mkKey()
+	out := make([]pkt.Packet, n)
+	for i := range out {
+		l := 100
+		if lens != nil {
+			l = lens[i%len(lens)]
+		}
+		out[i] = pkt.Packet{
+			Key: k, Len: l, TS: time.Duration(i) * gap,
+			Seq: i + 1, FlowSize: n,
+		}
+	}
+	return out
+}
+
+func TestVocabularySizes(t *testing.T) {
+	if NumStateful != 41 {
+		t.Fatalf("NumStateful = %d, want 41 (paper's N for D1)", NumStateful)
+	}
+	if NumTotal != NumStateful+5 {
+		t.Fatalf("NumTotal = %d, want %d", NumTotal, NumStateful+5)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < NumTotal; i++ {
+		n := ID(i).String()
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestStatelessPartition(t *testing.T) {
+	for _, id := range AllStateful() {
+		if id.Stateless() {
+			t.Errorf("%v reported stateless", id)
+		}
+	}
+	for _, id := range AllStateless() {
+		if !id.Stateless() {
+			t.Errorf("%v reported stateful", id)
+		}
+		if id.DependencyDepth() != 0 {
+			t.Errorf("%v stateless but depth %d", id, id.DependencyDepth())
+		}
+	}
+}
+
+func TestDependencyDepthBounds(t *testing.T) {
+	maxDepth := 0
+	for i := 0; i < NumTotal; i++ {
+		d := ID(i).DependencyDepth()
+		if d < 0 || d > 3 {
+			t.Fatalf("%v depth %d out of [0,3]", ID(i), d)
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth != 3 {
+		t.Fatalf("max dependency depth = %d, want 3 (paper §3.1.1)", maxDepth)
+	}
+}
+
+func TestBasicCounts(t *testing.T) {
+	ps := mkFlow(10, []int{100, 200}, time.Millisecond)
+	var s FlowState
+	for _, p := range ps {
+		s.Update(p)
+	}
+	v := s.Snapshot()
+	if v[PktCount] != 10 {
+		t.Errorf("pkt_count = %v, want 10", v[PktCount])
+	}
+	if v[ByteCount] != 1500 {
+		t.Errorf("byte_count = %v, want 1500", v[ByteCount])
+	}
+	if v[MinPktLen] != 100 || v[MaxPktLen] != 200 {
+		t.Errorf("min/max = %v/%v, want 100/200", v[MinPktLen], v[MaxPktLen])
+	}
+	if v[MeanPktLen] != 150 {
+		t.Errorf("mean = %v, want 150", v[MeanPktLen])
+	}
+	if v[LenRange] != 100 {
+		t.Errorf("len_range = %v, want 100", v[LenRange])
+	}
+	if v[FirstPktLen] != 100 {
+		t.Errorf("first_len = %v, want 100", v[FirstPktLen])
+	}
+}
+
+func TestIATStats(t *testing.T) {
+	ps := mkFlow(5, nil, 2*time.Millisecond)
+	var s FlowState
+	for _, p := range ps {
+		s.Update(p)
+	}
+	v := s.Snapshot()
+	if v[MeanIAT] != 2000 {
+		t.Errorf("mean_iat = %v us, want 2000", v[MeanIAT])
+	}
+	if v[MinIAT] != 2000 || v[MaxIAT] != 2000 {
+		t.Errorf("min/max iat = %v/%v, want 2000", v[MinIAT], v[MaxIAT])
+	}
+	if v[StdIAT] != 0 {
+		t.Errorf("std_iat = %v, want 0 for uniform gaps", v[StdIAT])
+	}
+	if v[Duration] != 8000 {
+		t.Errorf("duration = %v us, want 8000", v[Duration])
+	}
+}
+
+func TestFlagCounts(t *testing.T) {
+	k := mkKey()
+	var s FlowState
+	s.Update(pkt.Packet{Key: k, Len: 60, Flags: pkt.FlagSYN, Seq: 1, FlowSize: 3})
+	s.Update(pkt.Packet{Key: k, Len: 60, Flags: pkt.FlagSYN | pkt.FlagACK, Seq: 2, FlowSize: 3})
+	s.Update(pkt.Packet{Key: k, Len: 60, Flags: pkt.FlagFIN | pkt.FlagACK, Seq: 3, FlowSize: 3})
+	v := s.Snapshot()
+	if v[SYNCount] != 2 || v[ACKCount] != 2 || v[FINCount] != 1 {
+		t.Errorf("syn/ack/fin = %v/%v/%v, want 2/2/1", v[SYNCount], v[ACKCount], v[FINCount])
+	}
+	if v[FlagKinds] != 3 {
+		t.Errorf("flag_kinds = %v, want 3", v[FlagKinds])
+	}
+}
+
+func TestDirectionalCounters(t *testing.T) {
+	k := mkKey() // canonical (10.0.0.1 < 10.0.0.2)
+	if !k.IsCanonical() {
+		t.Fatal("test key must be canonical")
+	}
+	var s FlowState
+	s.Update(pkt.Packet{Key: k, Len: 100, Seq: 1, FlowSize: 4})
+	s.Update(pkt.Packet{Key: k.Reverse(), Len: 400, TS: time.Millisecond, Seq: 2, FlowSize: 4})
+	s.Update(pkt.Packet{Key: k, Len: 100, TS: 2 * time.Millisecond, Seq: 3, FlowSize: 4})
+	s.Update(pkt.Packet{Key: k.Reverse(), Len: 600, TS: 3 * time.Millisecond, Seq: 4, FlowSize: 4})
+	v := s.Snapshot()
+	if v[FwdPktCount] != 2 || v[BwdPktCount] != 2 {
+		t.Errorf("fwd/bwd pkts = %v/%v, want 2/2", v[FwdPktCount], v[BwdPktCount])
+	}
+	if v[FwdByteCount] != 200 || v[BwdByteCount] != 1000 {
+		t.Errorf("fwd/bwd bytes = %v/%v, want 200/1000", v[FwdByteCount], v[BwdByteCount])
+	}
+	if v[BwdMeanLen] != 500 {
+		t.Errorf("bwd_mean_len = %v, want 500", v[BwdMeanLen])
+	}
+	if v[DownUpRatio] != 100 {
+		t.Errorf("down_up_ratio = %v, want 100 (scaled)", v[DownUpRatio])
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	var s FlowState
+	for _, p := range mkFlow(5, nil, time.Millisecond) {
+		s.Update(p)
+	}
+	s.Reset()
+	if s.Packets() != 0 {
+		t.Fatal("Reset left packets")
+	}
+	v := s.Snapshot()
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("feature %v nonzero after reset: %v", ID(i), x)
+		}
+	}
+}
+
+func TestWindowVectorsCount(t *testing.T) {
+	ps := mkFlow(12, nil, time.Millisecond)
+	vs := WindowVectors(ps, 3)
+	if len(vs) != 3 {
+		t.Fatalf("got %d windows, want 3", len(vs))
+	}
+	for i, v := range vs {
+		if v[PktCount] != 4 {
+			t.Errorf("window %d pkt_count = %v, want 4", i, v[PktCount])
+		}
+	}
+}
+
+func TestWindowVectorsShortFlow(t *testing.T) {
+	ps := mkFlow(2, nil, time.Millisecond)
+	vs := WindowVectors(ps, 5)
+	if len(vs) == 0 || len(vs) > 5 {
+		t.Fatalf("short flow produced %d windows", len(vs))
+	}
+	total := 0.0
+	for _, v := range vs {
+		total += v[PktCount]
+	}
+	if total != 2 {
+		t.Fatalf("windows cover %v packets, want 2", total)
+	}
+}
+
+func TestWindowVectorsResetBetweenWindows(t *testing.T) {
+	// Lengths differ per window; each window's max must reflect only its own.
+	k := mkKey()
+	ps := []pkt.Packet{
+		{Key: k, Len: 1000, Seq: 1, FlowSize: 4},
+		{Key: k, Len: 1000, TS: time.Millisecond, Seq: 2, FlowSize: 4},
+		{Key: k, Len: 100, TS: 2 * time.Millisecond, Seq: 3, FlowSize: 4},
+		{Key: k, Len: 100, TS: 3 * time.Millisecond, Seq: 4, FlowSize: 4},
+	}
+	vs := WindowVectors(ps, 2)
+	if len(vs) != 2 {
+		t.Fatalf("got %d windows, want 2", len(vs))
+	}
+	if vs[0][MaxPktLen] != 1000 || vs[1][MaxPktLen] != 100 {
+		t.Fatalf("window maxes = %v/%v, want 1000/100 (state leaked)", vs[0][MaxPktLen], vs[1][MaxPktLen])
+	}
+}
+
+func TestFlowVectorEqualsSinglePartition(t *testing.T) {
+	ps := mkFlow(9, []int{80, 120, 1500}, time.Millisecond)
+	fv := FlowVector(ps)
+	wv := WindowVectors(ps, 1)
+	if len(wv) != 1 || fv != wv[0] {
+		t.Fatal("FlowVector != WindowVectors(_, 1)[0]")
+	}
+}
+
+func TestGroupByFlow(t *testing.T) {
+	k1 := mkKey()
+	k2 := k1
+	k2.DstPort = 443
+	trace := []pkt.Packet{
+		{Key: k1, Len: 10, Seq: 1, FlowSize: 2},
+		{Key: k2, Len: 20, Seq: 1, FlowSize: 1},
+		{Key: k1.Reverse(), Len: 30, Seq: 2, FlowSize: 2},
+	}
+	fs := GroupByFlow(trace)
+	if len(fs) != 2 {
+		t.Fatalf("got %d flows, want 2", len(fs))
+	}
+	if len(fs[0].Packets) != 2 {
+		t.Fatalf("flow 1 has %d packets, want 2 (reverse direction merged)", len(fs[0].Packets))
+	}
+	if fs[0].Key != k1.Canonical() {
+		t.Fatalf("flow key not canonical: %v", fs[0].Key)
+	}
+}
+
+func TestSnapshotNonNegativeProperty(t *testing.T) {
+	f := func(lens []uint16, gapsMS []uint8) bool {
+		if len(lens) == 0 {
+			return true
+		}
+		k := mkKey()
+		var s FlowState
+		ts := time.Duration(0)
+		for i, l := range lens {
+			if len(gapsMS) > 0 {
+				ts += time.Duration(gapsMS[i%len(gapsMS)]) * time.Millisecond
+			}
+			s.Update(pkt.Packet{Key: k, Len: int(l%3000) + 40, TS: ts, Seq: i + 1, FlowSize: len(lens)})
+		}
+		v := s.Snapshot()
+		for _, x := range v {
+			if x < 0 || x > MaxValue {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	var v Vector
+	v[PktCount] = 0xFFFF
+	q := v.Quantize(8)
+	// 8-bit precision keeps top 8 bits of 32: 0xFFFF >> 24 == 0, so value
+	// quantises to 0? No: shift = 24, 0xFFFF>>24<<24 = 0.
+	if q[PktCount] != 0 {
+		t.Fatalf("quantize(8) of 0xFFFF = %v, want 0", q[PktCount])
+	}
+	v[PktCount] = float64(0xFF000000)
+	q = v.Quantize(8)
+	if q[PktCount] != float64(0xFF000000) {
+		t.Fatalf("quantize(8) dropped significant bits: %v", q[PktCount])
+	}
+	if v.Quantize(32) != v {
+		t.Fatal("quantize(32) must be identity")
+	}
+}
+
+func TestQuantizeMonotoneProperty(t *testing.T) {
+	f := func(x uint32, bits uint8) bool {
+		b := int(bits%32) + 1
+		var v Vector
+		v[0] = float64(x)
+		q := v.Quantize(b)[0]
+		return q <= float64(x) && q >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantize(0) did not panic")
+		}
+	}()
+	(Vector{}).Quantize(0)
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	ps := mkFlow(64, []int{100, 1500, 40}, 100*time.Microsecond)
+	var s FlowState
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Update(ps[i%len(ps)])
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	var s FlowState
+	for _, p := range mkFlow(64, []int{100, 1500, 40}, 100*time.Microsecond) {
+		s.Update(p)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Snapshot()
+	}
+}

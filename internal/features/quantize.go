@@ -1,0 +1,112 @@
+package features
+
+import "math"
+
+// Per-feature quantisation: when a deployment narrows registers to b bits
+// (Figure 12), the compiler scales each feature into its register by a
+// per-feature right shift chosen from the training range — exactly how a
+// switch program would pack a wide counter into a narrow register. The
+// quantised value keeps its original scale in software (low bits zeroed),
+// while the data plane stores value >> shift in a b-bit field.
+
+// ComputeShifts returns, for each column of the training rows, the right
+// shift that fits the column's observed range into bits-wide registers with
+// one bit of headroom: shift = max(0, bitlen(maxValue)+1 − bits). The
+// headroom keeps register saturation equivalent between software and
+// hardware: any test-time value that saturates the register is provably
+// above every trained threshold, so both representations route it right.
+func ComputeShifts(rows [][]float64, bits int) []uint {
+	if bits < 1 || bits > 32 {
+		panic("features: bits out of range")
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	width := len(rows[0])
+	shifts := make([]uint, width)
+	for f := 0; f < width; f++ {
+		maxV := uint64(0)
+		for _, r := range rows {
+			v := floorU64(r[f])
+			if v > maxV {
+				maxV = v
+			}
+		}
+		bl := bitLen(maxV) + 1
+		if bl > bits {
+			shifts[f] = uint(bl - bits)
+		}
+	}
+	return shifts
+}
+
+// ApplyShift quantises one value to the precision implied by the shift,
+// keeping its scale: floor(v) with the low `shift` bits zeroed.
+func ApplyShift(v float64, shift uint) float64 {
+	if shift == 0 {
+		return math.Floor(clampToU32Range(v))
+	}
+	u := floorU64(v)
+	return float64(u >> shift << shift)
+}
+
+// QuantizeRow applies per-feature shifts to a full row in place-free style.
+func QuantizeRow(row []float64, shifts []uint) []float64 {
+	if len(shifts) == 0 {
+		return row
+	}
+	out := make([]float64, len(row))
+	for i, v := range row {
+		s := uint(0)
+		if i < len(shifts) {
+			s = shifts[i]
+		}
+		out[i] = ApplyShift(v, s)
+	}
+	return out
+}
+
+// RegValue maps a (possibly already quantised) value to its register
+// representation: floor(v) >> shift, saturating at the bits-wide maximum —
+// test-time values beyond the training range clamp, as hardware would.
+func RegValue(v float64, shift uint, bits int) uint32 {
+	u := floorU64(v) >> shift
+	lim := uint64(1)<<uint(bits) - 1
+	if bits >= 32 {
+		lim = 1<<32 - 1
+	}
+	if u > lim {
+		u = lim
+	}
+	return uint32(u)
+}
+
+func floorU64(v float64) uint64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	f := math.Floor(v)
+	if f > float64(^uint32(0)) {
+		return uint64(^uint32(0))
+	}
+	return uint64(f)
+}
+
+func clampToU32Range(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > MaxValue {
+		return MaxValue
+	}
+	return v
+}
+
+func bitLen(v uint64) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+package features
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeShifts(t *testing.T) {
+	rows := [][]float64{
+		{1000, 3, 0},
+		{70000, 5, 0},
+	}
+	s := ComputeShifts(rows, 8)
+	// Column 0: max 70000 → bitlen 17 (+1 headroom) → shift 10.
+	if s[0] != 10 {
+		t.Fatalf("shift[0] = %d, want 10", s[0])
+	}
+	// Column 1: max 5 → bitlen 3 (+1) ≤ 8 → shift 0.
+	if s[1] != 0 {
+		t.Fatalf("shift[1] = %d, want 0", s[1])
+	}
+	// Column 2: all zero → shift 0.
+	if s[2] != 0 {
+		t.Fatalf("shift[2] = %d, want 0", s[2])
+	}
+}
+
+func TestComputeShiftsEmpty(t *testing.T) {
+	if ComputeShifts(nil, 8) != nil {
+		t.Fatal("empty rows should return nil")
+	}
+}
+
+func TestComputeShiftsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bits=0 did not panic")
+		}
+	}()
+	ComputeShifts([][]float64{{1}}, 0)
+}
+
+func TestApplyShift(t *testing.T) {
+	if got := ApplyShift(1023, 4); got != 1008 {
+		t.Fatalf("ApplyShift(1023,4) = %v, want 1008", got)
+	}
+	if got := ApplyShift(77.9, 0); got != 77 {
+		t.Fatalf("ApplyShift(77.9,0) = %v, want 77", got)
+	}
+	if got := ApplyShift(-5, 3); got != 0 {
+		t.Fatalf("negative input should clamp to 0, got %v", got)
+	}
+}
+
+func TestQuantizeRow(t *testing.T) {
+	row := []float64{100, 200, 300}
+	out := QuantizeRow(row, []uint{0, 4, 8})
+	if out[0] != 100 || out[1] != 192 || out[2] != 256 {
+		t.Fatalf("QuantizeRow = %v", out)
+	}
+	// nil shifts: identity (same slice allowed).
+	same := QuantizeRow(row, nil)
+	if &same[0] != &row[0] {
+		t.Fatal("nil shifts should return the input row")
+	}
+}
+
+func TestRegValue(t *testing.T) {
+	if got := RegValue(1023, 4, 8); got != 63 {
+		t.Fatalf("RegValue(1023,4,8) = %d, want 63", got)
+	}
+	// Saturation at the field limit.
+	if got := RegValue(1e9, 0, 8); got != 255 {
+		t.Fatalf("RegValue must saturate at 255, got %d", got)
+	}
+	if got := RegValue(-3, 2, 8); got != 0 {
+		t.Fatalf("negative RegValue = %d", got)
+	}
+}
+
+// TestShiftComparisonEquivalence is the property the data plane relies on:
+// for thresholds drawn between quantised training values, comparing
+// quantised values against the threshold equals comparing register values
+// against the shifted threshold.
+func TestShiftComparisonEquivalence(t *testing.T) {
+	f := func(raw uint32, thrRaw uint32, shift8 uint8, bits8 uint8) bool {
+		bits := int(bits8%24) + 8 // 8..31
+		shift := uint(shift8 % 16)
+		v := ApplyShift(float64(raw), shift)
+		// Threshold as a midpoint between two quantised values.
+		a := ApplyShift(float64(thrRaw), shift)
+		thr := a + float64(uint64(1)<<shift)/2
+		soft := v <= thr
+		hard := RegValue(v, shift, bits) <= RegValue(thr, shift, bits)
+		// Saturation can diverge only when both sides saturate; with both
+		// saturated the comparison is <= and equality holds on the hard
+		// side. Accept the case where both saturate.
+		lim := uint32(1)<<uint(bits) - 1
+		if RegValue(v, shift, bits) == lim && RegValue(thr, shift, bits) == lim {
+			return true
+		}
+		return soft == hard
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyShiftIdempotent(t *testing.T) {
+	f := func(raw uint32, shift8 uint8) bool {
+		shift := uint(shift8 % 20)
+		once := ApplyShift(float64(raw), shift)
+		twice := ApplyShift(once, shift)
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+package features
+
+import (
+	"math"
+	"time"
+
+	"splidt/internal/flow"
+	"splidt/internal/pkt"
+)
+
+// FlowState accumulates the per-flow register state needed to compute every
+// stateful feature over the current window. Its fields correspond one-to-one
+// to register arrays in the data plane: simple counters, a dependency chain
+// (previous timestamp), and second-moment accumulators.
+//
+// The zero FlowState is ready for the first packet of a window.
+type FlowState struct {
+	pkts     int
+	bytes    int
+	hdrBytes int
+	payBytes int
+
+	minLen, maxLen  int
+	sumLen, sumLen2 float64
+	firstLen        int
+
+	firstTS, lastTS time.Duration
+	haveTS          bool
+
+	sumIAT, sumIAT2 float64
+	minIAT, maxIAT  time.Duration
+	iatCount        int
+	bursts, idles   int
+
+	syn, ack, fin, rst, psh, urg int
+	flagBits                     pkt.TCPFlags
+
+	fwdPkts, bwdPkts     int
+	fwdBytes, bwdBytes   int
+	fwdLastTS, bwdLastTS time.Duration
+	fwdHaveTS, bwdHaveTS bool
+	fwdSumIAT, bwdSumIAT float64
+	fwdIATs, bwdIATs     int
+
+	small, large int
+	actPkts      int
+	actBytes     int
+
+	// lastPkt mirrors the PHV fields of the most recent packet so stateless
+	// features can be read out of the same snapshot.
+	lastKey   flow.Key
+	lastLen   int
+	lastFlags pkt.TCPFlags
+}
+
+const (
+	burstIAT = 1 * time.Millisecond
+	idleIAT  = 100 * time.Millisecond
+)
+
+// Update folds one packet into the window state. Forward direction is the
+// canonical orientation of the flow key (CICFlowMeter uses first-packet
+// direction; canonical orientation is equivalent for synthetic traces where
+// the initiator always compares lower).
+func (s *FlowState) Update(p pkt.Packet) {
+	s.pkts++
+	s.bytes += p.Len
+	hdr := pkt.HeaderBytes
+	if hdr > p.Len {
+		hdr = p.Len
+	}
+	s.hdrBytes += hdr
+	pay := p.Len - hdr
+	s.payBytes += pay
+	if pay > 0 {
+		s.actPkts++
+		s.actBytes += p.Len
+	}
+
+	if s.pkts == 1 {
+		s.minLen, s.maxLen, s.firstLen = p.Len, p.Len, p.Len
+		s.firstTS = p.TS
+	} else {
+		if p.Len < s.minLen {
+			s.minLen = p.Len
+		}
+		if p.Len > s.maxLen {
+			s.maxLen = p.Len
+		}
+	}
+	s.sumLen += float64(p.Len)
+	s.sumLen2 += float64(p.Len) * float64(p.Len)
+
+	if s.haveTS {
+		iat := p.TS - s.lastTS
+		if iat < 0 {
+			iat = 0
+		}
+		if s.iatCount == 0 {
+			s.minIAT, s.maxIAT = iat, iat
+		} else {
+			if iat < s.minIAT {
+				s.minIAT = iat
+			}
+			if iat > s.maxIAT {
+				s.maxIAT = iat
+			}
+		}
+		us := float64(iat) / float64(time.Microsecond)
+		s.sumIAT += us
+		s.sumIAT2 += us * us
+		s.iatCount++
+		if iat < burstIAT {
+			s.bursts++
+		}
+		if iat > idleIAT {
+			s.idles++
+		}
+	}
+	s.lastTS = p.TS
+	s.haveTS = true
+
+	if p.Flags.Has(pkt.FlagSYN) {
+		s.syn++
+	}
+	if p.Flags.Has(pkt.FlagACK) {
+		s.ack++
+	}
+	if p.Flags.Has(pkt.FlagFIN) {
+		s.fin++
+	}
+	if p.Flags.Has(pkt.FlagRST) {
+		s.rst++
+	}
+	if p.Flags.Has(pkt.FlagPSH) {
+		s.psh++
+	}
+	if p.Flags.Has(pkt.FlagURG) {
+		s.urg++
+	}
+	s.flagBits |= p.Flags
+
+	fwd := p.Key.IsCanonical()
+	if fwd {
+		s.fwdPkts++
+		s.fwdBytes += p.Len
+		if s.fwdHaveTS {
+			s.fwdSumIAT += float64(p.TS-s.fwdLastTS) / float64(time.Microsecond)
+			s.fwdIATs++
+		}
+		s.fwdLastTS, s.fwdHaveTS = p.TS, true
+	} else {
+		s.bwdPkts++
+		s.bwdBytes += p.Len
+		if s.bwdHaveTS {
+			s.bwdSumIAT += float64(p.TS-s.bwdLastTS) / float64(time.Microsecond)
+			s.bwdIATs++
+		}
+		s.bwdLastTS, s.bwdHaveTS = p.TS, true
+	}
+
+	if p.Len < 128 {
+		s.small++
+	}
+	if p.Len > 1000 {
+		s.large++
+	}
+
+	s.lastKey = p.Key
+	s.lastLen = p.Len
+	s.lastFlags = p.Flags
+}
+
+// Reset clears the window state, as the recirculated control packet does
+// when transitioning to the next partition.
+func (s *FlowState) Reset() { *s = FlowState{} }
+
+// Packets returns the number of packets folded into the current window.
+func (s *FlowState) Packets() int { return s.pkts }
+
+// clampNonNeg clamps into [0, MaxValue] and floors to a whole number:
+// switch registers hold unsigned integers, and integer-valued features make
+// software classification exactly equivalent to TCAM range matching on the
+// 32-bit register contents.
+func clampNonNeg(x float64) float64 {
+	if x < 0 || math.IsNaN(x) {
+		return 0
+	}
+	if x > MaxValue {
+		return MaxValue
+	}
+	return math.Floor(x)
+}
+
+func mean(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func std(sum, sum2 float64, n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	m := sum / float64(n)
+	v := sum2/float64(n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Snapshot materialises the full feature vector for the current window.
+func (s *FlowState) Snapshot() Vector {
+	var v Vector
+	durUS := float64(s.lastTS-s.firstTS) / float64(time.Microsecond)
+	if s.pkts == 0 {
+		durUS = 0
+	}
+
+	v[PktCount] = float64(s.pkts)
+	v[ByteCount] = float64(s.bytes)
+	v[MeanPktLen] = mean(s.sumLen, s.pkts)
+	v[MinPktLen] = float64(s.minLen)
+	v[MaxPktLen] = float64(s.maxLen)
+	v[StdPktLen] = std(s.sumLen, s.sumLen2, s.pkts)
+	v[Duration] = durUS
+	v[MeanIAT] = mean(s.sumIAT, s.iatCount)
+	v[MinIAT] = float64(s.minIAT) / float64(time.Microsecond)
+	v[MaxIAT] = float64(s.maxIAT) / float64(time.Microsecond)
+	v[StdIAT] = std(s.sumIAT, s.sumIAT2, s.iatCount)
+	v[SYNCount] = float64(s.syn)
+	v[ACKCount] = float64(s.ack)
+	v[FINCount] = float64(s.fin)
+	v[RSTCount] = float64(s.rst)
+	v[PSHCount] = float64(s.psh)
+	v[URGCount] = float64(s.urg)
+	if durUS > 0 {
+		v[PktRate] = float64(s.pkts) / (durUS / 1e6)
+		v[ByteRate] = float64(s.bytes) / (durUS / 1e6)
+	}
+	v[FwdPktCount] = float64(s.fwdPkts)
+	v[BwdPktCount] = float64(s.bwdPkts)
+	v[FwdByteCount] = float64(s.fwdBytes)
+	v[BwdByteCount] = float64(s.bwdBytes)
+	if s.fwdPkts > 0 {
+		v[FwdMeanLen] = float64(s.fwdBytes) / float64(s.fwdPkts)
+		v[AvgFwdSeg] = v[FwdMeanLen]
+	}
+	if s.bwdPkts > 0 {
+		v[BwdMeanLen] = float64(s.bwdBytes) / float64(s.bwdPkts)
+		v[AvgBwdSeg] = v[BwdMeanLen]
+	}
+	if s.fwdPkts > 0 {
+		v[DownUpRatio] = 100 * float64(s.bwdPkts) / float64(s.fwdPkts)
+	}
+	v[FwdIATMean] = mean(s.fwdSumIAT, s.fwdIATs)
+	v[BwdIATMean] = mean(s.bwdSumIAT, s.bwdIATs)
+	v[SmallPktCount] = float64(s.small)
+	v[LargePktCount] = float64(s.large)
+	v[FirstPktLen] = float64(s.firstLen)
+	v[LenRange] = float64(s.maxLen - s.minLen)
+	v[HdrByteCount] = float64(s.hdrBytes)
+	v[PayloadByteCount] = float64(s.payBytes)
+	v[MeanPayloadLen] = mean(float64(s.payBytes), s.pkts)
+	v[BurstCount] = float64(s.bursts)
+	v[IdleCount] = float64(s.idles)
+	bits := 0
+	for b := pkt.TCPFlags(1); b != 0; b <<= 1 {
+		if s.flagBits.Has(b) {
+			bits++
+		}
+	}
+	v[FlagKinds] = float64(bits)
+	if s.actPkts > 0 {
+		v[ActMeanLen] = float64(s.actBytes) / float64(s.actPkts)
+	}
+
+	v[SrcPortField] = float64(s.lastKey.SrcPort)
+	v[DstPortField] = float64(s.lastKey.DstPort)
+	v[ProtoField] = float64(s.lastKey.Proto)
+	v[PktLenField] = float64(s.lastLen)
+	v[FlagsField] = float64(s.lastFlags)
+
+	for i := range v {
+		v[i] = clampNonNeg(v[i])
+	}
+	return v
+}

@@ -1,0 +1,131 @@
+// Package flow defines flow identities for the data plane: 5-tuples,
+// direction-normalised keys, and the CRC32-based register indexing used by
+// SpliDT to locate per-flow state in switch register arrays.
+//
+// The design follows the gopacket Flow/Endpoint idiom: keys are fixed-size
+// comparable values (usable as map keys, no allocation on construction) and
+// carry a fast non-cryptographic hash for load balancing and register
+// indexing.
+package flow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Proto is an IP protocol number.
+type Proto uint8
+
+// Protocol numbers used by the traffic generators and parsers.
+const (
+	ProtoTCP  Proto = 6
+	ProtoUDP  Proto = 17
+	ProtoICMP Proto = 1
+)
+
+// String returns the conventional protocol name.
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	case ProtoICMP:
+		return "icmp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Addr is an IPv4 address in host byte order. A fixed-width integer keeps
+// Key comparable and hashable without allocation.
+type Addr uint32
+
+// AddrFrom4 builds an Addr from dotted-quad octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// String renders the address in dotted-quad form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Key is a 5-tuple flow identity. It is comparable, so it can serve directly
+// as a map key; the zero Key is invalid (protocol 0).
+type Key struct {
+	SrcIP   Addr
+	DstIP   Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   Proto
+}
+
+// String renders the key as "proto src:port>dst:port".
+func (k Key) String() string {
+	return fmt.Sprintf("%s %s:%d>%s:%d", k.Proto, k.SrcIP, k.SrcPort, k.DstIP, k.DstPort)
+}
+
+// Reverse returns the key of the opposite direction.
+func (k Key) Reverse() Key {
+	return Key{
+		SrcIP:   k.DstIP,
+		DstIP:   k.SrcIP,
+		SrcPort: k.DstPort,
+		DstPort: k.SrcPort,
+		Proto:   k.Proto,
+	}
+}
+
+// Canonical returns a direction-normalised key: the (IP, port) pair that
+// compares lower becomes the source. Both directions of a bidirectional
+// conversation map to the same canonical key, mirroring how CICFlowMeter
+// aggregates forward and backward packets into one flow record.
+func (k Key) Canonical() Key {
+	if k.SrcIP < k.DstIP || (k.SrcIP == k.DstIP && k.SrcPort <= k.DstPort) {
+		return k
+	}
+	return k.Reverse()
+}
+
+// IsCanonical reports whether k equals its canonical form.
+func (k Key) IsCanonical() bool { return k == k.Canonical() }
+
+// bytes serialises the key into a 13-byte wire representation. The layout
+// (src ip, dst ip, src port, dst port, proto) matches what a P4 parser would
+// feed the switch CRC unit.
+func (k Key) bytes() [13]byte {
+	var b [13]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(k.SrcIP))
+	binary.BigEndian.PutUint32(b[4:8], uint32(k.DstIP))
+	binary.BigEndian.PutUint16(b[8:10], k.SrcPort)
+	binary.BigEndian.PutUint16(b[10:12], k.DstPort)
+	b[12] = byte(k.Proto)
+	return b
+}
+
+// Hash returns the CRC32 (IEEE) of the 5-tuple, the same function Tofino
+// exposes for register indexing. SpliDT hashes the 5-tuple on every packet
+// to locate the flow's slot in each register array.
+func (k Key) Hash() uint32 {
+	b := k.bytes()
+	return crc32.ChecksumIEEE(b[:])
+}
+
+// Index maps the flow hash onto a register array of the given size.
+// Size must be positive.
+func (k Key) Index(size int) int {
+	if size <= 0 {
+		panic("flow: non-positive register array size")
+	}
+	return int(k.Hash() % uint32(size))
+}
+
+// SymHash returns a direction-symmetric hash: both directions of a
+// conversation land in the same slot. Useful for bidirectional feature
+// state (gopacket's Flow.FastHash has the same symmetry property).
+func (k Key) SymHash() uint32 {
+	c := k.Canonical()
+	return c.Hash()
+}

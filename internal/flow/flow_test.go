@@ -1,0 +1,134 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func k(a, b Addr, sp, dp uint16, p Proto) Key {
+	return Key{SrcIP: a, DstIP: b, SrcPort: sp, DstPort: dp, Proto: p}
+}
+
+func TestAddrFrom4(t *testing.T) {
+	a := AddrFrom4(10, 0, 0, 1)
+	if got := a.String(); got != "10.0.0.1" {
+		t.Fatalf("Addr.String() = %q, want 10.0.0.1", got)
+	}
+	if a != Addr(0x0A000001) {
+		t.Fatalf("AddrFrom4 = %#x, want 0x0A000001", uint32(a))
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	cases := []struct {
+		p    Proto
+		want string
+	}{
+		{ProtoTCP, "tcp"},
+		{ProtoUDP, "udp"},
+		{ProtoICMP, "icmp"},
+		{Proto(99), "proto(99)"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("Proto(%d).String() = %q, want %q", c.p, got, c.want)
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	key := k(AddrFrom4(10, 0, 0, 1), AddrFrom4(10, 0, 0, 2), 1234, 80, ProtoTCP)
+	if key.Reverse().Reverse() != key {
+		t.Fatal("Reverse is not an involution")
+	}
+	r := key.Reverse()
+	if r.SrcIP != key.DstIP || r.DstPort != key.SrcPort {
+		t.Fatalf("Reverse mixed fields: %v", r)
+	}
+}
+
+func TestCanonicalSymmetric(t *testing.T) {
+	key := k(AddrFrom4(192, 168, 1, 9), AddrFrom4(10, 0, 0, 2), 443, 51000, ProtoTCP)
+	if key.Canonical() != key.Reverse().Canonical() {
+		t.Fatal("Canonical differs across directions")
+	}
+	if !key.Canonical().IsCanonical() {
+		t.Fatal("Canonical(key) not reported canonical")
+	}
+}
+
+func TestCanonicalTieBreakOnPort(t *testing.T) {
+	a := AddrFrom4(10, 0, 0, 1)
+	key := k(a, a, 9000, 80, ProtoUDP)
+	c := key.Canonical()
+	if c.SrcPort != 80 {
+		t.Fatalf("tie-break on equal IPs should order by port, got src port %d", c.SrcPort)
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	key := k(AddrFrom4(1, 2, 3, 4), AddrFrom4(5, 6, 7, 8), 10, 20, ProtoTCP)
+	if key.Hash() != key.Hash() {
+		t.Fatal("Hash not deterministic")
+	}
+	if key.Hash() == key.Reverse().Hash() {
+		t.Fatal("directional Hash should (generically) differ across directions")
+	}
+}
+
+func TestSymHashSymmetric(t *testing.T) {
+	f := func(a, b uint32, sp, dp uint16) bool {
+		key := k(Addr(a), Addr(b), sp, dp, ProtoTCP)
+		return key.SymHash() == key.Reverse().SymHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	f := func(a, b uint32, sp, dp uint16, pr uint8) bool {
+		key := k(Addr(a), Addr(b), sp, dp, Proto(pr))
+		c := key.Canonical()
+		return c.Canonical() == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexInRange(t *testing.T) {
+	f := func(a, b uint32, sp, dp uint16) bool {
+		key := k(Addr(a), Addr(b), sp, dp, ProtoUDP)
+		i := key.Index(65536)
+		return i >= 0 && i < 65536
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexPanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Index(0) did not panic")
+		}
+	}()
+	k(1, 2, 3, 4, ProtoTCP).Index(0)
+}
+
+func TestKeyString(t *testing.T) {
+	key := k(AddrFrom4(10, 0, 0, 1), AddrFrom4(10, 0, 0, 2), 1234, 80, ProtoTCP)
+	want := "tcp 10.0.0.1:1234>10.0.0.2:80"
+	if got := key.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func BenchmarkKeyHash(b *testing.B) {
+	key := k(AddrFrom4(10, 0, 0, 1), AddrFrom4(10, 0, 0, 2), 1234, 80, ProtoTCP)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = key.Hash()
+	}
+}

@@ -1,0 +1,181 @@
+// Package metrics provides the evaluation statistics the paper reports:
+// macro-averaged F1 score, confusion matrices, and empirical CDFs (used for
+// the time-to-detection plots).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Confusion is a square confusion matrix: Confusion[actual][predicted].
+type Confusion struct {
+	Classes int
+	Counts  [][]int
+}
+
+// NewConfusion allocates an n-class confusion matrix.
+func NewConfusion(n int) *Confusion {
+	if n < 1 {
+		panic("metrics: class count < 1")
+	}
+	c := &Confusion{Classes: n, Counts: make([][]int, n)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, n)
+	}
+	return c
+}
+
+// Add records one observation.
+func (c *Confusion) Add(actual, predicted int) {
+	if actual < 0 || actual >= c.Classes || predicted < 0 || predicted >= c.Classes {
+		panic(fmt.Sprintf("metrics: label out of range (actual %d, predicted %d, classes %d)",
+			actual, predicted, c.Classes))
+	}
+	c.Counts[actual][predicted]++
+}
+
+// Total returns the number of recorded observations.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns the overall fraction of correct predictions.
+func (c *Confusion) Accuracy() float64 {
+	total, ok := 0, 0
+	for i, row := range c.Counts {
+		for j, v := range row {
+			total += v
+			if i == j {
+				ok += v
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(ok) / float64(total)
+}
+
+// ClassF1 returns the one-vs-rest F1 of a class (0 when the class has no
+// support and no predictions).
+func (c *Confusion) ClassF1(class int) float64 {
+	tp := c.Counts[class][class]
+	fp, fn := 0, 0
+	for i := 0; i < c.Classes; i++ {
+		if i == class {
+			continue
+		}
+		fp += c.Counts[i][class]
+		fn += c.Counts[class][i]
+	}
+	if 2*tp+fp+fn == 0 {
+		return 0
+	}
+	return 2 * float64(tp) / float64(2*tp+fp+fn)
+}
+
+// MacroF1 returns the unweighted mean of per-class F1 over classes that
+// appear in the data (as actuals or predictions) — the paper's headline
+// metric.
+func (c *Confusion) MacroF1() float64 {
+	sum, n := 0.0, 0
+	for class := 0; class < c.Classes; class++ {
+		support := 0
+		for j := 0; j < c.Classes; j++ {
+			support += c.Counts[class][j] + c.Counts[j][class]
+		}
+		if support == 0 {
+			continue
+		}
+		sum += c.ClassF1(class)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MacroF1Of scores predicted against actual labels directly.
+func MacroF1Of(actual, predicted []int, classes int) float64 {
+	if len(actual) != len(predicted) {
+		panic("metrics: length mismatch")
+	}
+	c := NewConfusion(classes)
+	for i := range actual {
+		c.Add(actual[i], predicted[i])
+	}
+	return c.MacroF1()
+}
+
+// ECDF is an empirical cumulative distribution function over float64
+// observations.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from observations (copied and sorted).
+func NewECDF(obs []float64) *ECDF {
+	s := make([]float64, len(obs))
+	copy(s, obs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, x)
+	// Advance over ties to get <=.
+	for i < len(e.sorted) && e.sorted[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile, q in [0,1].
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	i := int(q * float64(len(e.sorted)))
+	if i >= len(e.sorted) {
+		i = len(e.sorted) - 1
+	}
+	return e.sorted[i]
+}
+
+// Len returns the observation count.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// MeanStd returns the sample mean and population standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	varsum := 0.0
+	for _, x := range xs {
+		varsum += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(varsum / float64(len(xs)))
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionAccuracy(t *testing.T) {
+	c := NewConfusion(3)
+	c.Add(0, 0)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Add(0, 1)
+	if got := c.Accuracy(); got != 0.75 {
+		t.Fatalf("accuracy = %v, want 0.75", got)
+	}
+	if c.Total() != 4 {
+		t.Fatalf("total = %d, want 4", c.Total())
+	}
+}
+
+func TestPerfectF1(t *testing.T) {
+	c := NewConfusion(4)
+	for cls := 0; cls < 4; cls++ {
+		for i := 0; i < 5; i++ {
+			c.Add(cls, cls)
+		}
+	}
+	if got := c.MacroF1(); got != 1.0 {
+		t.Fatalf("macro F1 = %v, want 1.0", got)
+	}
+}
+
+func TestKnownF1(t *testing.T) {
+	// Binary case: TP=8, FN=2, FP=3, TN=7.
+	c := NewConfusion(2)
+	for i := 0; i < 8; i++ {
+		c.Add(1, 1)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add(1, 0)
+	}
+	for i := 0; i < 3; i++ {
+		c.Add(0, 1)
+	}
+	for i := 0; i < 7; i++ {
+		c.Add(0, 0)
+	}
+	f1pos := c.ClassF1(1) // 2*8/(16+3+2) = 16/21
+	want := 16.0 / 21.0
+	if math.Abs(f1pos-want) > 1e-12 {
+		t.Fatalf("class-1 F1 = %v, want %v", f1pos, want)
+	}
+}
+
+func TestMacroF1SkipsAbsentClasses(t *testing.T) {
+	c := NewConfusion(5)
+	c.Add(0, 0)
+	c.Add(1, 1)
+	// Classes 2..4 never appear; macro over {0,1} only.
+	if got := c.MacroF1(); got != 1.0 {
+		t.Fatalf("macro F1 = %v, want 1.0 (absent classes skipped)", got)
+	}
+}
+
+func TestMacroF1Of(t *testing.T) {
+	actual := []int{0, 0, 1, 1}
+	pred := []int{0, 1, 1, 1}
+	got := MacroF1Of(actual, pred, 2)
+	// class0: tp=1 fp=0 fn=1 → 2/3; class1: tp=2 fp=1 fn=0 → 4/5.
+	want := (2.0/3.0 + 4.0/5.0) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("macro F1 = %v, want %v", got, want)
+	}
+}
+
+func TestF1BoundsProperty(t *testing.T) {
+	f := func(labels []uint8) bool {
+		if len(labels) < 2 {
+			return true
+		}
+		actual := make([]int, len(labels))
+		pred := make([]int, len(labels))
+		for i, l := range labels {
+			actual[i] = int(l % 4)
+			pred[i] = int((l / 4) % 4)
+		}
+		f1 := MacroF1Of(actual, pred, 4)
+		return f1 >= 0 && f1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	c := NewConfusion(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range did not panic")
+		}
+	}()
+	c.Add(0, 5)
+}
+
+func TestMacroF1OfPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MacroF1Of([]int{0}, []int{0, 1}, 2)
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3, 10})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.2}, {2, 0.6}, {3, 0.8}, {10, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", e.Len())
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{5, 1, 3, 2, 4})
+	if q := e.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v, want 1", q)
+	}
+	if q := e.Quantile(1); q != 5 {
+		t.Fatalf("q1 = %v, want 5", q)
+	}
+	if q := e.Quantile(0.5); q != 3 {
+		t.Fatalf("median = %v, want 3", q)
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(obs []float64, a, b float64) bool {
+		e := NewECDF(obs)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return e.At(lo) <= e.At(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyECDF(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(5) != 0 || e.Quantile(0.5) != 0 {
+		t.Fatal("empty ECDF should return zeros")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Fatalf("mean = %v, want 5", mean)
+	}
+	if math.Abs(std-2) > 1e-12 {
+		t.Fatalf("std = %v, want 2", std)
+	}
+}
+
+func TestMeanStdEmpty(t *testing.T) {
+	mean, std := MeanStd(nil)
+	if mean != 0 || std != 0 {
+		t.Fatal("empty MeanStd should return zeros")
+	}
+}
+
+func TestNewConfusionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewConfusion(0) did not panic")
+		}
+	}()
+	NewConfusion(0)
+}

@@ -1,0 +1,185 @@
+package p4gen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"splidt/internal/core"
+	"splidt/internal/rangemark"
+	"splidt/internal/trace"
+)
+
+func genFor(t *testing.T, cfg core.Config, opts Options) (*Generator, *core.Model, *rangemark.Compiled) {
+	t.Helper()
+	flows := trace.Generate(trace.D2, 300, 17)
+	samples := trace.BuildSamples(flows, len(cfg.Partitions))
+	m, err := core.Train(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rangemark.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(m, c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, m, c
+}
+
+func TestProgramStructure(t *testing.T) {
+	cfg := core.Config{Partitions: []int{2, 2, 2}, FeaturesPerSubtree: 4, NumClasses: 4}
+	g, m, _ := genFor(t, cfg, Options{})
+	src := g.Program()
+
+	// Required architectural elements of Figure 4.
+	wants := []string{
+		"sid_reg", "pkt_count_reg", // reserved registers
+		"feature_0_reg", "feature_3_reg", // k feature registers
+		"op_select_0", "op_select_3", // operator selection MATs
+		"table feature_0", "table feature_3", // match-key generators
+		"table model",             // model table
+		"resubmit()",              // in-band control channel
+		"digest(",                 // controller report
+		"header splidt_h",         // flow-size header
+		"header splidt_ctrl_h",    // control header
+		"hash_crc32",              // 5-tuple hashing
+		"#include <tna.p4>",       // target include
+		"transition_sid", "class", // actions
+	}
+	for _, w := range wants {
+		if !strings.Contains(src, w) {
+			t.Errorf("program missing %q", w)
+		}
+	}
+	if strings.Contains(src, "feature_4_reg") {
+		t.Error("emitted more feature registers than k")
+	}
+	if got := strings.Count(src, "Register<"); got < 4+2 {
+		t.Errorf("only %d register declarations", got)
+	}
+	_ = m
+}
+
+func TestProgramBalancedBraces(t *testing.T) {
+	cfg := core.Config{Partitions: []int{3, 3}, FeaturesPerSubtree: 3, NumClasses: 4}
+	g, _, _ := genFor(t, cfg, Options{})
+	src := g.Program()
+	if o, c := strings.Count(src, "{"), strings.Count(src, "}"); o != c {
+		t.Fatalf("unbalanced braces: %d open, %d close", o, c)
+	}
+}
+
+func TestRulesMatchCompiledEntries(t *testing.T) {
+	cfg := core.Config{Partitions: []int{2, 2}, FeaturesPerSubtree: 3, NumClasses: 4}
+	g, _, c := genFor(t, cfg, Options{})
+	rules := g.Rules()
+	if len(rules) != c.Entries() {
+		t.Fatalf("%d rules, compiled %d entries", len(rules), c.Entries())
+	}
+	if g.EntryCount() != len(rules) {
+		t.Fatal("EntryCount mismatch")
+	}
+	modelRules := 0
+	for _, r := range rules {
+		if !strings.HasPrefix(r, "table_add ") {
+			t.Fatalf("rule %q missing table_add prefix", r)
+		}
+		if strings.Contains(r, "table_add model ") {
+			modelRules++
+		}
+	}
+	if modelRules != len(c.ModelRules()) {
+		t.Fatalf("%d model rules, want %d", modelRules, len(c.ModelRules()))
+	}
+}
+
+func TestRulesDeterministic(t *testing.T) {
+	cfg := core.Config{Partitions: []int{2, 2}, FeaturesPerSubtree: 3, NumClasses: 4}
+	g, _, _ := genFor(t, cfg, Options{})
+	a := strings.Join(g.Rules(), "\n")
+	b := strings.Join(g.Rules(), "\n")
+	if a != b {
+		t.Fatal("rule emission not deterministic")
+	}
+}
+
+func TestQuantizedProgramWidths(t *testing.T) {
+	cfg := core.Config{Partitions: []int{2, 2}, FeaturesPerSubtree: 2, NumClasses: 4, QuantizeBits: 16}
+	g, _, _ := genFor(t, cfg, Options{})
+	src := g.Program()
+	if !strings.Contains(src, "bit<16> fval_0") {
+		t.Fatal("quantised program should carry 16-bit feature values")
+	}
+	if strings.Contains(src, "bit<32> fval_0") {
+		t.Fatal("32-bit fields in a 16-bit program")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	cfg := core.Config{Partitions: []int{2}, FeaturesPerSubtree: 2, NumClasses: 4}
+	g, _, _ := genFor(t, cfg, Options{})
+	src := g.Program()
+	if !strings.Contains(src, "SplidtIngress") {
+		t.Fatal("default program name not applied")
+	}
+	g2, _, _ := genFor(t, cfg, Options{ProgramName: "myids", FlowSlots: 4096})
+	src2 := g2.Program()
+	if !strings.Contains(src2, "MyidsIngress") || !strings.Contains(src2, "(4096)") {
+		t.Fatal("options not applied")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, Options{}); err == nil {
+		t.Fatal("nil inputs accepted")
+	}
+}
+
+func TestTableSize(t *testing.T) {
+	cases := []struct{ in, want int }{{0, 64}, {64, 64}, {65, 128}, {500, 512}}
+	for _, c := range cases {
+		if got := tableSize(c.in); got != c.want {
+			t.Errorf("tableSize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeneratedLineCountInPaperBallpark(t *testing.T) {
+	// The paper's hand-written data plane is ~1,600 lines of P4; a
+	// generated program for a realistic configuration should be the same
+	// order of magnitude (hundreds of lines), not a stub.
+	cfg := core.Config{Partitions: []int{3, 3, 3}, FeaturesPerSubtree: 6, NumClasses: 13}
+	flows := trace.Generate(trace.D3, 400, 17)
+	samples := trace.BuildSamples(flows, 3)
+	m, err := core.Train(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rangemark.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(m, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(g.Program(), "\n")
+	if lines < 150 {
+		t.Fatalf("generated program only %d lines", lines)
+	}
+}
+
+func ExampleGenerator_Rules() {
+	flows := trace.Generate(trace.D2, 200, 5)
+	samples := trace.BuildSamples(flows, 1)
+	m, _ := core.Train(samples, core.Config{
+		Partitions: []int{2}, FeaturesPerSubtree: 2, NumClasses: 4,
+	})
+	c, _ := rangemark.Compile(m)
+	g, _ := New(m, c, Options{})
+	fmt.Println(len(g.Rules()) == c.Entries())
+	// Output: true
+}

@@ -1,0 +1,117 @@
+package pkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundsValid(t *testing.T) {
+	cases := []struct {
+		b    Bounds
+		want bool
+	}{
+		{Bounds{1}, true},
+		{Bounds{0.25, 0.5, 1}, true},
+		{Bounds{0.5, 0.5, 1}, false}, // not strictly increasing
+		{Bounds{0.5, 0.9}, false},    // does not end at 1
+		{Bounds{0, 1}, false},        // zero bound
+		{Bounds{0.5, 1.2}, false},    // beyond 1
+		{nil, false},
+	}
+	for i, c := range cases {
+		if got := c.b.Valid(); got != c.want {
+			t.Errorf("case %d: Valid(%v) = %v, want %v", i, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	b := Uniform(4)
+	if !b.Valid() || len(b) != 4 {
+		t.Fatalf("Uniform(4) = %v", b)
+	}
+	if b[0] != 0.25 || b[3] != 1 {
+		t.Fatalf("Uniform(4) = %v", b)
+	}
+}
+
+func TestUniformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform(0) did not panic")
+		}
+	}()
+	Uniform(0)
+}
+
+func TestWindowOfBoundsMatchesUniform(t *testing.T) {
+	// Uniform bounds must agree with the arithmetic WindowOf on window-end
+	// structure: both must yield monotone windows covering the flow with
+	// the same per-flow window-end count.
+	for _, size := range []int{1, 4, 7, 12, 100} {
+		for _, parts := range []int{1, 2, 3, 5} {
+			b := Uniform(parts)
+			endsA, endsB := 0, 0
+			prev := -1
+			for seq := 1; seq <= size; seq++ {
+				p := Packet{FlowSize: size, Seq: seq}
+				w := p.WindowOfBounds(b)
+				if w < prev || w < 0 || w >= parts {
+					t.Fatalf("size %d parts %d seq %d: window %d invalid", size, parts, seq, w)
+				}
+				prev = w
+				if p.IsWindowEnd(parts) {
+					endsA++
+				}
+				if p.IsWindowEndBounds(b) {
+					endsB++
+				}
+			}
+			wantEnds := parts
+			if size < parts {
+				wantEnds = size
+			}
+			if endsB != wantEnds {
+				t.Fatalf("size %d parts %d: %d bound ends, want %d", size, parts, endsB, wantEnds)
+			}
+			_ = endsA
+		}
+	}
+}
+
+func TestFrontLoadedBounds(t *testing.T) {
+	// Bounds {0.1, 0.3, 1}: a 100-packet flow ends windows at 10, 30, 100.
+	b := Bounds{0.1, 0.3, 1}
+	ends := []int{}
+	for seq := 1; seq <= 100; seq++ {
+		p := Packet{FlowSize: 100, Seq: seq}
+		if p.IsWindowEndBounds(b) {
+			ends = append(ends, seq)
+		}
+	}
+	if len(ends) != 3 || ends[0] != 10 || ends[1] != 30 || ends[2] != 100 {
+		t.Fatalf("front-loaded ends = %v, want [10 30 100]", ends)
+	}
+}
+
+func TestBoundsEveryFlowTerminates(t *testing.T) {
+	f := func(size uint8, cut uint8) bool {
+		n := int(size%200) + 1
+		c := 0.05 + float64(cut%80)/100
+		b := Bounds{c, 1}
+		last := Packet{FlowSize: n, Seq: n}
+		return last.IsWindowEndBounds(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsPanicOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid bounds did not panic")
+		}
+	}()
+	(Packet{FlowSize: 5, Seq: 1}).WindowOfBounds(Bounds{0.9, 0.5})
+}

@@ -1,0 +1,44 @@
+package pkt
+
+import "testing"
+
+// FuzzUnmarshal feeds arbitrary bytes to the packet parser: it must never
+// panic, and whatever parses must re-serialise to an equivalent packet.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(make([]byte, HeaderWireBytes))
+	f.Add([]byte{})
+	seed := Marshal(Packet{
+		Key: wireKey(), Len: 1480, Flags: FlagSYN, FlowSize: 120, Seq: 7,
+	}, nil)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data, 0)
+		if err != nil {
+			return
+		}
+		// Round trip: re-marshal and re-parse must agree.
+		again, err := Unmarshal(Marshal(p, nil), 0)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again != p {
+			t.Fatalf("round trip diverged: %+v vs %+v", again, p)
+		}
+	})
+}
+
+// FuzzUnmarshalControl exercises the control-packet parser the same way.
+func FuzzUnmarshalControl(f *testing.F) {
+	f.Add(make([]byte, 20))
+	f.Add(MarshalControl(Control{NextSID: 9, FlowIndex: 1234}, nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalControl(data)
+		if err != nil {
+			return
+		}
+		again, err := UnmarshalControl(MarshalControl(c, nil))
+		if err != nil || again != c {
+			t.Fatalf("control round trip diverged: %+v vs %+v (%v)", again, c, err)
+		}
+	})
+}

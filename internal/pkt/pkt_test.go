@@ -1,0 +1,158 @@
+package pkt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"splidt/internal/flow"
+)
+
+func TestTCPFlagsString(t *testing.T) {
+	cases := []struct {
+		f    TCPFlags
+		want string
+	}{
+		{0, "-"},
+		{FlagSYN, "SYN"},
+		{FlagSYN | FlagACK, "SYN|ACK"},
+		{FlagFIN | FlagPSH | FlagACK, "FIN|PSH|ACK"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("TCPFlags(%#x).String() = %q, want %q", uint8(c.f), got, c.want)
+		}
+	}
+}
+
+func TestHas(t *testing.T) {
+	f := FlagSYN | FlagACK
+	if !f.Has(FlagSYN) || !f.Has(FlagACK) || !f.Has(FlagSYN|FlagACK) {
+		t.Fatal("Has failed on set flags")
+	}
+	if f.Has(FlagFIN) || f.Has(FlagSYN|FlagFIN) {
+		t.Fatal("Has true for unset flags")
+	}
+}
+
+func TestWindowOfUniform(t *testing.T) {
+	// Flow of 12 packets in 3 partitions: windows of 4.
+	for seq := 1; seq <= 12; seq++ {
+		p := Packet{FlowSize: 12, Seq: seq}
+		want := (seq - 1) / 4
+		if got := p.WindowOf(3); got != want {
+			t.Errorf("seq %d: WindowOf(3) = %d, want %d", seq, got, want)
+		}
+	}
+}
+
+func TestWindowOfOverflowClamps(t *testing.T) {
+	p := Packet{FlowSize: 8, Seq: 20} // retransmissions past declared size
+	if got := p.WindowOf(4); got != 3 {
+		t.Fatalf("overflow packet window = %d, want 3", got)
+	}
+}
+
+func TestWindowOfSinglePartition(t *testing.T) {
+	p := Packet{FlowSize: 100, Seq: 57}
+	if got := p.WindowOf(1); got != 0 {
+		t.Fatalf("single partition window = %d, want 0", got)
+	}
+}
+
+func TestIsWindowEnd(t *testing.T) {
+	// 12 packets, 3 partitions: boundaries at seq 4, 8, 12.
+	ends := map[int]bool{4: true, 8: true, 12: true}
+	for seq := 1; seq <= 12; seq++ {
+		p := Packet{FlowSize: 12, Seq: seq}
+		if got := p.IsWindowEnd(3); got != ends[seq] {
+			t.Errorf("seq %d: IsWindowEnd = %v, want %v", seq, got, ends[seq])
+		}
+	}
+}
+
+func TestIsWindowEndUnevenFlow(t *testing.T) {
+	// 7 packets in 3 partitions: every packet must fall in exactly one
+	// window and the final packet must end the final window.
+	last := Packet{FlowSize: 7, Seq: 7}
+	if !last.IsWindowEnd(3) {
+		t.Fatal("final packet must end a window")
+	}
+	count := 0
+	for seq := 1; seq <= 7; seq++ {
+		if (Packet{FlowSize: 7, Seq: seq}).IsWindowEnd(3) {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Fatalf("uneven flow had %d window ends, want 3", count)
+	}
+}
+
+func TestWindowMonotonicProperty(t *testing.T) {
+	f := func(size uint8, parts uint8) bool {
+		n := int(size%200) + 1
+		p := int(parts%7) + 1
+		prev := -1
+		for seq := 1; seq <= n; seq++ {
+			w := (Packet{FlowSize: n, Seq: seq}).WindowOf(p)
+			if w < prev || w < 0 || w >= p {
+				return false
+			}
+			prev = w
+		}
+		// Final packet lands in last window only if n >= p; always valid range.
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowEndCountEqualsPartitions(t *testing.T) {
+	// For flows at least as long as the partition count, there are exactly
+	// `parts` window-end packets.
+	f := func(size uint8, parts uint8) bool {
+		p := int(parts%7) + 1
+		n := int(size%200) + p // ensure n >= p
+		count := 0
+		for seq := 1; seq <= n; seq++ {
+			if (Packet{FlowSize: n, Seq: seq}).IsWindowEnd(p) {
+				count++
+			}
+		}
+		return count == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroFlowSize(t *testing.T) {
+	p := Packet{FlowSize: 0, Seq: 3}
+	if p.WindowOf(4) != 0 {
+		t.Fatal("unknown flow size should map to window 0")
+	}
+	if p.IsWindowEnd(4) {
+		t.Fatal("unknown flow size should never signal a window end")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := Packet{
+		Key: flow.Key{SrcIP: flow.AddrFrom4(10, 0, 0, 1), DstIP: flow.AddrFrom4(10, 0, 0, 2),
+			SrcPort: 1, DstPort: 2, Proto: flow.ProtoTCP},
+		Len: 100, Flags: FlagSYN, Seq: 1, FlowSize: 10,
+	}
+	if s := p.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestWindowOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WindowOf(0) did not panic")
+		}
+	}()
+	(Packet{FlowSize: 5, Seq: 1}).WindowOf(0)
+}

@@ -1,0 +1,156 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"splidt/internal/flow"
+)
+
+// Wire codec: the byte layout the generated P4 parser consumes. A data
+// packet carries Ethernet + IPv4 + L4 ports + the SpliDT transport header
+// (flow size and sequence, Homa/NDP-style); a control packet carries the
+// in-band SpliDT control header (next SID and flow index) used by
+// recirculation. Payload bytes beyond the headers are not materialised —
+// Len records the wire length, as a switch pipeline only sees headers plus
+// a byte count.
+
+// Wire sizes.
+const (
+	ethBytes    = 14
+	ipv4Bytes   = 20
+	portBytes   = 4
+	splidtBytes = 13 // flow_size(4) seq(4) flags(1) wire_len(4)
+	// HeaderWireBytes is the serialised header length of a data packet.
+	HeaderWireBytes = ethBytes + ipv4Bytes + portBytes + splidtBytes
+
+	// ctrlMagic distinguishes control packets in the EtherType field.
+	ctrlMagic = 0x88B5 // local experimental EtherType
+	dataMagic = 0x0800 // IPv4
+)
+
+// Marshal serialises the packet's headers into buf, returning the slice
+// written (length HeaderWireBytes). buf may be nil.
+func Marshal(p Packet, buf []byte) []byte {
+	if cap(buf) < HeaderWireBytes {
+		buf = make([]byte, HeaderWireBytes)
+	}
+	buf = buf[:HeaderWireBytes]
+	// Ethernet: addresses zeroed (the simulator routes on IP), EtherType
+	// marks a data packet.
+	for i := 0; i < 12; i++ {
+		buf[i] = 0
+	}
+	binary.BigEndian.PutUint16(buf[12:14], dataMagic)
+
+	ip := buf[ethBytes:]
+	ip[0] = 0x45 // v4, ihl 5
+	ip[1] = 0
+	binary.BigEndian.PutUint16(ip[2:4], uint16(clampU16(p.Len)))
+	binary.BigEndian.PutUint16(ip[4:6], 0)
+	binary.BigEndian.PutUint16(ip[6:8], 0)
+	ip[8] = 64 // ttl
+	ip[9] = byte(p.Key.Proto)
+	binary.BigEndian.PutUint16(ip[10:12], 0) // checksum (simulator ignores)
+	binary.BigEndian.PutUint32(ip[12:16], uint32(p.Key.SrcIP))
+	binary.BigEndian.PutUint32(ip[16:20], uint32(p.Key.DstIP))
+
+	l4 := ip[ipv4Bytes:]
+	binary.BigEndian.PutUint16(l4[0:2], p.Key.SrcPort)
+	binary.BigEndian.PutUint16(l4[2:4], p.Key.DstPort)
+
+	sp := l4[portBytes:]
+	binary.BigEndian.PutUint32(sp[0:4], uint32(p.FlowSize))
+	binary.BigEndian.PutUint32(sp[4:8], uint32(p.Seq))
+	sp[8] = byte(p.Flags)
+	binary.BigEndian.PutUint32(sp[9:13], uint32(p.Len))
+	return buf
+}
+
+// Unmarshal parses a data packet's headers. ts supplies the capture
+// timestamp (timestamps are capture metadata, not wire bytes).
+func Unmarshal(buf []byte, ts time.Duration) (Packet, error) {
+	if len(buf) < HeaderWireBytes {
+		return Packet{}, fmt.Errorf("pkt: short packet: %d bytes", len(buf))
+	}
+	if et := binary.BigEndian.Uint16(buf[12:14]); et != dataMagic {
+		return Packet{}, fmt.Errorf("pkt: not a data packet (ethertype %#x)", et)
+	}
+	ip := buf[ethBytes:]
+	if ip[0]>>4 != 4 {
+		return Packet{}, fmt.Errorf("pkt: not IPv4")
+	}
+	l4 := ip[ipv4Bytes:]
+	sp := l4[portBytes:]
+	p := Packet{
+		Key: flow.Key{
+			SrcIP:   flow.Addr(binary.BigEndian.Uint32(ip[12:16])),
+			DstIP:   flow.Addr(binary.BigEndian.Uint32(ip[16:20])),
+			SrcPort: binary.BigEndian.Uint16(l4[0:2]),
+			DstPort: binary.BigEndian.Uint16(l4[2:4]),
+			Proto:   flow.Proto(ip[9]),
+		},
+		FlowSize: int(binary.BigEndian.Uint32(sp[0:4])),
+		Seq:      int(binary.BigEndian.Uint32(sp[4:8])),
+		Flags:    TCPFlags(sp[8]),
+		Len:      int(binary.BigEndian.Uint32(sp[9:13])),
+		TS:       ts,
+	}
+	return p, nil
+}
+
+// Control is the in-band control packet recirculated at subtree
+// transitions: the next subtree ID and the flow's register index.
+type Control struct {
+	NextSID   uint16
+	FlowIndex uint32
+}
+
+// controlWireBytes is the serialised control packet length (padded to the
+// 64-byte minimum frame the recirculation accounting uses).
+const controlWireBytes = ControlPacketBytes
+
+// MarshalControl serialises a control packet.
+func MarshalControl(c Control, buf []byte) []byte {
+	if cap(buf) < controlWireBytes {
+		buf = make([]byte, controlWireBytes)
+	}
+	buf = buf[:controlWireBytes]
+	for i := range buf {
+		buf[i] = 0
+	}
+	binary.BigEndian.PutUint16(buf[12:14], ctrlMagic)
+	binary.BigEndian.PutUint16(buf[14:16], c.NextSID)
+	binary.BigEndian.PutUint32(buf[16:20], c.FlowIndex)
+	return buf
+}
+
+// UnmarshalControl parses a control packet.
+func UnmarshalControl(buf []byte) (Control, error) {
+	if len(buf) < 20 {
+		return Control{}, fmt.Errorf("pkt: short control packet: %d bytes", len(buf))
+	}
+	if et := binary.BigEndian.Uint16(buf[12:14]); et != ctrlMagic {
+		return Control{}, fmt.Errorf("pkt: not a control packet (ethertype %#x)", et)
+	}
+	return Control{
+		NextSID:   binary.BigEndian.Uint16(buf[14:16]),
+		FlowIndex: binary.BigEndian.Uint32(buf[16:20]),
+	}, nil
+}
+
+// IsControl reports whether the buffer holds a control packet.
+func IsControl(buf []byte) bool {
+	return len(buf) >= 14 && binary.BigEndian.Uint16(buf[12:14]) == ctrlMagic
+}
+
+func clampU16(v int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xFFFF {
+		return 0xFFFF
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package pkt
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"splidt/internal/flow"
+)
+
+func wireKey() flow.Key {
+	return flow.Key{
+		SrcIP: flow.AddrFrom4(10, 1, 2, 3), DstIP: flow.AddrFrom4(172, 16, 9, 8),
+		SrcPort: 44123, DstPort: 443, Proto: flow.ProtoTCP,
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := Packet{
+		Key: wireKey(), Len: 1480, Flags: FlagSYN | FlagACK,
+		TS: 5 * time.Millisecond, FlowSize: 120, Seq: 7,
+	}
+	buf := Marshal(p, nil)
+	if len(buf) != HeaderWireBytes {
+		t.Fatalf("marshal length %d, want %d", len(buf), HeaderWireBytes)
+	}
+	got, err := Unmarshal(buf, p.TS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestMarshalReusesBuffer(t *testing.T) {
+	p := Packet{Key: wireKey(), Len: 100, Seq: 1, FlowSize: 2}
+	buf := make([]byte, HeaderWireBytes)
+	out := Marshal(p, buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("Marshal allocated despite sufficient buffer")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10), 0); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	p := Packet{Key: wireKey(), Len: 100, Seq: 1, FlowSize: 2}
+	buf := Marshal(p, nil)
+	buf[12], buf[13] = 0xDE, 0xAD
+	if _, err := Unmarshal(buf, 0); err == nil {
+		t.Fatal("bad ethertype accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a, b uint32, sp, dp uint16, l uint16, fl uint8, size, seq uint16) bool {
+		p := Packet{
+			Key: flow.Key{SrcIP: flow.Addr(a), DstIP: flow.Addr(b),
+				SrcPort: sp, DstPort: dp, Proto: flow.ProtoUDP},
+			Len: int(l), Flags: TCPFlags(fl),
+			FlowSize: int(size), Seq: int(seq),
+		}
+		got, err := Unmarshal(Marshal(p, nil), 0)
+		return err == nil && got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	c := Control{NextSID: 17, FlowIndex: 0xDEADBEEF}
+	buf := MarshalControl(c, nil)
+	if len(buf) != ControlPacketBytes {
+		t.Fatalf("control length %d, want %d", len(buf), ControlPacketBytes)
+	}
+	got, err := UnmarshalControl(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("control round trip: got %+v, want %+v", got, c)
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	data := Marshal(Packet{Key: wireKey(), Seq: 1, FlowSize: 1}, nil)
+	ctrl := MarshalControl(Control{NextSID: 2}, nil)
+	if IsControl(data) {
+		t.Fatal("data packet misidentified as control")
+	}
+	if !IsControl(ctrl) {
+		t.Fatal("control packet not identified")
+	}
+	if _, err := UnmarshalControl(data); err == nil {
+		t.Fatal("data packet parsed as control")
+	}
+	if IsControl(nil) {
+		t.Fatal("nil identified as control")
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	p := Packet{Key: wireKey(), Len: 1480, Flags: FlagACK, FlowSize: 100, Seq: 5}
+	buf := make([]byte, HeaderWireBytes)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Marshal(p, buf)
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	buf := Marshal(Packet{Key: wireKey(), Len: 1480, FlowSize: 100, Seq: 5}, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

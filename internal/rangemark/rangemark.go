@@ -1,0 +1,408 @@
+// Package rangemark compiles trained SpliDT models into data-plane match
+// tables using the Range Marking algorithm of NetBeacon (§3.2.1 of the
+// paper): per-feature TCAM tables translate register values into compact
+// range marks, and a model table matches (subtree ID, marks) to either the
+// next subtree ID or a class label — one rule per decision-tree leaf,
+// avoiding the cross-product rule explosion of naive encodings.
+package rangemark
+
+import (
+	"fmt"
+	"sort"
+
+	"splidt/internal/core"
+	"splidt/internal/dt"
+	"splidt/internal/features"
+	"splidt/internal/tcam"
+)
+
+// SIDBits is the width of the subtree-ID match field.
+const SIDBits = 16
+
+// Compiled is the full data-plane artifact of one model: k feature tables
+// (match-key generators), the model table, and the operator-selection
+// assignment of features to register slots per subtree.
+//
+// For quantised models (ValueBits < 32), each feature's register holds
+// v >> shift(f) in a ValueBits-wide field, where shift(f) comes from the
+// model's per-feature training-range scaling; thresholds shift identically,
+// which is exactly equivalent to comparing the low-bit-zeroed values the
+// software model classifies on.
+type Compiled struct {
+	K         int
+	ValueBits int // feature value precision / register width (32, 16, or 8)
+
+	// shifts is the model's per-feature register scaling (nil at 32-bit).
+	shifts []uint
+
+	// FeatureTables[slot] matches (SID exact, feature value ternary) and
+	// returns the slot's range mark.
+	FeatureTables []*tcam.Table
+
+	// slotFeature[sid][slot] is the feature ID the slot holds while the
+	// subtree is active, or -1 for unused slots — the contents of the
+	// operator-selection MATs.
+	slotFeature map[int][]int
+
+	// modelRules holds one rule per leaf across all subtrees, in priority
+	// order (rules of one subtree are disjoint, so order within a subtree is
+	// immaterial).
+	modelRules []ModelRule
+
+	// markBits[slot] is the mark field width of each slot in the model key.
+	markBits []int
+}
+
+// ModelRule is one row of the model table: an exact SID match plus one
+// inclusive mark interval per slot. Range marking encodes each interval in
+// a single TCAM entry, so Entries accounting counts each ModelRule once.
+type ModelRule struct {
+	SID    int
+	Lo, Hi []uint32 // per-slot inclusive mark interval
+	Exit   bool     // true: classify; false: transition
+	// Class is the leaf's majority class. For Exit rules it is the final
+	// label; for transition rules it is the fallback label emitted when the
+	// flow ends before the next partition completes.
+	Class int
+	Next  int // next SID when !Exit
+}
+
+// Compile lowers a trained model to tables. valueBits selects feature
+// precision (32 unless the model was trained quantised).
+func Compile(m *core.Model) (*Compiled, error) {
+	valueBits := 32
+	if b := m.Cfg.QuantizeBits; b > 0 && b < 32 {
+		valueBits = b
+	}
+	k := m.Cfg.FeaturesPerSubtree
+	c := &Compiled{
+		K:           k,
+		ValueBits:   valueBits,
+		shifts:      m.Shifts,
+		slotFeature: make(map[int][]int, len(m.Subtrees)),
+		markBits:    make([]int, k),
+	}
+	for slot := 0; slot < k; slot++ {
+		c.FeatureTables = append(c.FeatureTables,
+			tcam.New(fmt.Sprintf("feature[%d]", slot), SIDBits, valueBits))
+	}
+
+	maxMarks := make([]uint32, k)
+	for _, st := range m.Subtrees {
+		if st.SID > (1<<SIDBits)-1 {
+			return nil, fmt.Errorf("rangemark: SID %d exceeds %d-bit field", st.SID, SIDBits)
+		}
+		feats := st.Features()
+		if len(feats) > k {
+			return nil, fmt.Errorf("rangemark: subtree %d uses %d features > k=%d",
+				st.SID, len(feats), k)
+		}
+		slots := make([]int, k)
+		for i := range slots {
+			slots[i] = -1
+		}
+		slotOf := make(map[int]int, len(feats))
+		for i, f := range feats {
+			slots[i] = f
+			slotOf[f] = i
+		}
+		c.slotFeature[st.SID] = slots
+
+		// Integer thresholds per feature, shifted into each register's value
+		// space and deduplicated.
+		thresholds := make(map[int][]uint32, len(feats))
+		for f, ts := range st.Tree.Thresholds() {
+			thresholds[f] = floorDedup(ts, c.shiftOf(f), valueBits)
+		}
+
+		// Feature-table rules: one prefix set per range per used feature.
+		for f, us := range thresholds {
+			slot := slotOf[f]
+			marks := len(us) + 1
+			if uint32(marks-1) > maxMarks[slot] {
+				maxMarks[slot] = uint32(marks - 1)
+			}
+			lim := fieldMax(valueBits)
+			lo := uint32(0)
+			for mark := 0; mark < marks; mark++ {
+				hi := lim
+				if mark < len(us) {
+					hi = us[mark]
+				}
+				if hi < lo {
+					continue // empty range after flooring collisions
+				}
+				for _, p := range tcam.ExpandRange(lo, hi, valueBits) {
+					c.FeatureTables[slot].Insert(tcam.Entry{
+						Value:    []uint32{uint32(st.SID), p.Value},
+						Mask:     []uint32{fieldMax(SIDBits), p.Mask},
+						Priority: 0,
+						Action:   mark,
+					})
+				}
+				lo = hi + 1
+			}
+		}
+
+		// Model rules: one per leaf, intervals gathered along the root path.
+		full := func() ([]uint32, []uint32) {
+			lo := make([]uint32, k)
+			hi := make([]uint32, k)
+			for i := range hi {
+				hi[i] = ^uint32(0)
+			}
+			return lo, hi
+		}
+		var walk func(n *dt.Node, lo, hi []uint32)
+		walk = func(n *dt.Node, lo, hi []uint32) {
+			if n.Leaf {
+				rule := ModelRule{
+					SID:   st.SID,
+					Lo:    append([]uint32(nil), lo...),
+					Hi:    append([]uint32(nil), hi...),
+					Class: n.Class,
+				}
+				if next, ok := st.Next[n.LeafID]; ok {
+					rule.Next = next
+				} else {
+					rule.Exit = true
+				}
+				c.modelRules = append(c.modelRules, rule)
+				return
+			}
+			slot := slotOf[n.Feature]
+			us := thresholds[n.Feature]
+			mk := markIndex(us, n.Threshold, c.shiftOf(n.Feature), valueBits)
+			// Left: mark <= mk. Right: mark >= mk+1.
+			llo, lhi := clone(lo), clone(hi)
+			if uint32(mk) < lhi[slot] {
+				lhi[slot] = uint32(mk)
+			}
+			walk(n.Left, llo, lhi)
+			rlo, rhi := clone(lo), clone(hi)
+			if uint32(mk+1) > rlo[slot] {
+				rlo[slot] = uint32(mk + 1)
+			}
+			walk(n.Right, rlo, rhi)
+		}
+		lo, hi := full()
+		walk(st.Tree.Root, lo, hi)
+	}
+
+	for slot := 0; slot < k; slot++ {
+		c.markBits[slot] = bitsFor(maxMarks[slot])
+	}
+	return c, nil
+}
+
+func clone(xs []uint32) []uint32 { return append([]uint32(nil), xs...) }
+
+func fieldMax(bits int) uint32 {
+	if bits >= 32 {
+		return ^uint32(0)
+	}
+	return 1<<uint(bits) - 1
+}
+
+func bitsFor(maxVal uint32) int {
+	b := 1
+	for v := maxVal; v > 1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// shiftOf returns the register scaling of a feature (0 at full precision).
+func (c *Compiled) shiftOf(f int) uint {
+	if f < len(c.shifts) {
+		return c.shifts[f]
+	}
+	return 0
+}
+
+// floorDedup floors thresholds, shifts them into the register value space,
+// and removes duplicates.
+func floorDedup(ts []float64, shift uint, valueBits int) []uint32 {
+	out := make([]uint32, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, features.RegValue(t, shift, valueBits))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dst := out[:0]
+	for i, u := range out {
+		if i == 0 || dst[len(dst)-1] != u {
+			dst = append(dst, u)
+		}
+	}
+	return dst
+}
+
+// markIndex returns the index of t's shifted floor in the deduped threshold
+// list us: value <= t ⟺ mark <= markIndex.
+func markIndex(us []uint32, t float64, shift uint, valueBits int) int {
+	u := features.RegValue(t, shift, valueBits)
+	return sort.Search(len(us), func(i int) bool { return us[i] >= u })
+}
+
+// SlotFeatures returns the per-slot feature assignment of a subtree (-1 for
+// unused slots) — the operator-selection MAT contents.
+func (c *Compiled) SlotFeatures(sid int) []int {
+	s, ok := c.slotFeature[sid]
+	if !ok {
+		panic(fmt.Sprintf("rangemark: unknown SID %d", sid))
+	}
+	return s
+}
+
+// HasSID reports whether the compiled model contains the subtree.
+func (c *Compiled) HasSID(sid int) bool {
+	_, ok := c.slotFeature[sid]
+	return ok
+}
+
+// Marks runs the k match-key generator tables for the active subtree over a
+// full feature row, returning the per-slot range marks.
+func (c *Compiled) Marks(sid int, row []float64) []uint32 {
+	slots := c.SlotFeatures(sid)
+	marks := make([]uint32, c.K)
+	for slot, f := range slots {
+		if f < 0 {
+			continue
+		}
+		v := features.RegValue(row[f], c.shiftOf(f), c.ValueBits)
+		if a, ok := c.FeatureTables[slot].Lookup(uint32(sid), v); ok {
+			marks[slot] = uint32(a)
+		}
+	}
+	return marks
+}
+
+// Lookup matches the model table: exact SID plus per-slot mark intervals.
+func (c *Compiled) Lookup(sid int, marks []uint32) (ModelRule, bool) {
+	for _, r := range c.modelRules {
+		if r.SID != sid {
+			continue
+		}
+		hit := true
+		for slot := 0; slot < c.K; slot++ {
+			if marks[slot] < r.Lo[slot] || marks[slot] > r.Hi[slot] {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return r, true
+		}
+	}
+	return ModelRule{}, false
+}
+
+// ModelRules exposes the model-table rules.
+func (c *Compiled) ModelRules() []ModelRule { return c.modelRules }
+
+// FeatureEntries returns the total entry count across feature tables.
+func (c *Compiled) FeatureEntries() int {
+	n := 0
+	for _, t := range c.FeatureTables {
+		n += t.Len()
+	}
+	return n
+}
+
+// Entries returns the model's total TCAM entry count: feature-table entries
+// plus one model-table entry per leaf (range marking's 1:1 leaf encoding).
+func (c *Compiled) Entries() int { return c.FeatureEntries() + len(c.modelRules) }
+
+// ModelKeyBits returns the model table's match key width: SID plus the mark
+// fields of all k slots.
+func (c *Compiled) ModelKeyBits() int {
+	n := SIDBits
+	for _, b := range c.markBits {
+		n += b
+	}
+	return n
+}
+
+// Bits returns total TCAM bit consumption: feature tables at their key
+// widths plus model rules at the model key width.
+func (c *Compiled) Bits() int {
+	n := 0
+	for _, t := range c.FeatureTables {
+		n += t.Bits()
+	}
+	n += len(c.modelRules) * c.ModelKeyBits()
+	return n
+}
+
+// NaiveEntries estimates the entry count of a naive (no range marking)
+// encoding, where each leaf's per-feature value intervals are prefix-
+// expanded and crossed — the ablation baseline for the range-marking design
+// choice. Counts are capped at 1<<40 to avoid overflow on deep trees.
+func NaiveEntries(m *core.Model) int64 {
+	valueBits := 32
+	if b := m.Cfg.QuantizeBits; b > 0 && b < 32 {
+		valueBits = b
+	}
+	var total int64
+	for _, st := range m.Subtrees {
+		var walk func(n *dt.Node, spans map[int][2]uint32)
+		walk = func(n *dt.Node, spans map[int][2]uint32) {
+			if n.Leaf {
+				prod := int64(1)
+				for _, span := range spans {
+					ps := tcam.ExpandRange(span[0], span[1], valueBits)
+					prod *= int64(len(ps))
+					if prod > 1<<40 {
+						prod = 1 << 40
+						break
+					}
+				}
+				total += prod
+				if total > 1<<40 {
+					total = 1 << 40
+				}
+				return
+			}
+			u := features.RegValue(n.Threshold, shiftAt(m.Shifts, n.Feature), valueBits)
+			l := cloneSpans(spans)
+			s := l[n.Feature]
+			if _, ok := l[n.Feature]; !ok {
+				s = [2]uint32{0, fieldMax(valueBits)}
+			}
+			ls := s
+			if u < ls[1] {
+				ls[1] = u
+			}
+			l[n.Feature] = ls
+			walk(n.Left, l)
+			r := cloneSpans(spans)
+			s2, ok := r[n.Feature]
+			if !ok {
+				s2 = [2]uint32{0, fieldMax(valueBits)}
+			}
+			if u+1 > s2[0] {
+				s2[0] = u + 1
+			}
+			r[n.Feature] = s2
+			walk(n.Right, r)
+		}
+		walk(st.Tree.Root, map[int][2]uint32{})
+	}
+	return total
+}
+
+// shiftAt reads a per-feature shift from a possibly-nil shift table.
+func shiftAt(shifts []uint, f int) uint {
+	if f < len(shifts) {
+		return shifts[f]
+	}
+	return 0
+}
+
+func cloneSpans(m map[int][2]uint32) map[int][2]uint32 {
+	out := make(map[int][2]uint32, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package rangemark
+
+import (
+	"testing"
+
+	"splidt/internal/core"
+	"splidt/internal/features"
+	"splidt/internal/trace"
+)
+
+func trainModel(t *testing.T, id trace.DatasetID, n int, cfg core.Config) (*core.Model, []trace.Sample) {
+	t.Helper()
+	flows := trace.Generate(id, n, 21)
+	samples := trace.BuildSamples(flows, len(cfg.Partitions))
+	train, test := trace.Split(samples, 0.7)
+	m, err := core.Train(train, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return m, test
+}
+
+// rows renders a sample's windows at the model's register precision.
+func rows(s trace.Sample, m *core.Model) [][]float64 {
+	out := make([][]float64, len(s.Windows))
+	for i, w := range s.Windows {
+		row := make([]float64, len(w))
+		copy(row, w[:])
+		if m.Shifts != nil {
+			row = features.QuantizeRow(row, m.Shifts)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestCompileBasic(t *testing.T) {
+	cfg := core.Config{Partitions: []int{3, 3}, FeaturesPerSubtree: 4, NumClasses: 4}
+	m, _ := trainModel(t, trace.D2, 300, cfg)
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if c.K != 4 || len(c.FeatureTables) != 4 {
+		t.Fatalf("K/tables = %d/%d, want 4/4", c.K, len(c.FeatureTables))
+	}
+	if c.Entries() <= 0 {
+		t.Fatal("no TCAM entries")
+	}
+	if c.FeatureEntries()+len(c.ModelRules()) != c.Entries() {
+		t.Fatal("Entries() accounting mismatch")
+	}
+	leaves := 0
+	for _, st := range m.Subtrees {
+		leaves += st.Tree.NumLeaves()
+	}
+	if len(c.ModelRules()) != leaves {
+		t.Fatalf("model rules %d != total leaves %d (range marking is 1:1)",
+			len(c.ModelRules()), leaves)
+	}
+}
+
+func TestCompiledMatchesSoftware(t *testing.T) {
+	// The load-bearing equivalence: table-driven inference must agree with
+	// the software model on every test sample.
+	cfg := core.Config{Partitions: []int{3, 2, 2}, FeaturesPerSubtree: 4, NumClasses: 13}
+	m, test := trainModel(t, trace.D3, 650, cfg)
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, s := range test {
+		want := m.Classify(s.Windows)
+		// Walk compiled tables with the same early-exit semantics as the
+		// software model.
+		sid := 1
+		got := -1
+		rws := rows(s, m)
+		for i, row := range rws {
+			marks := c.Marks(sid, row)
+			rule, ok := c.Lookup(sid, marks)
+			if !ok {
+				t.Fatalf("model table miss at sid %d", sid)
+			}
+			if rule.Exit || i == len(rws)-1 {
+				// Transition rules carry the leaf's majority class as the
+				// fallback label for flows ending mid-model.
+				got = rule.Class
+				break
+			}
+			sid = rule.Next
+		}
+		if got != want {
+			t.Fatalf("compiled %d != software %d", got, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no samples checked")
+	}
+}
+
+func TestModelRulesPartitionMarkSpace(t *testing.T) {
+	// Within a subtree, exactly one rule must match any mark combination
+	// that the feature tables can produce.
+	cfg := core.Config{Partitions: []int{3}, FeaturesPerSubtree: 4, NumClasses: 4}
+	m, test := trainModel(t, trace.D2, 300, cfg)
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range test {
+		row := rows(s, m)[0]
+		marks := c.Marks(1, row)
+		n := 0
+		for _, r := range c.ModelRules() {
+			if r.SID != 1 {
+				continue
+			}
+			hit := true
+			for slot := 0; slot < c.K; slot++ {
+				if marks[slot] < r.Lo[slot] || marks[slot] > r.Hi[slot] {
+					hit = false
+					break
+				}
+			}
+			if hit {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("marks %v matched %d rules, want exactly 1", marks, n)
+		}
+	}
+}
+
+func TestSlotFeaturesWithinK(t *testing.T) {
+	cfg := core.Config{Partitions: []int{2, 2, 2}, FeaturesPerSubtree: 3, NumClasses: 19}
+	m, _ := trainModel(t, trace.D1, 570, cfg)
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range m.Subtrees {
+		slots := c.SlotFeatures(st.SID)
+		if len(slots) != 3 {
+			t.Fatalf("SID %d has %d slots, want 3", st.SID, len(slots))
+		}
+		used := 0
+		for _, f := range slots {
+			if f >= 0 {
+				used++
+			}
+		}
+		if used != len(st.Features()) {
+			t.Fatalf("SID %d slot assignment covers %d features, want %d",
+				st.SID, used, len(st.Features()))
+		}
+	}
+}
+
+func TestQuantizedCompile(t *testing.T) {
+	cfg := core.Config{Partitions: []int{3, 3}, FeaturesPerSubtree: 4, NumClasses: 4, QuantizeBits: 16}
+	m, test := trainModel(t, trace.D2, 300, cfg)
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ValueBits != 16 {
+		t.Fatalf("ValueBits = %d, want 16", c.ValueBits)
+	}
+	// Spot equivalence on quantised rows.
+	for _, s := range test[:10] {
+		want := m.Classify(s.Windows)
+		sid := 1
+		rws := rows(s, m)
+		got := -1
+		for i, row := range rws {
+			marks := c.Marks(sid, row)
+			rule, ok := c.Lookup(sid, marks)
+			if !ok {
+				t.Fatal("model table miss")
+			}
+			if rule.Exit || i == len(rws)-1 {
+				got = rule.Class
+				break
+			}
+			sid = rule.Next
+		}
+		if got != want {
+			t.Fatalf("quantised compiled %d != software %d", got, want)
+		}
+	}
+}
+
+func TestModelKeyBits(t *testing.T) {
+	cfg := core.Config{Partitions: []int{3, 3}, FeaturesPerSubtree: 4, NumClasses: 4}
+	m, _ := trainModel(t, trace.D2, 300, cfg)
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb := c.ModelKeyBits(); kb < SIDBits+c.K || kb > SIDBits+32*c.K {
+		t.Fatalf("ModelKeyBits = %d implausible", kb)
+	}
+	if c.Bits() <= 0 {
+		t.Fatal("Bits() = 0")
+	}
+}
+
+func TestNaiveEntriesAtLeastRangeMarking(t *testing.T) {
+	cfg := core.Config{Partitions: []int{4, 3}, FeaturesPerSubtree: 4, NumClasses: 13}
+	m, _ := trainModel(t, trace.D3, 650, cfg)
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := NaiveEntries(m)
+	if naive < int64(len(c.ModelRules())) {
+		t.Fatalf("naive %d < range-marking model rules %d", naive, len(c.ModelRules()))
+	}
+}
+
+func TestUnknownSIDPanics(t *testing.T) {
+	cfg := core.Config{Partitions: []int{2}, FeaturesPerSubtree: 2, NumClasses: 4}
+	m, _ := trainModel(t, trace.D2, 100, cfg)
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SlotFeatures(999) did not panic")
+		}
+	}()
+	c.SlotFeatures(999)
+}
+
+func BenchmarkCompile(b *testing.B) {
+	flows := trace.Generate(trace.D2, 300, 21)
+	samples := trace.BuildSamples(flows, 2)
+	m, err := core.Train(samples, core.Config{
+		Partitions: []int{3, 3}, FeaturesPerSubtree: 4, NumClasses: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

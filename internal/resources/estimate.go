@@ -1,0 +1,79 @@
+package resources
+
+import (
+	"splidt/internal/core"
+	"splidt/internal/features"
+	"splidt/internal/rangemark"
+	"splidt/internal/trace"
+)
+
+// SpliDTLogicStages is the match-action stage demand of the SpliDT program
+// beyond state storage: operator-selection MATs, the k match-key generator
+// tables (parallel within a stage), and the model table (§3.1).
+const SpliDTLogicStages = 3
+
+// ValueBits returns the register width of a model's features.
+func ValueBits(m *core.Model) int {
+	if b := m.Cfg.QuantizeBits; b > 0 && b < 32 {
+		return b
+	}
+	return 32
+}
+
+// DepChainDepth returns the longest feature dependency chain across all
+// features the model consults (§3.1.1; the paper observes at most 3).
+func DepChainDepth(m *core.Model) int {
+	depth := 1
+	for _, f := range m.TotalFeatures() {
+		if f < features.NumTotal {
+			if d := features.ID(f).DependencyDepth(); d > depth {
+				depth = d
+			}
+		}
+	}
+	return depth
+}
+
+// StateBitsPerFlow returns a SpliDT deployment's complete per-flow state:
+// k feature registers at the value width, the reserved SID/counter
+// registers, and one intermediate register per dependency-chain stage
+// beyond the first.
+func StateBitsPerFlow(k, valueBits, depChain int) int {
+	chain := 0
+	if depChain > 1 {
+		chain = (depChain - 1) * valueBits
+	}
+	return k*valueBits + ReservedBits(valueBits) + chain
+}
+
+// EstimateSpliDT builds the resource usage of a compiled SpliDT model at a
+// concurrency target under a workload — the numbers the feasibility test
+// consumes and Tables 1/3/5 report.
+func EstimateSpliDT(m *core.Model, c *rangemark.Compiled, flows int, w trace.Workload) Usage {
+	vb := ValueBits(m)
+	k := m.Cfg.FeaturesPerSubtree
+	chain := DepChainDepth(m)
+	mean := RecircMeanBps(flows, m.NumPartitions(), w)
+	return Usage{
+		Flows:               flows,
+		FeatureRegisterBits: k * vb,
+		StateBitsPerFlow:    StateBitsPerFlow(k, vb, chain),
+		DepChainDepth:       chain,
+		LogicStages:         SpliDTLogicStages,
+		TCAMEntries:         c.Entries(),
+		TCAMBits:            int64(c.Bits()),
+		RecircMeanBps:       mean,
+	}
+}
+
+// MaxFlowsSpliDT returns the flow capacity of a SpliDT configuration on a
+// profile (ignoring TCAM, which Feasible checks separately).
+func MaxFlowsSpliDT(p Profile, k, valueBits, depChain int) int {
+	return p.MaxFlows(StateBitsPerFlow(k, valueBits, depChain), depChain, SpliDTLogicStages)
+}
+
+// EstimateRecirc returns recirculation statistics for a model under a
+// workload at a flow target (Tables 1 and 5).
+func EstimateRecirc(m *core.Model, flows int, w trace.Workload, seed int64) (meanBps, stdBps float64) {
+	return RecircStats(flows, m.NumPartitions(), w, seed)
+}

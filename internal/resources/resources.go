@@ -1,0 +1,215 @@
+// Package resources models the hardware budgets of programmable data planes
+// (stages, TCAM bits, per-stage register SRAM, recirculation bandwidth) and
+// provides the estimation and feasibility tests SpliDT's design search and
+// simulator share (§3.2.1 "Resource Estimation and Feasibility Testing").
+//
+// The model is analytic and deliberately explicit: per-flow state occupies
+// register SRAM spread over pipeline stages; match-action logic occupies
+// stages and TCAM bits; recirculation occupies resubmission bandwidth. A
+// configuration is feasible when all four budgets hold simultaneously —
+// this single code path backs the feasibility bit in the BO loop, the
+// capacity checks in the RMT simulator, and the resource columns of the
+// paper's tables.
+package resources
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"splidt/internal/pkt"
+	"splidt/internal/trace"
+)
+
+// Profile describes one hardware target.
+type Profile struct {
+	Name string
+	// Stages is the number of match-action pipeline stages.
+	Stages int
+	// OverheadStages are consumed by parsing, hashing, and bookkeeping.
+	OverheadStages int
+	// TCAMBits is the total ternary match capacity.
+	TCAMBits int64
+	// RegisterBitsPerStage is the stateful SRAM available to register arrays
+	// in one stage.
+	RegisterBitsPerStage int64
+	// RecircBps is the resubmission channel capacity in bits/sec.
+	RecircBps float64
+	// MATsPerStage bounds parallel match tables in one stage.
+	MATsPerStage int
+}
+
+// Tofino1 models the paper's primary target (Table 3: 6.4 Mbit TCAM, 12
+// stages; 100 Gbps recirculation). The per-stage register SRAM is calibrated
+// so the k-versus-flows trade of the paper's footnote 1 and Table 3 emerges:
+// top-k systems fit k≈6 at 100K flows, k≈4 at 500K, and only k≈2 at 1M.
+func Tofino1() Profile {
+	return Profile{
+		Name:                 "tofino1",
+		Stages:               12,
+		OverheadStages:       1,
+		TCAMBits:             6_400_000,
+		RegisterBitsPerStage: 16 << 20, // 16 Mbit of stateful SRAM per stage
+		RecircBps:            100e9,
+		MATsPerStage:         16,
+	}
+}
+
+// Tofino2 doubles most budgets (20 stages on the real part).
+func Tofino2() Profile {
+	p := Tofino1()
+	p.Name = "tofino2"
+	p.Stages = 20
+	p.TCAMBits *= 2
+	p.RegisterBitsPerStage *= 2
+	p.RecircBps = 200e9
+	return p
+}
+
+// X2 approximates the Xsight Labs X2 switch.
+func X2() Profile {
+	p := Tofino1()
+	p.Name = "x2"
+	p.Stages = 16
+	p.TCAMBits = 8_000_000
+	return p
+}
+
+// Pensando approximates an AMD Pensando DPU-class SmartNIC: fewer stages and
+// less state (the paper notes ~40K flows at k=6 versus 65K on Tofino1).
+func Pensando() Profile {
+	return Profile{
+		Name:                 "pensando",
+		Stages:               8,
+		OverheadStages:       1,
+		TCAMBits:             2_000_000,
+		RegisterBitsPerStage: 20 << 20,
+		RecircBps:            50e9,
+		MATsPerStage:         8,
+	}
+}
+
+// Profiles lists the builtin targets.
+func Profiles() []Profile { return []Profile{Tofino1(), Tofino2(), X2(), Pensando()} }
+
+// SIDBits is the subtree-ID register width.
+const SIDBits = 16
+
+// ReservedBits is the per-flow reserved state (§3.1.1): the subtree ID
+// register plus the packet counter. The counter counts within the current
+// window (it resets at every boundary and feeds the pkt_count feature), so
+// it is a feature register and scales with the deployment's value width —
+// this is what lets 8-bit deployments reach 4M flows in Figure 12.
+func ReservedBits(valueBits int) int { return SIDBits + valueBits }
+
+// Usage captures one deployment candidate's resource demands.
+type Usage struct {
+	// Flows is the number of concurrent flows the deployment must support.
+	Flows int
+	// FeatureRegisterBits is the per-flow feature register footprint
+	// (k × value width) — the "Register Size (bits)" column of Table 3.
+	FeatureRegisterBits int
+	// StateBitsPerFlow is the complete per-flow state: feature registers,
+	// reserved registers, and the dependency chain.
+	StateBitsPerFlow int
+	// DepChainDepth is the longest feature dependency chain (pipeline
+	// stages needed in sequence to compute features).
+	DepChainDepth int
+	// LogicStages is the number of stages the match-action program needs
+	// beyond state storage.
+	LogicStages int
+	// TCAMEntries and TCAMBits are the rule count and ternary bit usage.
+	TCAMEntries int
+	TCAMBits    int64
+	// RecircMeanBps is the steady-state recirculation load.
+	RecircMeanBps float64
+}
+
+// StateStages returns the stages consumed by per-flow state: SRAM volume
+// and dependency-chain sequencing both bound it from below.
+func (p Profile) StateStages(u Usage) int {
+	bits := int64(u.Flows) * int64(u.StateBitsPerFlow)
+	n := int((bits + p.RegisterBitsPerStage - 1) / p.RegisterBitsPerStage)
+	if n < u.DepChainDepth {
+		n = u.DepChainDepth
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Feasible reports whether the usage fits the profile, with a reason when it
+// does not.
+func (p Profile) Feasible(u Usage) error {
+	if u.Flows <= 0 {
+		return fmt.Errorf("resources: non-positive flow target")
+	}
+	if u.TCAMBits > p.TCAMBits {
+		return fmt.Errorf("resources: TCAM %d bits exceeds budget %d", u.TCAMBits, p.TCAMBits)
+	}
+	stages := p.OverheadStages + p.StateStages(u) + u.LogicStages
+	if stages > p.Stages {
+		return fmt.Errorf("resources: %d stages needed, %d available", stages, p.Stages)
+	}
+	if u.RecircMeanBps > p.RecircBps {
+		return fmt.Errorf("resources: recirculation %.0f bps exceeds %.0f", u.RecircMeanBps, p.RecircBps)
+	}
+	return nil
+}
+
+// MaxFlows returns the largest concurrent flow count the profile can hold
+// for a given per-flow state footprint and logic stage demand (0 when the
+// logic alone does not fit).
+func (p Profile) MaxFlows(stateBitsPerFlow, depChain, logicStages int) int {
+	free := p.Stages - p.OverheadStages - logicStages
+	if depChain > free {
+		return 0
+	}
+	if free <= 0 || stateBitsPerFlow <= 0 {
+		return 0
+	}
+	return int(int64(free) * p.RegisterBitsPerStage / int64(stateBitsPerFlow))
+}
+
+// RecircMeanBps returns the steady-state recirculation bandwidth of a
+// deployment: by Little's law, flows complete at rate N/T, and each flow
+// emits one control packet per partition transition (partitions−1 in
+// total), §3.1.3.
+func RecircMeanBps(flows, partitions int, w trace.Workload) float64 {
+	if partitions <= 1 {
+		return 0
+	}
+	perFlow := float64(partitions - 1)
+	return w.CompletionRate(flows) * perFlow * pkt.ControlPacketBytes * 8
+}
+
+// RecircStats estimates mean and standard deviation of recirculation
+// bandwidth in bits/sec over one-second windows, modelling diurnal/bursty
+// rate modulation as a lognormal factor (the paper reports mean ± std in
+// Tables 1 and 5).
+func RecircStats(flows, partitions int, w trace.Workload, seed int64) (mean, std float64) {
+	base := RecircMeanBps(flows, partitions, w)
+	if base == 0 {
+		return 0, 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const windows = 256
+	const sigma = 0.45 // workload burstiness of the completion process
+	var sum, sum2 float64
+	for i := 0; i < windows; i++ {
+		f := math.Exp(rng.NormFloat64()*sigma - sigma*sigma/2)
+		x := base * f
+		sum += x
+		sum2 += x * x
+	}
+	mean = sum / windows
+	v := sum2/windows - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return mean, math.Sqrt(v)
+}
+
+// Mbps converts bits/sec to Mbps for reporting.
+func Mbps(bps float64) float64 { return bps / 1e6 }

@@ -1,0 +1,234 @@
+package resources
+
+import (
+	"testing"
+
+	"splidt/internal/core"
+	"splidt/internal/rangemark"
+	"splidt/internal/trace"
+)
+
+func TestProfilesSane(t *testing.T) {
+	for _, p := range Profiles() {
+		if p.Stages <= p.OverheadStages {
+			t.Errorf("%s: no usable stages", p.Name)
+		}
+		if p.TCAMBits <= 0 || p.RegisterBitsPerStage <= 0 || p.RecircBps <= 0 {
+			t.Errorf("%s: non-positive budget", p.Name)
+		}
+	}
+}
+
+func TestTofino1MatchesPaperBudget(t *testing.T) {
+	p := Tofino1()
+	if p.TCAMBits != 6_400_000 || p.Stages != 12 {
+		t.Fatalf("Tofino1 = %d bits / %d stages, want 6.4Mb / 12 (Table 3)", p.TCAMBits, p.Stages)
+	}
+}
+
+func TestStateStages(t *testing.T) {
+	p := Tofino1()
+	u := Usage{Flows: 1_000_000, StateBitsPerFlow: 64, DepChainDepth: 1}
+	// 64 Mbit / 16 Mbit per stage = 4 stages.
+	if got := p.StateStages(u); got != 4 {
+		t.Fatalf("StateStages = %d, want 4", got)
+	}
+	u = Usage{Flows: 1000, StateBitsPerFlow: 64, DepChainDepth: 3}
+	if got := p.StateStages(u); got != 3 {
+		t.Fatalf("dep chain must floor stages at 3, got %d", got)
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	p := Tofino1()
+	good := Usage{
+		Flows: 100_000, FeatureRegisterBits: 128, StateBitsPerFlow: 224,
+		DepChainDepth: 2, LogicStages: 3, TCAMEntries: 5_000,
+		TCAMBits: 1_000_000, RecircMeanBps: 10e6,
+	}
+	if err := p.Feasible(good); err != nil {
+		t.Fatalf("good config infeasible: %v", err)
+	}
+	bad := good
+	bad.TCAMBits = p.TCAMBits + 1
+	if p.Feasible(bad) == nil {
+		t.Fatal("TCAM overflow accepted")
+	}
+	bad = good
+	bad.RecircMeanBps = p.RecircBps * 2
+	if p.Feasible(bad) == nil {
+		t.Fatal("recirc overflow accepted")
+	}
+	bad = good
+	bad.Flows = 100_000_000 // state alone needs > 12 stages
+	if p.Feasible(bad) == nil {
+		t.Fatal("stage overflow accepted")
+	}
+	bad = good
+	bad.Flows = 0
+	if p.Feasible(bad) == nil {
+		t.Fatal("zero flows accepted")
+	}
+}
+
+func TestMaxFlowsMonotoneInState(t *testing.T) {
+	p := Tofino1()
+	small := p.MaxFlows(64, 1, 3)
+	big := p.MaxFlows(256, 1, 3)
+	if small <= big {
+		t.Fatalf("more state per flow should lower capacity: %d vs %d", small, big)
+	}
+	if p.MaxFlows(64, 20, 3) != 0 {
+		t.Fatal("impossible dep chain should yield 0 flows")
+	}
+	if p.MaxFlows(0, 1, 3) != 0 {
+		t.Fatal("zero state bits should yield 0 (guard)")
+	}
+}
+
+func TestMaxFlowsSupportsMillions(t *testing.T) {
+	// SpliDT at k=2, 32-bit, shallow dependency chain: the paper scales to
+	// 1M flows on Tofino1.
+	got := MaxFlowsSpliDT(Tofino1(), 2, 32, 1)
+	if got < 1_000_000 {
+		t.Fatalf("k=2 capacity %d < 1M flows", got)
+	}
+	// At k=6 the same target cannot hold 1M flows (footnote 1's trade).
+	if MaxFlowsSpliDT(Tofino1(), 6, 32, 1) >= 1_000_000 {
+		t.Fatal("k=6 should not reach 1M flows on Tofino1")
+	}
+}
+
+func TestFewerFeaturesMoreFlows(t *testing.T) {
+	// The k-vs-flows trade (paper footnote 1).
+	p := Tofino1()
+	k4 := MaxFlowsSpliDT(p, 4, 32, 2)
+	k6 := MaxFlowsSpliDT(p, 6, 32, 2)
+	if k6 >= k4 {
+		t.Fatalf("k=6 capacity %d not below k=4 capacity %d", k6, k4)
+	}
+}
+
+func TestLowerPrecisionMoreFlows(t *testing.T) {
+	// Figure 12: halving precision roughly doubles capacity.
+	p := Tofino1()
+	b32 := MaxFlowsSpliDT(p, 4, 32, 1)
+	b16 := MaxFlowsSpliDT(p, 4, 16, 1)
+	b8 := MaxFlowsSpliDT(p, 4, 8, 1)
+	if b16 <= b32 || b8 <= b16 {
+		t.Fatalf("precision scaling broken: 32→%d, 16→%d, 8→%d", b32, b16, b8)
+	}
+}
+
+func TestRecircMeanBps(t *testing.T) {
+	// 1M flows, 7 partitions, Hadoop: 1e6/60 completions/s × 6 × 512 bits.
+	got := RecircMeanBps(1_000_000, 7, trace.Hadoop)
+	want := 1e6 / 60.0 * 6 * 512
+	if got < want*0.99 || got > want*1.01 {
+		t.Fatalf("recirc = %v, want ≈ %v", got, want)
+	}
+	if RecircMeanBps(1_000_000, 1, trace.Hadoop) != 0 {
+		t.Fatal("single partition must not recirculate")
+	}
+}
+
+func TestRecircWithinPaperEnvelope(t *testing.T) {
+	// Table 5's worst case is ~60 Mbps (D7, HD, 1M flows, ~6 partitions):
+	// ≤ 0.05% of the 100 Gbps channel.
+	bps := RecircMeanBps(1_000_000, 7, trace.Hadoop)
+	if Mbps(bps) > 100 {
+		t.Fatalf("recirc %v Mbps implausibly high", Mbps(bps))
+	}
+	if bps/Tofino1().RecircBps > 0.001 {
+		t.Fatalf("recirc fraction %.5f above 0.1%%", bps/Tofino1().RecircBps)
+	}
+}
+
+func TestHadoopRecircExceedsWebserver(t *testing.T) {
+	hd := RecircMeanBps(500_000, 5, trace.Hadoop)
+	ws := RecircMeanBps(500_000, 5, trace.Webserver)
+	if hd <= ws {
+		t.Fatalf("HD %v ≤ WS %v; shorter flows must recirculate more", hd, ws)
+	}
+}
+
+func TestRecircStats(t *testing.T) {
+	mean, std := RecircStats(1_000_000, 5, trace.Hadoop, 1)
+	if mean <= 0 || std <= 0 {
+		t.Fatalf("stats = %v ± %v, want positive", mean, std)
+	}
+	base := RecircMeanBps(1_000_000, 5, trace.Hadoop)
+	if mean < base*0.7 || mean > base*1.3 {
+		t.Fatalf("stat mean %v far from analytic %v", mean, base)
+	}
+	m0, s0 := RecircStats(1_000_000, 1, trace.Hadoop, 1)
+	if m0 != 0 || s0 != 0 {
+		t.Fatal("single partition stats must be zero")
+	}
+}
+
+func TestStateBitsPerFlow(t *testing.T) {
+	// k=4 × 32 bits + (16 SID + 32 counter) reserved + 1 chain register.
+	if got := StateBitsPerFlow(4, 32, 2); got != 4*32+ReservedBits(32)+32 {
+		t.Fatalf("StateBitsPerFlow = %d", got)
+	}
+	if got := StateBitsPerFlow(4, 32, 1); got != 4*32+ReservedBits(32) {
+		t.Fatalf("chainless StateBitsPerFlow = %d", got)
+	}
+	// The counter scales with register precision (Figure 12's 4M point):
+	// an 8-bit k=1 deployment needs 8 + 16 + 8 = 32 bits per flow.
+	if got := StateBitsPerFlow(1, 8, 1); got != 32 {
+		t.Fatalf("8-bit StateBitsPerFlow = %d, want 32", got)
+	}
+}
+
+func TestEightBitReachesFourMillionFlows(t *testing.T) {
+	if got := MaxFlowsSpliDT(Tofino1(), 1, 8, 1); got < 4_000_000 {
+		t.Fatalf("8-bit k=1 capacity %d < 4M (Figure 12)", got)
+	}
+}
+
+func TestEstimateSpliDT(t *testing.T) {
+	flows := trace.Generate(trace.D2, 300, 5)
+	samples := trace.BuildSamples(flows, 3)
+	m, err := core.Train(samples, core.Config{
+		Partitions: []int{2, 2, 2}, FeaturesPerSubtree: 4, NumClasses: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rangemark.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := EstimateSpliDT(m, c, 500_000, trace.Webserver)
+	if u.FeatureRegisterBits != 4*32 {
+		t.Fatalf("feature register bits = %d, want 128", u.FeatureRegisterBits)
+	}
+	if u.TCAMEntries != c.Entries() {
+		t.Fatal("TCAM entries mismatch")
+	}
+	if u.DepChainDepth < 1 || u.DepChainDepth > 3 {
+		t.Fatalf("dep chain %d outside [1,3]", u.DepChainDepth)
+	}
+	if err := Tofino1().Feasible(u); err != nil {
+		t.Fatalf("typical config infeasible: %v", err)
+	}
+}
+
+func TestValueBits(t *testing.T) {
+	m := &core.Model{Cfg: core.Config{QuantizeBits: 16}}
+	if ValueBits(m) != 16 {
+		t.Fatal("quantised value bits")
+	}
+	m.Cfg.QuantizeBits = 0
+	if ValueBits(m) != 32 {
+		t.Fatal("default value bits")
+	}
+}
+
+func TestMbps(t *testing.T) {
+	if Mbps(5e6) != 5 {
+		t.Fatal("Mbps conversion")
+	}
+}

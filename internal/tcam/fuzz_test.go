@@ -1,0 +1,45 @@
+package tcam
+
+import "testing"
+
+// FuzzExpandRange checks exact range coverage for arbitrary [lo, hi] pairs:
+// every prefix set must cover the boundaries, exclude the neighbours, and
+// stay within the worst-case prefix count.
+func FuzzExpandRange(f *testing.F) {
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(1), uint32(6))
+	f.Add(uint32(0), uint32(^uint32(0)))
+	f.Add(uint32(1000), uint32(1_000_000))
+	f.Add(uint32(0x7FFFFFFF), uint32(0x80000001))
+	f.Fuzz(func(t *testing.T, a, b uint32) {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		ps := ExpandRange(lo, hi, 32)
+		if len(ps) == 0 || len(ps) > 62 {
+			t.Fatalf("[%d,%d]: %d prefixes", lo, hi, len(ps))
+		}
+		check := func(v uint32, want bool) {
+			got := false
+			for _, p := range ps {
+				if (v^p.Value)&p.Mask == 0 {
+					got = true
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("[%d,%d]: cover(%d) = %v, want %v", lo, hi, v, got, want)
+			}
+		}
+		check(lo, true)
+		check(hi, true)
+		check(lo+(hi-lo)/2, true)
+		if lo > 0 {
+			check(lo-1, false)
+		}
+		if hi < ^uint32(0) {
+			check(hi+1, false)
+		}
+	})
+}

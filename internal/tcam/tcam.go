@@ -1,0 +1,161 @@
+// Package tcam implements the ternary content-addressable memory the
+// data-plane pipeline matches against: multi-field value/mask entries with
+// priorities, functional lookup, capacity accounting in TCAM bits, and the
+// range-to-prefix expansion that converts decision-tree thresholds into
+// ternary rules.
+package tcam
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one ternary rule. A field matches when
+// (input ^ Value[i]) & Mask[i] == 0; an entry matches when all fields match.
+// Higher Priority wins among matching entries.
+type Entry struct {
+	Value    []uint32
+	Mask     []uint32
+	Priority int
+	Action   int // opaque action identifier returned by Lookup
+}
+
+// Table is an ordered ternary match table over fixed-width fields.
+type Table struct {
+	Name      string
+	FieldBits []int // per-field key width in bits (≤ 32 each)
+	entries   []Entry
+	sorted    bool
+}
+
+// New creates a table with the given per-field key widths.
+func New(name string, fieldBits ...int) *Table {
+	for _, b := range fieldBits {
+		if b < 1 || b > 32 {
+			panic(fmt.Sprintf("tcam: field width %d out of [1,32]", b))
+		}
+	}
+	return &Table{Name: name, FieldBits: fieldBits}
+}
+
+// Insert adds an entry. Value/Mask lengths must equal the field count, and
+// bits outside each field's width must be zero.
+func (t *Table) Insert(e Entry) {
+	if len(e.Value) != len(t.FieldBits) || len(e.Mask) != len(t.FieldBits) {
+		panic(fmt.Sprintf("tcam(%s): entry arity %d/%d, want %d",
+			t.Name, len(e.Value), len(e.Mask), len(t.FieldBits)))
+	}
+	for i, b := range t.FieldBits {
+		lim := fieldLimit(b)
+		if e.Value[i] > lim || e.Mask[i] > lim {
+			panic(fmt.Sprintf("tcam(%s): field %d value/mask exceeds %d bits", t.Name, i, b))
+		}
+	}
+	t.entries = append(t.entries, e)
+	t.sorted = false
+}
+
+func fieldLimit(bits int) uint32 {
+	if bits == 32 {
+		return ^uint32(0)
+	}
+	return 1<<uint(bits) - 1
+}
+
+// Lookup returns the highest-priority matching entry's action.
+func (t *Table) Lookup(fields ...uint32) (action int, ok bool) {
+	if len(fields) != len(t.FieldBits) {
+		panic(fmt.Sprintf("tcam(%s): lookup arity %d, want %d",
+			t.Name, len(fields), len(t.FieldBits)))
+	}
+	if !t.sorted {
+		sort.SliceStable(t.entries, func(i, j int) bool {
+			return t.entries[i].Priority > t.entries[j].Priority
+		})
+		t.sorted = true
+	}
+	for i := range t.entries {
+		e := &t.entries[i]
+		hit := true
+		for f, in := range fields {
+			if (in^e.Value[f])&e.Mask[f] != 0 {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return e.Action, true
+		}
+	}
+	return 0, false
+}
+
+// Len returns the entry count.
+func (t *Table) Len() int { return len(t.entries) }
+
+// KeyBits returns the total match-key width of one entry.
+func (t *Table) KeyBits() int {
+	n := 0
+	for _, b := range t.FieldBits {
+		n += b
+	}
+	return n
+}
+
+// Bits returns the table's total TCAM bit consumption (entries × key width).
+func (t *Table) Bits() int { return t.Len() * t.KeyBits() }
+
+// Entries returns a copy of the entries (post-sort order not guaranteed).
+func (t *Table) Entries() []Entry {
+	out := make([]Entry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}
+
+// Prefix is one value/mask pair produced by range expansion.
+type Prefix struct {
+	Value uint32
+	Mask  uint32
+}
+
+// ExpandRange converts the inclusive integer range [lo, hi] over a width-bit
+// field into a minimal set of ternary prefixes — the classic range-to-prefix
+// expansion whose entry blow-up drives TCAM costs for decision-tree feature
+// tables. Panics if lo > hi or hi exceeds the field limit.
+func ExpandRange(lo, hi uint32, bits int) []Prefix {
+	lim := fieldLimit(bits)
+	if lo > hi {
+		panic("tcam: lo > hi")
+	}
+	if hi > lim {
+		panic("tcam: hi exceeds field width")
+	}
+	var out []Prefix
+	expand(uint64(lo), uint64(hi), 0, uint64(lim), bits, &out)
+	return out
+}
+
+// expand recursively covers [lo,hi] within the aligned block [blockLo,
+// blockHi] of the given width.
+func expand(lo, hi, blockLo, blockHi uint64, bits int, out *[]Prefix) {
+	if lo == blockLo && hi == blockHi {
+		// Whole block: one prefix. Mask covers the fixed high bits.
+		size := blockHi - blockLo + 1
+		var maskBits int
+		for s := size; s > 1; s >>= 1 {
+			maskBits++
+		}
+		mask := fieldLimit(bits) &^ uint32((uint64(1)<<uint(maskBits))-1)
+		*out = append(*out, Prefix{Value: uint32(blockLo), Mask: mask})
+		return
+	}
+	mid := blockLo + (blockHi-blockLo)/2
+	if hi <= mid {
+		expand(lo, hi, blockLo, mid, bits, out)
+	} else if lo > mid {
+		expand(lo, hi, mid+1, blockHi, bits, out)
+	} else {
+		expand(lo, mid, blockLo, mid, bits, out)
+		expand(mid+1, hi, mid+1, blockHi, bits, out)
+	}
+}

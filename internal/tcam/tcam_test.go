@@ -1,0 +1,237 @@
+package tcam
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExactMatch(t *testing.T) {
+	tb := New("exact", 8)
+	tb.Insert(Entry{Value: []uint32{7}, Mask: []uint32{0xFF}, Priority: 1, Action: 42})
+	if a, ok := tb.Lookup(7); !ok || a != 42 {
+		t.Fatalf("Lookup(7) = %d,%v, want 42,true", a, ok)
+	}
+	if _, ok := tb.Lookup(8); ok {
+		t.Fatal("Lookup(8) matched")
+	}
+}
+
+func TestTernaryWildcard(t *testing.T) {
+	tb := New("wild", 8)
+	tb.Insert(Entry{Value: []uint32{0}, Mask: []uint32{0}, Priority: 0, Action: 1}) // match-all
+	tb.Insert(Entry{Value: []uint32{0xF0}, Mask: []uint32{0xF0}, Priority: 5, Action: 2})
+	if a, _ := tb.Lookup(0xF3); a != 2 {
+		t.Fatalf("high-priority prefix should win, got action %d", a)
+	}
+	if a, _ := tb.Lookup(0x03); a != 1 {
+		t.Fatalf("fallback should match, got action %d", a)
+	}
+}
+
+func TestMultiField(t *testing.T) {
+	tb := New("multi", 16, 8)
+	tb.Insert(Entry{Value: []uint32{100, 3}, Mask: []uint32{0xFFFF, 0xFF}, Priority: 1, Action: 9})
+	if a, ok := tb.Lookup(100, 3); !ok || a != 9 {
+		t.Fatalf("multi-field exact failed: %d %v", a, ok)
+	}
+	if _, ok := tb.Lookup(100, 4); ok {
+		t.Fatal("second field mismatch matched anyway")
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	tb := New("prio", 4)
+	tb.Insert(Entry{Value: []uint32{0}, Mask: []uint32{0}, Priority: 1, Action: 1})
+	tb.Insert(Entry{Value: []uint32{0}, Mask: []uint32{0}, Priority: 9, Action: 2})
+	tb.Insert(Entry{Value: []uint32{0}, Mask: []uint32{0}, Priority: 5, Action: 3})
+	if a, _ := tb.Lookup(0); a != 2 {
+		t.Fatalf("priority 9 should win, got %d", a)
+	}
+}
+
+func TestBitsAccounting(t *testing.T) {
+	tb := New("bits", 32, 8)
+	if tb.KeyBits() != 40 {
+		t.Fatalf("KeyBits = %d, want 40", tb.KeyBits())
+	}
+	tb.Insert(Entry{Value: []uint32{0, 0}, Mask: []uint32{0, 0}, Action: 1})
+	tb.Insert(Entry{Value: []uint32{1, 1}, Mask: []uint32{0xFFFFFFFF, 0xFF}, Action: 2})
+	if tb.Bits() != 80 {
+		t.Fatalf("Bits = %d, want 80", tb.Bits())
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tb := New("v", 8)
+	cases := []Entry{
+		{Value: []uint32{1, 2}, Mask: []uint32{0xFF, 0xFF}}, // arity
+		{Value: []uint32{0x100}, Mask: []uint32{0xFF}},      // value too wide
+		{Value: []uint32{1}, Mask: []uint32{0x1FF}},         // mask too wide
+	}
+	for i, e := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			tb.Insert(e)
+		}()
+	}
+}
+
+func TestNewPanicsOnWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with 33-bit field did not panic")
+		}
+	}()
+	New("bad", 33)
+}
+
+func TestExpandRangeFullDomain(t *testing.T) {
+	ps := ExpandRange(0, 255, 8)
+	if len(ps) != 1 || ps[0].Mask != 0 {
+		t.Fatalf("full domain should be one wildcard prefix, got %v", ps)
+	}
+}
+
+func TestExpandRangeSingleValue(t *testing.T) {
+	ps := ExpandRange(77, 77, 8)
+	if len(ps) != 1 || ps[0].Value != 77 || ps[0].Mask != 0xFF {
+		t.Fatalf("single value expansion wrong: %v", ps)
+	}
+}
+
+func TestExpandRangeKnown(t *testing.T) {
+	// [1, 6] over 3 bits: classic worst-ish case → 001, 01x, 10x, 110.
+	ps := ExpandRange(1, 6, 3)
+	if len(ps) != 4 {
+		t.Fatalf("[1,6] over 3 bits expanded to %d prefixes, want 4: %v", len(ps), ps)
+	}
+}
+
+func covers(ps []Prefix, v uint32) bool {
+	for _, p := range ps {
+		if (v^p.Value)&p.Mask == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestExpandRangeExactCoverProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		lo, hi := uint32(a), uint32(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		ps := ExpandRange(lo, hi, 16)
+		// Spot-check boundaries and a sample inside/outside.
+		checks := []struct {
+			v  uint32
+			in bool
+		}{
+			{lo, true}, {hi, true}, {(lo + hi) / 2, true},
+		}
+		if lo > 0 {
+			checks = append(checks, struct {
+				v  uint32
+				in bool
+			}{lo - 1, false})
+		}
+		if hi < 0xFFFF {
+			checks = append(checks, struct {
+				v  uint32
+				in bool
+			}{hi + 1, false})
+		}
+		for _, c := range checks {
+			if covers(ps, c.v) != c.in {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandRangeExhaustiveSmall(t *testing.T) {
+	// For every [lo,hi] over 6 bits, verify exact cover over all 64 values.
+	for lo := uint32(0); lo < 64; lo++ {
+		for hi := lo; hi < 64; hi++ {
+			ps := ExpandRange(lo, hi, 6)
+			for v := uint32(0); v < 64; v++ {
+				want := v >= lo && v <= hi
+				if covers(ps, v) != want {
+					t.Fatalf("[%d,%d] v=%d cover=%v want %v", lo, hi, v, !want, want)
+				}
+			}
+			if len(ps) > 2*6-2+1 {
+				t.Fatalf("[%d,%d] expanded to %d prefixes (> 2w-1)", lo, hi, len(ps))
+			}
+		}
+	}
+}
+
+func TestExpandRangePanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { ExpandRange(5, 4, 8) },
+		func() { ExpandRange(0, 256, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLookupArityPanics(t *testing.T) {
+	tb := New("a", 8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-arity lookup did not panic")
+		}
+	}()
+	tb.Lookup(1)
+}
+
+func TestEntriesCopy(t *testing.T) {
+	tb := New("c", 8)
+	tb.Insert(Entry{Value: []uint32{1}, Mask: []uint32{0xFF}, Action: 1})
+	es := tb.Entries()
+	es[0].Action = 99
+	if a, _ := tb.Lookup(1); a != 1 {
+		t.Fatal("Entries() exposed internal state")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tb := New("bench", 32, 8)
+	for i := 0; i < 200; i++ {
+		tb.Insert(Entry{
+			Value: []uint32{uint32(i * 1000), uint32(i % 7)},
+			Mask:  []uint32{0xFFFFF000, 0xFF}, Priority: i, Action: i,
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(uint32(i%200)*1000, uint32(i%7))
+	}
+}
+
+func BenchmarkExpandRange(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ExpandRange(uint32(i%1000)+1, 1_000_000+uint32(i%5000), 32)
+	}
+}

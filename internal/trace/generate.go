@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"splidt/internal/flow"
+	"splidt/internal/pkt"
+)
+
+// LabeledFlow is one generated flow: its canonical key, packets in arrival
+// order, and ground-truth class label.
+type LabeledFlow struct {
+	Key     flow.Key
+	Packets []pkt.Packet
+	Label   int
+}
+
+// Generate synthesises n labelled flows from the dataset's generative model.
+// Flows are drawn class-balanced (round-robin over classes) so macro-F1 is
+// meaningful even for the 32-class dataset. seed controls flow-level
+// randomness; the class profiles themselves derive from the spec seed, so
+// two calls with different seeds produce different flows from the same
+// class-conditional distributions (train/test splits).
+func Generate(id DatasetID, n int, seed int64) []LabeledFlow {
+	spec := id.Spec()
+	classes := buildClasses(spec)
+	rng := rand.New(rand.NewSource(seed ^ (int64(id) << 32)))
+	out := make([]LabeledFlow, 0, n)
+	for i := 0; i < n; i++ {
+		c := classes[i%len(classes)]
+		out = append(out, genFlow(rng, c, i))
+	}
+	return out
+}
+
+// genFlow draws one flow from a class profile. The flow-level knob vector is
+// the profile's segment knobs plus within-class noise; packets then sample
+// from per-packet distributions parameterised by the active segment.
+func genFlow(rng *rand.Rand, c classProfile, flowIdx int) LabeledFlow {
+	// Per-flow jitter: same jitter applies to all segments so temporal
+	// structure is preserved.
+	var jitter [numKnobs]float64
+	for k := knob(0); k < numKnobs; k++ {
+		jitter[k] = rng.NormFloat64() * c.noise * knobScale(k)
+	}
+	segs := make([]segment, len(c.segments))
+	for i, s := range c.segments {
+		for k := knob(0); k < numKnobs; k++ {
+			segs[i].vals[k] = clampKnob(k, s.vals[k]+jitter[k])
+		}
+	}
+
+	size := int(segs[0].vals[knobFlowSize] * math.Exp(rng.NormFloat64()*0.35))
+	if size < 4 {
+		size = 4
+	}
+
+	proto := flow.ProtoUDP
+	if c.protoTCP {
+		proto = flow.ProtoTCP
+	}
+	key := flow.Key{
+		// Client address below server address so the initiating direction is
+		// canonical-forward. Ports come from pools shared by every class.
+		SrcIP:   flow.AddrFrom4(10, 1, byte(rng.Intn(250)), byte(1+rng.Intn(250))),
+		DstIP:   flow.AddrFrom4(172, 16, byte(rng.Intn(250)), byte(1+rng.Intn(250))),
+		SrcPort: uint16(1024 + rng.Intn(60000)),
+		DstPort: wellKnownPorts[rng.Intn(len(wellKnownPorts))],
+		Proto:   proto,
+	}
+	if !key.IsCanonical() {
+		key.SrcIP, key.DstIP = key.DstIP, key.SrcIP
+	}
+
+	packets := make([]pkt.Packet, 0, size)
+	ts := time.Duration(0)
+	for i := 0; i < size; i++ {
+		seg := segs[len(segs)*i/size]
+		p := pkt.Packet{
+			Key:      key,
+			TS:       ts,
+			Seq:      i + 1,
+			FlowSize: size,
+		}
+
+		// Direction.
+		if rng.Float64() < seg.vals[knobBwdRatio] && i > 0 {
+			p.Key = key.Reverse()
+		}
+
+		// Length: mixture of small / normal / large.
+		switch r := rng.Float64(); {
+		case r < seg.vals[knobSmallFrac]:
+			p.Len = 40 + rng.Intn(88)
+		case r < seg.vals[knobSmallFrac]+seg.vals[knobLargeFrac]:
+			p.Len = 1001 + rng.Intn(499)
+		default:
+			l := seg.vals[knobLenMean] + rng.NormFloat64()*seg.vals[knobLenStd]
+			p.Len = int(clamp(l, 40, 1500))
+		}
+		if rng.Float64() > seg.vals[knobPayloadFrac] && p.Len > pkt.HeaderBytes {
+			p.Len = pkt.HeaderBytes // pure-header packet (e.g. bare ACK)
+		}
+
+		// Flags.
+		if proto == flow.ProtoTCP {
+			switch {
+			case i == 0:
+				p.Flags = pkt.FlagSYN
+			case i == 1 && !p.Key.IsCanonical():
+				p.Flags = pkt.FlagSYN | pkt.FlagACK
+			case i == size-1:
+				p.Flags = pkt.FlagFIN | pkt.FlagACK
+			default:
+				p.Flags = pkt.FlagACK
+				if rng.Float64() < seg.vals[knobPSHRate] {
+					p.Flags |= pkt.FlagPSH
+				}
+				if rng.Float64() < seg.vals[knobURGRate] {
+					p.Flags |= pkt.FlagURG
+				}
+				if rng.Float64() < seg.vals[knobRSTRate] {
+					p.Flags |= pkt.FlagRST
+				}
+			}
+		}
+
+		packets = append(packets, p)
+
+		// Inter-arrival to the next packet: lognormal with burst/idle
+		// modulation.
+		mu, sigma := seg.vals[knobIATMean], seg.vals[knobIATStd]
+		iatUS := math.Exp(mu + rng.NormFloat64()*sigma)
+		switch r := rng.Float64(); {
+		case r < seg.vals[knobBurstiness]:
+			iatUS = 50 + 900*rng.Float64() // sub-ms train
+		case r < seg.vals[knobBurstiness]+seg.vals[knobIdleness]:
+			iatUS = 110_000 + 400_000*rng.Float64() // idle gap
+		}
+		ts += time.Duration(iatUS * float64(time.Microsecond))
+	}
+
+	return LabeledFlow{Key: key, Packets: packets, Label: c.label}
+}
+
+// NumClasses returns the class count of the dataset.
+func NumClasses(id DatasetID) int { return id.Spec().Classes }

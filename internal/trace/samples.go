@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"sync"
+
+	"splidt/internal/features"
+	"splidt/internal/pkt"
+)
+
+// Sample is one flow rendered as training data: a feature vector per window
+// plus the ground-truth label. Windows[i] is what the active subtree in
+// partition i observes.
+type Sample struct {
+	Windows []features.Vector
+	Label   int
+}
+
+// WholeFlow returns the one-shot (unwindowed) feature vector of the sample:
+// Windows must have been built with parts = 1.
+func (s Sample) WholeFlow() features.Vector {
+	if len(s.Windows) == 0 {
+		return features.Vector{}
+	}
+	return s.Windows[0]
+}
+
+// BuildSamples converts labelled flows into windowed samples with the given
+// partition count — the offline preprocessing the paper performs with its
+// modified CICFlowMeter (one stats emission per window boundary, state reset
+// after each).
+func BuildSamples(flows []LabeledFlow, parts int) []Sample {
+	out := make([]Sample, 0, len(flows))
+	for _, f := range flows {
+		ws := features.WindowVectors(f.Packets, parts)
+		if len(ws) == 0 {
+			continue
+		}
+		out = append(out, Sample{Windows: ws, Label: f.Label})
+	}
+	return out
+}
+
+// BuildSamplesBounds windows labelled flows with non-uniform boundaries
+// (adaptive window sizing): bounds are cumulative flow fractions.
+func BuildSamplesBounds(flows []LabeledFlow, bounds pkt.Bounds) []Sample {
+	out := make([]Sample, 0, len(flows))
+	for _, f := range flows {
+		ws := features.WindowVectorsBounds(f.Packets, bounds)
+		if len(ws) == 0 {
+			continue
+		}
+		out = append(out, Sample{Windows: ws, Label: f.Label})
+	}
+	return out
+}
+
+// Split partitions samples into train and test sets with the given train
+// fraction, preserving order (generation is already shuffled across classes
+// round-robin, so a prefix split is class-balanced).
+func Split(samples []Sample, trainFrac float64) (train, test []Sample) {
+	if trainFrac < 0 || trainFrac > 1 {
+		panic("trace: train fraction out of [0,1]")
+	}
+	n := int(float64(len(samples)) * trainFrac)
+	return samples[:n], samples[n:]
+}
+
+// SampleSet bundles pre-windowed datasets for every partition count a design
+// search may request, so repeated BO iterations reuse the extraction work
+// (the paper queries these from PostgreSQL; an in-memory cache plays the
+// same role). For is safe for concurrent use — BO evaluates candidates in
+// parallel.
+type SampleSet struct {
+	ID       DatasetID
+	mu       sync.Mutex
+	byParts  map[int][]Sample
+	flows    []LabeledFlow
+	maxParts int
+}
+
+// NewSampleSet generates nFlows labelled flows and prepares lazy windowed
+// views for partition counts 1..maxParts.
+func NewSampleSet(id DatasetID, nFlows, maxParts int, seed int64) *SampleSet {
+	return &SampleSet{
+		ID:       id,
+		byParts:  make(map[int][]Sample, maxParts),
+		flows:    Generate(id, nFlows, seed),
+		maxParts: maxParts,
+	}
+}
+
+// Flows exposes the underlying labelled flows (for simulator replay).
+func (ss *SampleSet) Flows() []LabeledFlow { return ss.flows }
+
+// MaxParts returns the largest partition count the set serves.
+func (ss *SampleSet) MaxParts() int { return ss.maxParts }
+
+// For returns the windowed samples for a partition count, computing and
+// caching them on first use.
+func (ss *SampleSet) For(parts int) []Sample {
+	if parts <= 0 || parts > ss.maxParts {
+		panic("trace: partition count out of range")
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if s, ok := ss.byParts[parts]; ok {
+		return s
+	}
+	s := BuildSamples(ss.flows, parts)
+	ss.byParts[parts] = s
+	return s
+}

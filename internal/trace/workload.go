@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Workload models a datacenter traffic environment — the flow-size and
+// flow-duration distributions that drive recirculation-bandwidth and
+// time-to-detection analyses (the paper's E1 Webserver and E2 Hadoop
+// environments, after Roy et al., "Inside the Social Network's (Datacenter)
+// Network").
+type Workload struct {
+	Name string
+	// MeanFlowPkts is the mean flow length in packets. Webserver flows are
+	// long-lived; Hadoop is dominated by short, bursty mice.
+	MeanFlowPkts float64
+	// SizeSigma is the lognormal shape of the flow-size distribution
+	// (heavier tail for Webserver).
+	SizeSigma float64
+	// MeanDuration is the mean flow lifetime. Recirculation rate per flow is
+	// (#partitions−1)/duration, so shorter-lived workloads recirculate more.
+	MeanDuration time.Duration
+	// DurSigma is the lognormal shape of the duration distribution.
+	DurSigma float64
+}
+
+// Webserver (WS) and Hadoop (HD), the paper's two environments. Hadoop's
+// shorter flow lifetimes give it roughly twice the recirculation bandwidth
+// of Webserver at equal concurrency, matching the ratio in Table 5.
+var (
+	Webserver = Workload{
+		Name:         "WS",
+		MeanFlowPkts: 180,
+		SizeSigma:    1.3,
+		MeanDuration: 120 * time.Second,
+		DurSigma:     1.6,
+	}
+	Hadoop = Workload{
+		Name:         "HD",
+		MeanFlowPkts: 35,
+		SizeSigma:    0.8,
+		MeanDuration: 60 * time.Second,
+		DurSigma:     1.1,
+	}
+)
+
+// Workloads returns the two builtin environments in paper order.
+func Workloads() []Workload { return []Workload{Webserver, Hadoop} }
+
+// SampleFlowSize draws a flow length in packets (≥ 2).
+func (w Workload) SampleFlowSize(rng *rand.Rand) int {
+	mu := math.Log(w.MeanFlowPkts) - w.SizeSigma*w.SizeSigma/2
+	n := int(math.Exp(mu + rng.NormFloat64()*w.SizeSigma))
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// SampleDuration draws a flow lifetime.
+func (w Workload) SampleDuration(rng *rand.Rand) time.Duration {
+	mu := math.Log(float64(w.MeanDuration)) - w.DurSigma*w.DurSigma/2
+	d := time.Duration(math.Exp(mu + rng.NormFloat64()*w.DurSigma))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// CompletionRate returns the steady-state flow completion rate (flows/sec)
+// when `concurrent` flows are active: by Little's law, N = λT.
+func (w Workload) CompletionRate(concurrent int) float64 {
+	return float64(concurrent) / w.MeanDuration.Seconds()
+}

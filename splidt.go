@@ -1,0 +1,224 @@
+// Package splidt is the public API of the SpliDT reproduction: partitioned
+// decision trees for scalable stateful inference at line rate (SIGCOMM
+// 2025).
+//
+// The package re-exports the system's building blocks under one roof:
+//
+//   - Datasets and workloads: Generate, BuildSamples, Split, Webserver,
+//     Hadoop — synthetic stand-ins for the paper's CIC datasets and
+//     datacenter environments.
+//   - Training: Train with a Config (partition sizes, features-per-subtree
+//     k, classes) runs the paper's Algorithm 1 and returns a Model that
+//     classifies flows window-by-window.
+//   - Compilation: Compile lowers a Model to TCAM artifacts with the Range
+//     Marking algorithm (feature tables plus a one-rule-per-leaf model
+//     table).
+//   - Deployment: Deploy validates the artifacts against a hardware
+//     Profile and returns a simulated RMT Pipeline that executes per-packet
+//     inference with recirculated subtree transitions.
+//   - Design search: DesignSearch runs the Bayesian-optimisation loop over
+//     depth, k, and partitioning, returning the (F1, #flows) Pareto
+//     frontier.
+//
+// See examples/quickstart for the end-to-end path.
+package splidt
+
+import (
+	"splidt/internal/baselines"
+	"splidt/internal/bo"
+	"splidt/internal/controller"
+	"splidt/internal/core"
+	"splidt/internal/dataplane"
+	"splidt/internal/experiments"
+	"splidt/internal/metrics"
+	"splidt/internal/p4gen"
+	"splidt/internal/pkt"
+	"splidt/internal/rangemark"
+	"splidt/internal/resources"
+	"splidt/internal/trace"
+)
+
+// Dataset identifies one of the seven builtin synthetic datasets (D1–D7,
+// mirroring the paper's Table 2).
+type Dataset = trace.DatasetID
+
+// The builtin datasets.
+const (
+	D1 = trace.D1 // 19-class IoMT-style intrusion detection
+	D2 = trace.D2 // 4-class IoT traffic
+	D3 = trace.D3 // 13-class VPN detection
+	D4 = trace.D4 // 11-class campus application mix
+	D5 = trace.D5 // 32-class IoT security threats
+	D6 = trace.D6 // 10-class IDS 2017-style attacks
+	D7 = trace.D7 // 10-class IDS 2018-style attacks
+)
+
+// Datasets lists all builtin datasets.
+func Datasets() []Dataset { return trace.AllDatasets() }
+
+// NumClasses returns a dataset's label arity.
+func NumClasses(d Dataset) int { return trace.NumClasses(d) }
+
+// LabeledFlow is one generated flow with ground truth.
+type LabeledFlow = trace.LabeledFlow
+
+// Sample is one flow rendered as per-window feature vectors plus its label.
+type Sample = trace.Sample
+
+// Generate synthesises n labelled flows from a dataset's generative model
+// (deterministic in seed).
+func Generate(d Dataset, n int, seed int64) []LabeledFlow { return trace.Generate(d, n, seed) }
+
+// BuildSamples windows labelled flows into training samples for the given
+// partition count.
+func BuildSamples(flows []LabeledFlow, parts int) []Sample { return trace.BuildSamples(flows, parts) }
+
+// Split divides samples into train/test by fraction.
+func Split(samples []Sample, trainFrac float64) (train, test []Sample) {
+	return trace.Split(samples, trainFrac)
+}
+
+// Workload models a datacenter environment's flow-size and lifetime
+// distributions.
+type Workload = trace.Workload
+
+// The paper's two environments.
+var (
+	Webserver = trace.Webserver
+	Hadoop    = trace.Hadoop
+)
+
+// Config describes a partitioned decision tree architecture.
+type Config = core.Config
+
+// Model is a trained partitioned decision tree.
+type Model = core.Model
+
+// Train runs SpliDT's recursive partitioned training (Algorithm 1).
+func Train(samples []Sample, cfg Config) (*Model, error) { return core.Train(samples, cfg) }
+
+// Compiled is a model lowered to data-plane match tables.
+type Compiled = rangemark.Compiled
+
+// Compile generates the TCAM artifacts of a trained model using the Range
+// Marking algorithm.
+func Compile(m *Model) (*Compiled, error) { return rangemark.Compile(m) }
+
+// Profile describes a hardware target's resource budgets.
+type Profile = resources.Profile
+
+// Builtin hardware profiles.
+var (
+	Tofino1  = resources.Tofino1
+	Tofino2  = resources.Tofino2
+	X2       = resources.X2
+	Pensando = resources.Pensando
+)
+
+// Pipeline is a simulated RMT switch pipeline with a deployed model.
+type Pipeline = dataplane.Pipeline
+
+// Digest is a classification record emitted by the pipeline.
+type Digest = dataplane.Digest
+
+// DeployConfig assembles a deployment for Deploy.
+type DeployConfig = dataplane.Config
+
+// Deploy validates a deployment against its hardware profile and returns a
+// running pipeline.
+func Deploy(cfg DeployConfig) (*Pipeline, error) { return dataplane.New(cfg) }
+
+// Confusion is a confusion matrix with accuracy and macro-F1.
+type Confusion = metrics.Confusion
+
+// NewConfusion allocates an n-class confusion matrix.
+func NewConfusion(classes int) *Confusion { return metrics.NewConfusion(classes) }
+
+// MacroF1 scores predictions against ground truth.
+func MacroF1(actual, predicted []int, classes int) float64 {
+	return metrics.MacroF1Of(actual, predicted, classes)
+}
+
+// SearchPoint is one configuration in the design space.
+type SearchPoint = bo.Point
+
+// SearchSpace bounds the design search.
+type SearchSpace = bo.Space
+
+// DefaultSearchSpace mirrors the paper's ranges (depth ≤ 30, k ≤ 7,
+// ≤ 7 partitions).
+func DefaultSearchSpace() SearchSpace { return bo.DefaultSpace() }
+
+// SearchResult is a completed design search with its Pareto frontier.
+type SearchResult = bo.Result
+
+// Env bundles a dataset with search budgets for DesignSearch and the
+// experiment drivers.
+type Env = experiments.Env
+
+// NewEnv builds an experiment environment (nFlows <= 0 selects a
+// class-proportional default).
+func NewEnv(d Dataset, nFlows int) *Env { return experiments.NewEnv(d, nFlows) }
+
+// DesignSearch explores configurations of a dataset with Bayesian
+// optimisation and returns the search result; use BestAtFlows on the result
+// via the experiments drivers, or read the Pareto field directly.
+func DesignSearch(env *Env, space SearchSpace) SearchResult {
+	res, _ := env.Search(space)
+	return res
+}
+
+// BaselineOptions configures the NetBeacon/Leo design searches.
+type BaselineOptions = baselines.Options
+
+// BaselineResult is one trained baseline deployment.
+type BaselineResult = baselines.Result
+
+// TrainNetBeacon trains the NetBeacon baseline at a flow target.
+func TrainNetBeacon(train, test []Sample, opts BaselineOptions) (BaselineResult, error) {
+	return baselines.TrainNetBeacon(train, test, opts)
+}
+
+// TrainLeo trains the Leo baseline at a flow target.
+func TrainLeo(train, test []Sample, opts BaselineOptions) (BaselineResult, error) {
+	return baselines.TrainLeo(train, test, opts)
+}
+
+// WindowBounds selects non-uniform window boundaries (adaptive window
+// sizing): cumulative flow fractions ending at 1.
+type WindowBounds = pkt.Bounds
+
+// UniformWindows returns the uniform bounds for n windows.
+func UniformWindows(n int) WindowBounds { return pkt.Uniform(n) }
+
+// BuildSamplesBounds windows labelled flows with non-uniform boundaries.
+func BuildSamplesBounds(flows []LabeledFlow, bounds WindowBounds) []Sample {
+	return trace.BuildSamplesBounds(flows, bounds)
+}
+
+// Controller is the control-plane companion of a deployment: it ingests
+// digests, tracks flow classifications, and applies policy.
+type Controller = controller.Controller
+
+// ControllerPolicy maps digests to actions.
+type ControllerPolicy = controller.Policy
+
+// BlockClasses builds a policy that blocks the listed classes.
+func BlockClasses(classes ...int) ControllerPolicy { return controller.BlockClasses(classes...) }
+
+// NewController builds a controller (nil policy allows everything).
+func NewController(classes int, policy ControllerPolicy) *Controller {
+	return controller.New(classes, policy)
+}
+
+// P4Options configures P4 source generation.
+type P4Options = p4gen.Options
+
+// P4Generator emits P4-16 source and bfrt-style rule files for a compiled
+// model (the artifacts a physical deployment would install).
+type P4Generator = p4gen.Generator
+
+// NewP4Generator builds a generator for a trained and compiled model.
+func NewP4Generator(m *Model, c *Compiled, opts P4Options) (*P4Generator, error) {
+	return p4gen.New(m, c, opts)
+}

@@ -1,0 +1,99 @@
+package splidt
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEndToEnd exercises the full public path: generate → window → train →
+// compile → deploy → replay → score.
+func TestEndToEnd(t *testing.T) {
+	flows := Generate(D2, 300, 7)
+	samples := BuildSamples(flows, 3)
+	train, test := Split(samples, 0.7)
+
+	m, err := Train(train, Config{
+		Partitions:         []int{2, 2, 2},
+		FeaturesPerSubtree: 4,
+		NumClasses:         NumClasses(D2),
+	})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+
+	actual := make([]int, len(test))
+	pred := make([]int, len(test))
+	for i, s := range test {
+		actual[i] = s.Label
+		pred[i] = m.Classify(s.Windows)
+	}
+	if f1 := MacroF1(actual, pred, NumClasses(D2)); f1 < 0.5 {
+		t.Fatalf("software F1 %.3f too low", f1)
+	}
+
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	pl, err := Deploy(DeployConfig{
+		Profile: Tofino1(), Model: m, Compiled: c,
+		FlowSlots: 1 << 16, Workload: Webserver,
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	testFlows := flows[210:]
+	results := pl.Replay(testFlows, time.Millisecond)
+	if len(results) != len(testFlows) {
+		t.Fatalf("%d digests for %d flows", len(results), len(testFlows))
+	}
+	conf := NewConfusion(NumClasses(D2))
+	for _, r := range results {
+		conf.Add(r.Label, r.Digest.Class)
+	}
+	if f1 := conf.MacroF1(); f1 < 0.5 {
+		t.Fatalf("pipeline F1 %.3f too low", f1)
+	}
+}
+
+func TestDesignSearchFacade(t *testing.T) {
+	env := NewEnv(D2, 200)
+	env.BOIterations = 3
+	env.BOParallel = 4
+	res := DesignSearch(env, DefaultSearchSpace())
+	if len(res.Evaluations) == 0 || len(res.Pareto) == 0 {
+		t.Fatal("empty design search")
+	}
+}
+
+func TestBaselinesFacade(t *testing.T) {
+	flows := Generate(D2, 240, 9)
+	samples := BuildSamples(flows, 1)
+	train, test := Split(samples, 0.7)
+	nb, err := TrainNetBeacon(train, test, BaselineOptions{
+		Classes: NumClasses(D2), FlowTarget: 100_000, Profile: Tofino1(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leo, err := TrainLeo(train, test, BaselineOptions{
+		Classes: NumClasses(D2), FlowTarget: 100_000, Profile: Tofino1(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.F1 <= 0 || leo.F1 <= 0 {
+		t.Fatal("baselines failed to learn")
+	}
+}
+
+func TestDatasetsListed(t *testing.T) {
+	if len(Datasets()) != 7 {
+		t.Fatal("expected 7 datasets")
+	}
+	for _, d := range Datasets() {
+		if NumClasses(d) < 2 {
+			t.Fatalf("%v has <2 classes", d)
+		}
+	}
+}
