@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-engine ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full evaluation-regeneration benchmark suite (slow).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Engine scaling smoke: pkts/sec at 1/2/4/8 shards.
+bench-engine:
+	$(GO) test -run xxx -bench Engine -benchtime 1x .
+
+ci: build vet race bench-engine

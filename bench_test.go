@@ -7,13 +7,18 @@
 package splidt
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	"splidt/internal/core"
+	"splidt/internal/dataplane"
+	"splidt/internal/engine"
 	"splidt/internal/experiments"
 	"splidt/internal/metrics"
 	"splidt/internal/pkt"
 	"splidt/internal/rangemark"
+	"splidt/internal/resources"
 	"splidt/internal/trace"
 )
 
@@ -290,3 +295,67 @@ func BenchmarkAdaptiveWindows(b *testing.B) {
 		b.ReportMetric(score(ma, ate), "F1-frontloaded")
 	}
 }
+
+// engineBenchState builds the engine benchmark fixture once: a trained and
+// compiled deployment plus a pre-materialised packet sequence, so the
+// measured path is pure dispatch + pipeline execution (generation cost
+// would otherwise serialise on the dispatcher and mask shard scaling).
+var engineBenchState struct {
+	once sync.Once
+	cfg  dataplane.Config
+	pkts []pkt.Packet
+}
+
+func engineBenchFixture(b *testing.B) (dataplane.Config, []pkt.Packet) {
+	st := &engineBenchState
+	st.once.Do(func() {
+		flows := trace.Generate(trace.D3, 400, 33)
+		samples := trace.BuildSamples(flows, 3)
+		train, _ := trace.Split(samples, 0.7)
+		m, err := core.Train(train, core.Config{
+			Partitions: []int{3, 2, 2}, FeaturesPerSubtree: 4, NumClasses: 13,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := rangemark.Compile(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.cfg = dataplane.Config{
+			Profile: resources.Tofino1(), Model: m, Compiled: c, FlowSlots: 1 << 18,
+		}
+		st.pkts = trace.Interleave(trace.Generate(trace.D3, 3000, 7), 100*time.Microsecond)
+	})
+	return st.cfg, st.pkts
+}
+
+// benchmarkEngineShards measures end-to-end engine throughput at a fixed
+// shard count over the same workload, reporting pkts/sec — the scaling
+// trajectory future PRs regress against.
+func benchmarkEngineShards(b *testing.B, shards int) {
+	cfg, pkts := engineBenchFixture(b)
+	e, err := engine.New(engine.Config{Deploy: cfg, Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(&engine.SliceSource{Pkts: pkts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Packets != len(pkts) {
+			b.Fatalf("processed %d packets, want %d", res.Stats.Packets, len(pkts))
+		}
+		rate += res.Throughput.PktsPerSec()
+	}
+	b.ReportMetric(rate/float64(b.N), "pkts/s")
+	b.ReportMetric(float64(shards), "shards")
+}
+
+func BenchmarkEngineShards1(b *testing.B) { benchmarkEngineShards(b, 1) }
+func BenchmarkEngineShards2(b *testing.B) { benchmarkEngineShards(b, 2) }
+func BenchmarkEngineShards4(b *testing.B) { benchmarkEngineShards(b, 4) }
+func BenchmarkEngineShards8(b *testing.B) { benchmarkEngineShards(b, 8) }

@@ -1,0 +1,118 @@
+// Command splidt-engine trains a partitioned tree, deploys it across a
+// sharded multi-worker engine, streams a generated workload through it, and
+// reports throughput: packets/sec, digests/sec, recirculation overhead, and
+// the per-shard load split.
+//
+// Usage:
+//
+//	splidt-engine -dataset 3 -flows 2000 -shards 8 -burst 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"splidt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("splidt-engine: ")
+
+	var (
+		dataset    = flag.Int("dataset", 3, "dataset number (1-7)")
+		nFlows     = flag.Int("flows", 2000, "streamed flows")
+		trainFlows = flag.Int("train-flows", 400, "flows used to train the model")
+		partitions = flag.String("partitions", "3,2,2", "comma-separated partition depths")
+		k          = flag.Int("k", 4, "features per subtree")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		shards     = flag.Int("shards", 0, "pipeline replicas / worker goroutines (0 = GOMAXPROCS)")
+		burst      = flag.Int("burst", 32, "packets per burst")
+		queue      = flag.Int("queue", 8, "per-shard queue depth in bursts")
+		slots      = flag.Int("slots", 1<<18, "total flow register slots (split across shards)")
+		spacingUS  = flag.Int("spacing-us", 200, "flow start spacing (µs)")
+	)
+	flag.Parse()
+
+	parts := parseParts(*partitions)
+	id := splidt.Dataset(*dataset)
+	if *dataset < 1 || *dataset > len(splidt.Datasets()) {
+		log.Fatalf("dataset %d out of range 1-%d", *dataset, len(splidt.Datasets()))
+	}
+	classes := splidt.NumClasses(id)
+
+	// Train and compile once; every shard replicates the same program.
+	flows := splidt.Generate(id, *trainFlows, *seed+1)
+	samples := splidt.BuildSamples(flows, len(parts))
+	train, _ := splidt.Split(samples, 0.7)
+	m, err := splidt.Train(train, splidt.Config{
+		Partitions: parts, FeaturesPerSubtree: *k, NumClasses: classes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := splidt.Compile(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng, err := splidt.NewEngine(splidt.EngineConfig{
+		Deploy: splidt.DeployConfig{
+			Profile: splidt.Tofino1(), Model: m, Compiled: c,
+			FlowSlots: *slots, Workload: splidt.Webserver,
+		},
+		Shards: *shards, Burst: *burst, Queue: *queue,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	src := splidt.NewStream(id, *nFlows, *seed, time.Duration(*spacingUS)*time.Microsecond)
+	res, err := eng.Run(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Score classifications against the stream's ground truth.
+	conf := splidt.NewConfusion(classes)
+	labels := src.Labels()
+	for _, d := range res.Digests {
+		if label, ok := labels[d.Key]; ok {
+			conf.Add(label, d.Class)
+		}
+	}
+
+	fmt.Printf("model          %v\n", m)
+	fmt.Printf("engine         %d shards × burst %d × queue %d (%d total slots)\n",
+		eng.Shards(), *burst, *queue, *slots)
+	fmt.Printf("workload       %s: %d flows, %d packets\n", id, *nFlows, res.Stats.Packets)
+	fmt.Printf("throughput     %v\n", res.Throughput)
+	fmt.Printf("digests        %d (%d recirculations, %d recirc bytes)\n",
+		res.Stats.Digests, res.Stats.ControlPackets, res.Stats.RecircBytes)
+	fmt.Printf("collisions     %d\n", res.Stats.Collisions)
+	fmt.Printf("accuracy       %.3f   macro-F1 %.3f\n", conf.Accuracy(), conf.MacroF1())
+	fmt.Printf("per-shard      ")
+	for i, s := range res.PerShard {
+		if i > 0 {
+			fmt.Printf(" | ")
+		}
+		fmt.Printf("%d: %dp/%dd", i, s.Packets, s.Digests)
+	}
+	fmt.Println()
+}
+
+func parseParts(s string) []int {
+	var parts []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			log.Fatalf("bad partition depth %q", tok)
+		}
+		parts = append(parts, v)
+	}
+	return parts
+}

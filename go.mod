@@ -1,0 +1,3 @@
+module splidt
+
+go 1.24

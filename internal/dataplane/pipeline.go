@@ -17,7 +17,6 @@ package dataplane
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"splidt/internal/core"
@@ -65,6 +64,26 @@ type Stats struct {
 	RecircBytes    int // control-channel bytes
 }
 
+// Add folds another pipeline's counters into s. Every Stats field is a
+// plain sum, so per-shard counters merge into exactly the totals one
+// pipeline would have reported over the union of the traffic.
+func (s *Stats) Add(o Stats) {
+	s.Packets += o.Packets
+	s.ControlPackets += o.ControlPackets
+	s.Digests += o.Digests
+	s.Collisions += o.Collisions
+	s.RecircBytes += o.RecircBytes
+}
+
+// MergeStats sums per-shard counters into one aggregate.
+func MergeStats(shards ...Stats) Stats {
+	var out Stats
+	for _, s := range shards {
+		out.Add(s)
+	}
+	return out
+}
+
 type slot struct {
 	sid      uint16
 	pktCount uint32
@@ -84,17 +103,18 @@ type Pipeline struct {
 	parts int
 	slots []slot
 	stats Stats
+	marks []uint32 // per-window scratch, reused so Process never allocates
 }
 
-// New validates the deployment against the hardware profile and builds the
-// pipeline. It fails exactly when the design search's feasibility test
-// would, sharing the resources model.
-func New(cfg Config) (*Pipeline, error) {
+// validate runs the deployment feasibility checks New and NewShards share:
+// it fails exactly when the design search's feasibility test would, using
+// the same resources model.
+func validate(cfg Config) error {
 	if cfg.Model == nil || cfg.Compiled == nil {
-		return nil, fmt.Errorf("dataplane: model and compiled tables required")
+		return fmt.Errorf("dataplane: model and compiled tables required")
 	}
 	if cfg.FlowSlots <= 0 {
-		return nil, fmt.Errorf("dataplane: non-positive flow slots")
+		return fmt.Errorf("dataplane: non-positive flow slots")
 	}
 	w := cfg.Workload
 	if w.Name == "" {
@@ -102,13 +122,56 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	u := resources.EstimateSpliDT(cfg.Model, cfg.Compiled, cfg.FlowSlots, w)
 	if err := cfg.Profile.Feasible(u); err != nil {
-		return nil, fmt.Errorf("dataplane: deployment infeasible: %w", err)
+		return fmt.Errorf("dataplane: deployment infeasible: %w", err)
+	}
+	return nil
+}
+
+// New validates the deployment against the hardware profile and builds the
+// pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
 	}
 	return &Pipeline{
 		cfg:   cfg,
 		parts: cfg.Model.NumPartitions(),
 		slots: make([]slot, cfg.FlowSlots),
+		marks: make([]uint32, cfg.Compiled.K),
 	}, nil
+}
+
+// NewShards validates the deployment once and builds n pipeline replicas of
+// it, each owning an equal share of the register budget (cfg.FlowSlots / n
+// slots, at least 1). The replicas share the compiled tables read-only —
+// the tables are frozen here so concurrent lookups never mutate them — and
+// each replica keeps private register state, so a dispatcher that keys
+// flows onto shards with flow.Key.Shard preserves single-pipeline per-flow
+// semantics. This is the multi-pipe construction the sharded engine runs.
+func NewShards(cfg Config, n int) ([]*Pipeline, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataplane: non-positive shard count %d", n)
+	}
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	cfg.Compiled.Freeze()
+	per := cfg.FlowSlots / n
+	if per < 1 {
+		per = 1
+	}
+	shardCfg := cfg
+	shardCfg.FlowSlots = per
+	shards := make([]*Pipeline, n)
+	for i := range shards {
+		shards[i] = &Pipeline{
+			cfg:   shardCfg,
+			parts: cfg.Model.NumPartitions(),
+			slots: make([]slot, per),
+			marks: make([]uint32, cfg.Compiled.K),
+		}
+	}
+	return shards, nil
 }
 
 // Process runs one packet through the pipeline. It returns a non-nil Digest
@@ -152,7 +215,7 @@ func (pl *Pipeline) Process(p pkt.Packet) *Digest {
 
 	// Subtree model prediction: key generators → range marks → model table.
 	vec := s.state.Snapshot()
-	marks := pl.cfg.Compiled.Marks(int(s.sid), vec[:])
+	marks := pl.cfg.Compiled.MarksInto(int(s.sid), vec[:], pl.marks)
 	rule, ok := pl.cfg.Compiled.Lookup(int(s.sid), marks)
 	if !ok {
 		// Model tables partition the mark space; a miss means the deployed
@@ -236,24 +299,12 @@ type ReplayResult struct {
 // Replay processes complete flows through the pipeline.
 func (pl *Pipeline) Replay(flows []trace.LabeledFlow, spacing time.Duration) []ReplayResult {
 	labels := make(map[flow.Key]int, len(flows))
-	type ev struct {
-		p pkt.Packet
-	}
-	var evs []ev
-	for i, f := range flows {
+	for _, f := range flows {
 		labels[f.Key] = f.Label
-		off := time.Duration(i) * spacing
-		for _, p := range f.Packets {
-			q := p
-			q.TS += off
-			evs = append(evs, ev{q})
-		}
 	}
-	sort.SliceStable(evs, func(a, b int) bool { return evs[a].p.TS < evs[b].p.TS })
-
 	var out []ReplayResult
-	for _, e := range evs {
-		if d := pl.Process(e.p); d != nil {
+	for _, p := range trace.Interleave(flows, spacing) {
+		if d := pl.Process(p); d != nil {
 			out = append(out, ReplayResult{Digest: *d, Label: labels[d.Key]})
 		}
 	}

@@ -284,3 +284,75 @@ func TestAdaptiveWindowPipelineMatchesSoftware(t *testing.T) {
 		}
 	}
 }
+
+func TestStatsAddAndMerge(t *testing.T) {
+	a := Stats{Packets: 10, ControlPackets: 2, Digests: 3, Collisions: 1, RecircBytes: 128}
+	b := Stats{Packets: 5, ControlPackets: 1, Digests: 2, Collisions: 0, RecircBytes: 64}
+	want := Stats{Packets: 15, ControlPackets: 3, Digests: 5, Collisions: 1, RecircBytes: 192}
+	if got := MergeStats(a, b); got != want {
+		t.Fatalf("MergeStats = %+v, want %+v", got, want)
+	}
+	a.Add(b)
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+	if got := MergeStats(); got != (Stats{}) {
+		t.Fatalf("MergeStats() = %+v, want zero", got)
+	}
+}
+
+func TestNewShards(t *testing.T) {
+	cfg := core.Config{Partitions: []int{3, 2, 2}, FeaturesPerSubtree: 4, NumClasses: 13}
+	flows := trace.Generate(trace.D3, 400, 33)
+	samples := trace.BuildSamples(flows, len(cfg.Partitions))
+	train, _ := trace.Split(samples, 0.7)
+	m, err := core.Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rangemark.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testFlows := flows[int(float64(len(flows))*0.7):]
+	dcfg := Config{Profile: resources.Tofino1(), Model: m, Compiled: c, FlowSlots: 1 << 16}
+
+	shards, err := NewShards(dcfg, 4)
+	if err != nil {
+		t.Fatalf("NewShards: %v", err)
+	}
+	if len(shards) != 4 {
+		t.Fatalf("got %d shards, want 4", len(shards))
+	}
+	for i, s := range shards {
+		if got := len(s.slots); got != 1<<14 {
+			t.Fatalf("shard %d has %d slots, want %d (even split)", i, got, 1<<14)
+		}
+	}
+
+	// Each replica independently classifies exactly like a solo pipeline.
+	f := testFlows[0]
+	var a, b *Digest
+	for _, p := range f.Packets {
+		if d := shards[0].Process(p); d != nil {
+			a = d
+		}
+	}
+	for _, p := range f.Packets {
+		if d := shards[1].Process(p); d != nil {
+			b = d
+		}
+	}
+	if a == nil || b == nil || a.Class != b.Class {
+		t.Fatalf("replicas disagree: %+v vs %+v", a, b)
+	}
+
+	if _, err := NewShards(dcfg, 0); err == nil {
+		t.Fatal("NewShards(0) did not error")
+	}
+	bad := dcfg
+	bad.Model = nil
+	if _, err := NewShards(bad, 2); err == nil {
+		t.Fatal("NewShards with nil model did not error")
+	}
+}

@@ -1,0 +1,309 @@
+// Package engine is the sharded multi-worker execution layer of the SpliDT
+// reproduction: it drives N independent dataplane.Pipeline replicas at once,
+// the software analogue of a multi-pipe switch ASIC (or an RSS-sharded
+// software dataplane à la ndn-dpdk's forwarder).
+//
+// Architecture: a single dispatcher goroutine pulls packets from a Source,
+// assigns each to a shard by flow.Key.Shard — a direction-symmetric hash, so
+// every packet of a flow (and hence all of its register state and its
+// digest) lives on exactly one shard — and accumulates them into fixed-size
+// bursts. Full bursts move to shard workers through bounded single-producer
+// single-consumer rings; drained bursts recycle back through a free ring,
+// so the steady-state path allocates nothing. Each worker owns one pipeline
+// replica and processes bursts in arrival order, which preserves per-flow
+// packet order end to end.
+//
+// Correctness contract: because flows never cross shards and per-flow order
+// is preserved, an engine run is digest-equivalent to feeding the same
+// workload through one pipeline, as long as register-slot collisions do not
+// couple flows that land on different shards (collision-free operation is
+// the regime the equivalence tests pin down; Stats.Collisions reports it).
+// Digests are merged into a single deterministic stream ordered by
+// classification time, and per-shard Stats sum into the totals a single
+// pipeline would have counted.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"splidt/internal/dataplane"
+	"splidt/internal/metrics"
+	"splidt/internal/pkt"
+)
+
+// Source yields packets in global arrival order. trace.Stream implements it
+// lazily; SliceSource adapts a pre-materialised sequence.
+type Source interface {
+	Next() (pkt.Packet, bool)
+}
+
+// SliceSource is a Source over an in-memory packet sequence (benchmarks use
+// it to keep generation cost out of the measured path).
+type SliceSource struct {
+	Pkts []pkt.Packet
+	pos  int
+}
+
+// Next returns the next packet until the slice is exhausted.
+func (s *SliceSource) Next() (pkt.Packet, bool) {
+	if s.pos >= len(s.Pkts) {
+		return pkt.Packet{}, false
+	}
+	p := s.Pkts[s.pos]
+	s.pos++
+	return p, true
+}
+
+// Config sizes an engine.
+type Config struct {
+	// Deploy is the deployment every shard replicates. Its FlowSlots is the
+	// total register budget, divided evenly among shards (dataplane.NewShards).
+	Deploy dataplane.Config
+	// Shards is the worker/replica count. Default: GOMAXPROCS.
+	Shards int
+	// Burst is the packets-per-burst batch size. Default 32 (the DPDK
+	// convention).
+	Burst int
+	// Queue is the per-shard queue depth in bursts. It bounds dispatcher
+	// runahead: a full queue backpressures the dispatcher. Default 8.
+	Queue int
+}
+
+// Result is one engine run's merged output.
+type Result struct {
+	// Digests from all shards in one deterministic stream, ordered by
+	// classification time (ties broken by flow key), independent of worker
+	// scheduling.
+	Digests []dataplane.Digest
+	// Stats is the sum of per-shard counters for this run.
+	Stats dataplane.Stats
+	// PerShard holds each shard's counters for this run, indexed by shard.
+	PerShard []dataplane.Stats
+	// Throughput reports wall-clock rates for this run.
+	Throughput metrics.Throughput
+}
+
+type shardState struct {
+	pl   *dataplane.Pipeline
+	in   *spscRing // filled bursts: dispatcher → worker
+	free *spscRing // empty bursts: worker → dispatcher
+	cur  *burst    // dispatcher's partially filled burst
+	done atomic.Bool
+
+	digests []dataplane.Digest
+	prev    dataplane.Stats // counters at the start of the current run
+}
+
+// Engine drives sharded pipeline replicas. Construct with New; an Engine
+// supports any number of sequential Run calls (flow state persists across
+// runs, like a switch that stays up between traces) but is not itself
+// concurrency-safe — all concurrency lives inside Run.
+type Engine struct {
+	cfg    Config
+	shards []*shardState
+}
+
+// New validates the deployment, builds one pipeline replica per shard
+// (sharing the frozen compiled tables), and preallocates every burst the
+// run will use.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 32
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 8
+	}
+	pls, err := dataplane.NewShards(cfg.Deploy, cfg.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	e := &Engine{cfg: cfg, shards: make([]*shardState, cfg.Shards)}
+	for i, pl := range pls {
+		s := &shardState{
+			pl:   pl,
+			in:   newRing(cfg.Queue),
+			free: newRing(cfg.Queue + 2),
+		}
+		// One burst per queue slot, one for the worker to hold, one for the
+		// dispatcher's partial fill — enough that neither side ever waits on
+		// an allocation.
+		for j := 0; j < cfg.Queue+2; j++ {
+			s.free.push(&burst{pkts: make([]pkt.Packet, 0, cfg.Burst)})
+		}
+		e.shards[i] = s
+	}
+	return e, nil
+}
+
+// Shards returns the engine's shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// ActiveFlows sums occupied register slots across shards. Only meaningful
+// between runs (workers own the pipelines while a run is in flight).
+func (e *Engine) ActiveFlows() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.pl.ActiveFlows()
+	}
+	return n
+}
+
+// Run drains the source through the shards and returns the merged result.
+// The dispatcher runs on the calling goroutine; one worker goroutine per
+// shard processes bursts until the source is exhausted and queues drain.
+func (e *Engine) Run(src Source) (*Result, error) {
+	if src == nil {
+		return nil, fmt.Errorf("engine: nil source")
+	}
+	n := len(e.shards)
+	for _, s := range e.shards {
+		s.done.Store(false)
+		s.digests = s.digests[:0]
+		s.prev = s.pl.Stats()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for _, s := range e.shards {
+		go s.work(&wg)
+	}
+
+	// Dispatch: route, batch, push. Single producer per ring.
+	for {
+		p, ok := src.Next()
+		if !ok {
+			break
+		}
+		s := e.shards[p.Key.Shard(n)]
+		if s.cur == nil {
+			s.cur = s.takeFree()
+		}
+		s.cur.pkts = append(s.cur.pkts, p)
+		if len(s.cur.pkts) == e.cfg.Burst {
+			s.in.push(s.cur)
+			s.cur = nil
+		}
+	}
+	// Flush partial bursts, then signal completion. done is set after the
+	// final push, so a worker that observes it and then finds the ring
+	// empty has seen everything.
+	for _, s := range e.shards {
+		if s.cur != nil && len(s.cur.pkts) > 0 {
+			s.in.push(s.cur)
+			s.cur = nil
+		}
+		s.done.Store(true)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{PerShard: make([]dataplane.Stats, n)}
+	for i, s := range e.shards {
+		res.PerShard[i] = subStats(s.pl.Stats(), s.prev)
+		res.Stats.Add(res.PerShard[i])
+		res.Digests = append(res.Digests, s.digests...)
+	}
+	sortDigests(res.Digests)
+	res.Throughput = metrics.Throughput{
+		Packets:        res.Stats.Packets,
+		Digests:        res.Stats.Digests,
+		Recirculations: res.Stats.ControlPackets,
+		Elapsed:        elapsed,
+	}
+	return res, nil
+}
+
+// work is one shard's consumer loop: pop a burst, run it through the
+// replica, hand the burst back. Exits when the dispatcher has signalled
+// done and the queue is drained.
+func (s *shardState) work(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		b, ok := s.in.tryPop()
+		if !ok {
+			if s.done.Load() {
+				// done is published after the final push; one more pop
+				// closes the race with a flush that landed in between.
+				if b, ok = s.in.tryPop(); !ok {
+					return
+				}
+			} else {
+				runtime.Gosched()
+				continue
+			}
+		}
+		for i := range b.pkts {
+			if d := s.pl.Process(b.pkts[i]); d != nil {
+				s.digests = append(s.digests, *d)
+			}
+		}
+		b.pkts = b.pkts[:0]
+		s.free.push(b)
+	}
+}
+
+// takeFree blocks until the worker returns a recycled burst.
+func (s *shardState) takeFree() *burst {
+	for {
+		if b, ok := s.free.tryPop(); ok {
+			return b
+		}
+		runtime.Gosched()
+	}
+}
+
+// subStats returns now − prev field-wise (one run's deltas).
+func subStats(now, prev dataplane.Stats) dataplane.Stats {
+	return dataplane.Stats{
+		Packets:        now.Packets - prev.Packets,
+		ControlPackets: now.ControlPackets - prev.ControlPackets,
+		Digests:        now.Digests - prev.Digests,
+		Collisions:     now.Collisions - prev.Collisions,
+		RecircBytes:    now.RecircBytes - prev.RecircBytes,
+	}
+}
+
+// sortDigests fixes a deterministic total order on the merged stream:
+// classification time, then flow key, then the remaining fields (two
+// digests can share a timestamp only across shards, so the key breaks the
+// tie; the full tuple makes the order total even under key collisions).
+func sortDigests(ds []dataplane.Digest) {
+	sort.Slice(ds, func(a, b int) bool {
+		x, y := ds[a], ds[b]
+		if x.At != y.At {
+			return x.At < y.At
+		}
+		if x.Key != y.Key {
+			kx, ky := x.Key, y.Key
+			if kx.SrcIP != ky.SrcIP {
+				return kx.SrcIP < ky.SrcIP
+			}
+			if kx.DstIP != ky.DstIP {
+				return kx.DstIP < ky.DstIP
+			}
+			if kx.SrcPort != ky.SrcPort {
+				return kx.SrcPort < ky.SrcPort
+			}
+			if kx.DstPort != ky.DstPort {
+				return kx.DstPort < ky.DstPort
+			}
+			return kx.Proto < ky.Proto
+		}
+		if x.Started != y.Started {
+			return x.Started < y.Started
+		}
+		if x.Class != y.Class {
+			return x.Class < y.Class
+		}
+		return x.Packets < y.Packets
+	})
+}

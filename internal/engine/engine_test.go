@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"splidt/internal/core"
+	"splidt/internal/dataplane"
+	"splidt/internal/rangemark"
+	"splidt/internal/resources"
+	"splidt/internal/trace"
+)
+
+// deployCfg trains and compiles a small model and returns the deployment
+// template every test engine replicates.
+func deployCfg(t testing.TB, slots int) dataplane.Config {
+	t.Helper()
+	flows := trace.Generate(trace.D3, 400, 33)
+	samples := trace.BuildSamples(flows, 3)
+	train, _ := trace.Split(samples, 0.7)
+	m, err := core.Train(train, core.Config{
+		Partitions: []int{3, 2, 2}, FeaturesPerSubtree: 4, NumClasses: 13,
+	})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	c, err := rangemark.Compile(m)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return dataplane.Config{
+		Profile: resources.Tofino1(), Model: m, Compiled: c, FlowSlots: slots,
+	}
+}
+
+const (
+	eqFlows   = 150
+	eqSeed    = 7
+	eqSpacing = time.Millisecond
+	eqSlots   = 1 << 18
+)
+
+// digestCounts builds the multiset of a digest stream.
+func digestCounts(ds []dataplane.Digest) map[dataplane.Digest]int {
+	m := make(map[dataplane.Digest]int, len(ds))
+	for _, d := range ds {
+		m[d]++
+	}
+	return m
+}
+
+func runEngine(t *testing.T, cfg dataplane.Config, shards int) *Result {
+	t.Helper()
+	e, err := New(Config{Deploy: cfg, Shards: shards, Burst: 16, Queue: 4})
+	if err != nil {
+		t.Fatalf("New(%d shards): %v", shards, err)
+	}
+	res, err := e.Run(trace.NewStream(trace.D3, eqFlows, eqSeed, eqSpacing))
+	if err != nil {
+		t.Fatalf("Run(%d shards): %v", shards, err)
+	}
+	return res
+}
+
+// TestEngineMatchesSinglePipeline is the subsystem's headline correctness
+// property: on one workload, a 1-shard engine, an 8-shard engine, and the
+// plain single-threaded pipeline must produce identical digest multisets
+// and identical merged counters. Run with -race, this also exercises the
+// SPSC rings and the shared frozen tables under the race detector.
+func TestEngineMatchesSinglePipeline(t *testing.T) {
+	cfg := deployCfg(t, eqSlots)
+
+	// Baseline: one pipeline over the interleaved packet sequence.
+	pl, err := dataplane.New(cfg)
+	if err != nil {
+		t.Fatalf("dataplane.New: %v", err)
+	}
+	var base []dataplane.Digest
+	for _, p := range trace.Interleave(trace.Generate(trace.D3, eqFlows, eqSeed), eqSpacing) {
+		if d := pl.Process(p); d != nil {
+			base = append(base, *d)
+		}
+	}
+	baseStats := pl.Stats()
+	if baseStats.Collisions != 0 {
+		t.Fatalf("baseline has %d collisions; equivalence needs a collision-free workload (grow eqSlots)", baseStats.Collisions)
+	}
+
+	res1 := runEngine(t, cfg, 1)
+	res8 := runEngine(t, cfg, 8)
+
+	for _, tc := range []struct {
+		name string
+		res  *Result
+	}{{"1-shard", res1}, {"8-shard", res8}} {
+		if tc.res.Stats.Collisions != 0 {
+			t.Fatalf("%s: %d collisions; equivalence needs a collision-free workload", tc.name, tc.res.Stats.Collisions)
+		}
+		if tc.res.Stats != baseStats {
+			t.Errorf("%s merged stats = %+v, want %+v", tc.name, tc.res.Stats, baseStats)
+		}
+		want := digestCounts(base)
+		got := digestCounts(tc.res.Digests)
+		if len(got) != len(want) || len(tc.res.Digests) != len(base) {
+			t.Fatalf("%s: %d digests (%d distinct), want %d (%d distinct)",
+				tc.name, len(tc.res.Digests), len(got), len(base), len(want))
+		}
+		for d, n := range want {
+			if got[d] != n {
+				t.Fatalf("%s: digest %+v count %d, want %d", tc.name, d, got[d], n)
+			}
+		}
+	}
+
+	// The per-shard split must sum to the merged totals.
+	if merged := dataplane.MergeStats(res8.PerShard...); merged != res8.Stats {
+		t.Errorf("per-shard stats sum %+v != merged %+v", merged, res8.Stats)
+	}
+	if len(base) != eqFlows {
+		t.Errorf("digested %d flows, want %d", len(base), eqFlows)
+	}
+}
+
+// TestEngineDeterministic: two independent 8-shard runs over equal streams
+// yield byte-identical ordered digest streams, regardless of scheduling.
+func TestEngineDeterministic(t *testing.T) {
+	cfg := deployCfg(t, eqSlots)
+	a := runEngine(t, cfg, 8)
+	b := runEngine(t, cfg, 8)
+	if len(a.Digests) != len(b.Digests) {
+		t.Fatalf("runs disagree: %d vs %d digests", len(a.Digests), len(b.Digests))
+	}
+	for i := range a.Digests {
+		if a.Digests[i] != b.Digests[i] {
+			t.Fatalf("ordered stream diverges at %d: %+v vs %+v", i, a.Digests[i], b.Digests[i])
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats disagree: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+// TestEngineReuse: a second Run on the same engine reports that run's
+// deltas, not cumulative counters.
+func TestEngineReuse(t *testing.T) {
+	cfg := deployCfg(t, eqSlots)
+	e, err := New(Config{Deploy: cfg, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e.Run(trace.NewStream(trace.D3, 40, 5, eqSpacing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(trace.NewStream(trace.D3, 40, 5, eqSpacing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Packets == 0 || r2.Stats.Packets != r1.Stats.Packets {
+		t.Fatalf("second run packets %d, want %d (per-run deltas)", r2.Stats.Packets, r1.Stats.Packets)
+	}
+	if r2.Throughput.Packets != r2.Stats.Packets {
+		t.Fatalf("throughput packets %d != stats packets %d", r2.Throughput.Packets, r2.Stats.Packets)
+	}
+}
+
+// TestEngineDefaultsAndErrors covers config defaulting and failure paths.
+func TestEngineDefaultsAndErrors(t *testing.T) {
+	cfg := deployCfg(t, 1<<12)
+	e, err := New(Config{Deploy: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Shards() < 1 {
+		t.Fatalf("defaulted shard count %d", e.Shards())
+	}
+	if _, err := e.Run(nil); err == nil {
+		t.Fatal("Run(nil) did not error")
+	}
+	bad := cfg
+	bad.Model = nil
+	if _, err := New(Config{Deploy: bad, Shards: 2}); err == nil {
+		t.Fatal("New with nil model did not error")
+	}
+	if _, err := New(Config{Deploy: cfg, Shards: -1}); err != nil {
+		t.Fatalf("negative shards should default, got error: %v", err)
+	}
+}
+
+// TestSliceSource checks the adapter drains exactly once.
+func TestSliceSource(t *testing.T) {
+	pkts := trace.Interleave(trace.Generate(trace.D2, 3, 1), 0)
+	src := &SliceSource{Pkts: pkts}
+	n := 0
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != len(pkts) {
+		t.Fatalf("drained %d packets, want %d", n, len(pkts))
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source yielded a packet")
+	}
+}

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"splidt/internal/pkt"
+)
+
+// burst is a fixed-capacity packet batch — the unit that moves between the
+// dispatcher and a shard worker. Bursts are allocated once per shard at
+// engine construction and recycled through the shard's free ring, so the
+// steady-state hot path performs no allocation.
+type burst struct {
+	pkts []pkt.Packet // len == n valid packets, cap == engine burst size
+}
+
+// spscRing is a bounded single-producer single-consumer ring of bursts.
+// head is owned by the consumer and tail by the producer; each side only
+// ever stores its own index, so plain atomic loads/stores give a correct
+// lock-free queue (the standard DPDK/ndn-dpdk rte_ring SP/SC shape).
+// Capacity is a power of two so index reduction is a mask.
+type spscRing struct {
+	buf  []*burst
+	mask uint64
+
+	// head and tail sit on separate cache lines so the producer and
+	// consumer cores do not false-share.
+	_    [64]byte
+	head atomic.Uint64 // next index to pop (consumer-owned)
+	_    [64]byte
+	tail atomic.Uint64 // next index to push (producer-owned)
+	_    [64]byte
+}
+
+// newRing builds a ring with capacity rounded up to a power of two (≥ 2).
+func newRing(capacity int) *spscRing {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &spscRing{buf: make([]*burst, n), mask: uint64(n - 1)}
+}
+
+// tryPush enqueues b, reporting false when the ring is full.
+func (r *spscRing) tryPush(b *burst) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[tail&r.mask] = b
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// tryPop dequeues the oldest burst, reporting false when the ring is empty.
+func (r *spscRing) tryPop() (*burst, bool) {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return nil, false
+	}
+	b := r.buf[head&r.mask]
+	r.buf[head&r.mask] = nil
+	r.head.Store(head + 1)
+	return b, true
+}
+
+// push spins until b fits. Backpressure: a full ring means the worker is
+// behind, so the producer yields its timeslice rather than busy-burning.
+func (r *spscRing) push(b *burst) {
+	for !r.tryPush(b) {
+		runtime.Gosched()
+	}
+}

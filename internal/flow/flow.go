@@ -129,3 +129,29 @@ func (k Key) SymHash() uint32 {
 	c := k.Canonical()
 	return c.Hash()
 }
+
+// mix64 is the splitmix64 finalizer — a fast invertible scrambler that
+// decorrelates the low bits of its output from those of its input.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Shard maps the flow onto one of n shards (RSS-style dispatch for the
+// multi-worker engine). It is direction-symmetric, so both directions of a
+// conversation — and therefore all of a flow's register state — land on the
+// same shard. The symmetric hash is scrambled through a splitmix64
+// finalizer before reduction so that shard choice stays statistically
+// independent of register-slot indexing (Index uses the raw hash; taking
+// both modulo related sizes would otherwise confine each shard's flows to a
+// fraction of its slots). n must be positive.
+func (k Key) Shard(n int) int {
+	if n <= 0 {
+		panic("flow: non-positive shard count")
+	}
+	return int(mix64(uint64(k.SymHash())) % uint64(n))
+}

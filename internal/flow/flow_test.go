@@ -132,3 +132,58 @@ func BenchmarkKeyHash(b *testing.B) {
 		_ = key.Hash()
 	}
 }
+
+func TestShardSymmetric(t *testing.T) {
+	key := k(AddrFrom4(10, 0, 0, 1), AddrFrom4(10, 0, 0, 2), 1234, 80, ProtoTCP)
+	for _, n := range []int{1, 2, 3, 8, 13} {
+		if got, rev := key.Shard(n), key.Reverse().Shard(n); got != rev {
+			t.Fatalf("Shard(%d): forward %d != reverse %d", n, got, rev)
+		}
+		if s := key.Shard(n); s < 0 || s >= n {
+			t.Fatalf("Shard(%d) = %d out of range", n, s)
+		}
+	}
+}
+
+func TestShardPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shard(0) did not panic")
+		}
+	}()
+	k(1, 2, 3, 4, ProtoTCP).Shard(0)
+}
+
+// TestShardDecorrelatedFromIndex: when the slot count is a multiple of the
+// shard count, a shard's flows must still spread over (nearly) all slot
+// residues — the property the splitmix64 scramble exists for. A raw
+// SymHash%n shard choice would pin each shard to exactly one residue class.
+func TestShardDecorrelatedFromIndex(t *testing.T) {
+	const shards, slots = 8, 1 << 12
+	residues := make(map[int]map[int]bool)
+	balance := make(map[int]int)
+	for i := 0; i < 4000; i++ {
+		key := k(
+			AddrFrom4(10, byte(i>>8), byte(i), 1),
+			AddrFrom4(172, 16, byte(i>>4), 2),
+			uint16(1024+i), 443, ProtoTCP,
+		)
+		s := key.Shard(shards)
+		balance[s]++
+		if residues[s] == nil {
+			residues[s] = make(map[int]bool)
+		}
+		residues[s][key.Canonical().Index(slots)%shards] = true
+	}
+	for s, res := range residues {
+		if len(res) < shards/2 {
+			t.Errorf("shard %d sees only %d of %d slot residues: correlated hashes", s, len(res), shards)
+		}
+	}
+	for s := 0; s < shards; s++ {
+		// Loose uniformity: each shard within 3x of the fair share.
+		if balance[s] < 4000/shards/3 || balance[s] > 3*4000/shards {
+			t.Errorf("shard %d holds %d of 4000 flows: badly unbalanced", s, balance[s])
+		}
+	}
+}

@@ -1,12 +1,14 @@
-// Package metrics provides the evaluation statistics the paper reports:
+// Package metrics provides the evaluation statistics the paper reports —
 // macro-averaged F1 score, confusion matrices, and empirical CDFs (used for
-// the time-to-detection plots).
+// the time-to-detection plots) — plus the throughput counters the sharded
+// traffic engine reports (packets/sec, digests/sec, recirculation rate).
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 )
 
 // Confusion is a square confusion matrix: Confusion[actual][predicted].
@@ -163,6 +165,45 @@ func (e *ECDF) Quantile(q float64) float64 {
 
 // Len returns the observation count.
 func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Throughput reports the rate counters of one engine run: how much traffic
+// moved through the data plane and how fast. Recirculations count the
+// in-band control packets subtree transitions consume — the engine's main
+// self-inflicted overhead — so RecircPerPkt is the fraction of pipeline
+// bandwidth spent on transitions rather than traffic.
+type Throughput struct {
+	Packets        int           // data packets processed
+	Digests        int           // classifications emitted
+	Recirculations int           // control packets recirculated
+	Elapsed        time.Duration // wall-clock processing time
+}
+
+// PktsPerSec returns the packet-processing rate.
+func (t Throughput) PktsPerSec() float64 { return t.perSec(t.Packets) }
+
+// DigestsPerSec returns the classification rate.
+func (t Throughput) DigestsPerSec() float64 { return t.perSec(t.Digests) }
+
+// RecircPerPkt returns recirculated control packets per data packet.
+func (t Throughput) RecircPerPkt() float64 {
+	if t.Packets == 0 {
+		return 0
+	}
+	return float64(t.Recirculations) / float64(t.Packets)
+}
+
+func (t Throughput) perSec(n int) float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / t.Elapsed.Seconds()
+}
+
+// String renders the counters in the engine CLI's report form.
+func (t Throughput) String() string {
+	return fmt.Sprintf("%d pkts in %v (%.0f pkts/s, %.0f digests/s, %.3f recirc/pkt)",
+		t.Packets, t.Elapsed.Round(time.Microsecond), t.PktsPerSec(), t.DigestsPerSec(), t.RecircPerPkt())
+}
 
 // MeanStd returns the sample mean and population standard deviation of xs.
 func MeanStd(xs []float64) (mean, std float64) {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestConfusionAccuracy(t *testing.T) {
@@ -189,4 +190,27 @@ func TestNewConfusionPanics(t *testing.T) {
 		}
 	}()
 	NewConfusion(0)
+}
+
+func TestThroughputRates(t *testing.T) {
+	tp := Throughput{Packets: 2_000_000, Digests: 10_000, Recirculations: 40_000, Elapsed: 2 * time.Second}
+	if got := tp.PktsPerSec(); got != 1_000_000 {
+		t.Fatalf("PktsPerSec = %v, want 1e6", got)
+	}
+	if got := tp.DigestsPerSec(); got != 5_000 {
+		t.Fatalf("DigestsPerSec = %v, want 5000", got)
+	}
+	if got := tp.RecircPerPkt(); got != 0.02 {
+		t.Fatalf("RecircPerPkt = %v, want 0.02", got)
+	}
+	if s := tp.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestThroughputZeroSafe(t *testing.T) {
+	var tp Throughput
+	if tp.PktsPerSec() != 0 || tp.DigestsPerSec() != 0 || tp.RecircPerPkt() != 0 {
+		t.Fatalf("zero Throughput rates not zero: %+v", tp)
+	}
 }

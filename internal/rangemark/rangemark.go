@@ -260,21 +260,42 @@ func (c *Compiled) HasSID(sid int) bool {
 	return ok
 }
 
+// Freeze sorts every feature table into its final priority order. After
+// Freeze, Marks/MarksInto/Lookup perform no writes, so one Compiled can be
+// shared read-only by concurrent pipeline replicas (the sharded engine
+// deploys one compiled program across all of its workers).
+func (c *Compiled) Freeze() {
+	for _, t := range c.FeatureTables {
+		t.Freeze()
+	}
+}
+
 // Marks runs the k match-key generator tables for the active subtree over a
 // full feature row, returning the per-slot range marks.
 func (c *Compiled) Marks(sid int, row []float64) []uint32 {
+	return c.MarksInto(sid, row, make([]uint32, c.K))
+}
+
+// MarksInto is Marks with a caller-provided destination of length K,
+// enabling an allocation-free per-window hot path. It returns dst.
+func (c *Compiled) MarksInto(sid int, row []float64, dst []uint32) []uint32 {
 	slots := c.SlotFeatures(sid)
-	marks := make([]uint32, c.K)
+	if len(dst) != c.K {
+		panic(fmt.Sprintf("rangemark: marks destination length %d, want %d", len(dst), c.K))
+	}
+	for slot := range dst {
+		dst[slot] = 0
+	}
 	for slot, f := range slots {
 		if f < 0 {
 			continue
 		}
 		v := features.RegValue(row[f], c.shiftOf(f), c.ValueBits)
 		if a, ok := c.FeatureTables[slot].Lookup(uint32(sid), v); ok {
-			marks[slot] = uint32(a)
+			dst[slot] = uint32(a)
 		}
 	}
-	return marks
+	return dst
 }
 
 // Lookup matches the model table: exact SID plus per-slot mark intervals.

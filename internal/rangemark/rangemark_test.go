@@ -254,3 +254,48 @@ func BenchmarkCompile(b *testing.B) {
 		}
 	}
 }
+
+// TestMarksIntoMatchesMarks: the allocation-free path must agree with the
+// allocating one for every subtree, before and after Freeze.
+func TestMarksIntoMatchesMarks(t *testing.T) {
+	cfg := core.Config{Partitions: []int{3, 2}, FeaturesPerSubtree: 3, NumClasses: 4}
+	m, samples := trainModel(t, trace.D2, 300, cfg)
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	dst := make([]uint32, c.K)
+	check := func() {
+		for _, st := range m.Subtrees {
+			for _, s := range samples[:20] {
+				row := s.Windows[0]
+				want := c.Marks(st.SID, row[:])
+				got := c.MarksInto(st.SID, row[:], dst)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("SID %d slot %d: MarksInto %d != Marks %d", st.SID, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	check()
+	c.Freeze()
+	check()
+}
+
+func TestMarksIntoPanicsOnBadLength(t *testing.T) {
+	cfg := core.Config{Partitions: []int{2}, FeaturesPerSubtree: 2, NumClasses: 4}
+	m, samples := trainModel(t, trace.D2, 200, cfg)
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short destination did not panic")
+		}
+	}()
+	row := samples[0].Windows[0]
+	c.MarksInto(m.Subtrees[0].SID, row[:], make([]uint32, c.K+1))
+}

@@ -62,18 +62,26 @@ func fieldLimit(bits int) uint32 {
 	return 1<<uint(bits) - 1
 }
 
-// Lookup returns the highest-priority matching entry's action.
-func (t *Table) Lookup(fields ...uint32) (action int, ok bool) {
-	if len(fields) != len(t.FieldBits) {
-		panic(fmt.Sprintf("tcam(%s): lookup arity %d, want %d",
-			t.Name, len(fields), len(t.FieldBits)))
-	}
+// Freeze sorts the entries into priority order eagerly. Lookup sorts lazily
+// on first use, which mutates the table; a frozen table with no subsequent
+// Insert is safe for concurrent Lookup from multiple goroutines (the
+// sharded engine's pipeline replicas share one set of compiled tables).
+func (t *Table) Freeze() {
 	if !t.sorted {
 		sort.SliceStable(t.entries, func(i, j int) bool {
 			return t.entries[i].Priority > t.entries[j].Priority
 		})
 		t.sorted = true
 	}
+}
+
+// Lookup returns the highest-priority matching entry's action.
+func (t *Table) Lookup(fields ...uint32) (action int, ok bool) {
+	if len(fields) != len(t.FieldBits) {
+		panic(fmt.Sprintf("tcam(%s): lookup arity %d, want %d",
+			t.Name, len(fields), len(t.FieldBits)))
+	}
+	t.Freeze()
 	for i := range t.entries {
 		e := &t.entries[i]
 		hit := true

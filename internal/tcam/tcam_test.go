@@ -235,3 +235,31 @@ func BenchmarkExpandRange(b *testing.B) {
 		_ = ExpandRange(uint32(i%1000)+1, 1_000_000+uint32(i%5000), 32)
 	}
 }
+
+// TestFreezeIdempotentAndEquivalent: freezing must not change lookup
+// results, and a frozen table must answer correctly without further writes
+// (the property the engine's shared compiled tables rely on).
+func TestFreezeIdempotentAndEquivalent(t *testing.T) {
+	mk := func() *Table {
+		tb := New("freeze", 16, 16)
+		for i := 0; i < 50; i++ {
+			tb.Insert(Entry{
+				Value:    []uint32{uint32(i), uint32(i % 5)},
+				Mask:     []uint32{0xFFFF, 0xFFFF},
+				Priority: i % 7,
+				Action:   i,
+			})
+		}
+		return tb
+	}
+	lazy, frozen := mk(), mk()
+	frozen.Freeze()
+	frozen.Freeze() // idempotent
+	for i := 0; i < 50; i++ {
+		la, lok := lazy.Lookup(uint32(i), uint32(i%5))
+		fa, fok := frozen.Lookup(uint32(i), uint32(i%5))
+		if la != fa || lok != fok {
+			t.Fatalf("key %d: lazy (%d,%v) != frozen (%d,%v)", i, la, lok, fa, fok)
+		}
+	}
+}

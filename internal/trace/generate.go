@@ -26,13 +26,20 @@ type LabeledFlow struct {
 func Generate(id DatasetID, n int, seed int64) []LabeledFlow {
 	spec := id.Spec()
 	classes := buildClasses(spec)
-	rng := rand.New(rand.NewSource(seed ^ (int64(id) << 32)))
+	rng := genRNG(id, seed)
 	out := make([]LabeledFlow, 0, n)
 	for i := 0; i < n; i++ {
 		c := classes[i%len(classes)]
 		out = append(out, genFlow(rng, c, i))
 	}
 	return out
+}
+
+// genRNG is the flow-level randomness source of a (dataset, seed) pair.
+// Generate and NewStream share it so eager and lazy generation yield the
+// same flow sequence.
+func genRNG(id DatasetID, seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ (int64(id) << 32)))
 }
 
 // genFlow draws one flow from a class profile. The flow-level knob vector is

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"time"
+
+	"splidt/internal/flow"
+	"splidt/internal/pkt"
+)
+
+// Interleave flattens labelled flows into one packet sequence in global
+// timestamp order, flow i shifted by i×spacing — the arrival order a
+// capture point would see. Ties preserve (flow, packet) generation order,
+// so the result is deterministic. Both Pipeline.Replay and the engine's
+// pre-materialised benchmark sources build on this.
+func Interleave(flows []LabeledFlow, spacing time.Duration) []pkt.Packet {
+	n := 0
+	for _, f := range flows {
+		n += len(f.Packets)
+	}
+	out := make([]pkt.Packet, 0, n)
+	for i, f := range flows {
+		off := time.Duration(i) * spacing
+		for _, p := range f.Packets {
+			p.TS += off
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].TS < out[b].TS })
+	return out
+}
+
+// Stream yields the packets of a generated dataset workload in global
+// timestamp order — the same interleaving Interleave produces over
+// Generate's flows — without materialising every flow up front. Flows are
+// generated lazily as their start times approach and freed once drained, so
+// memory scales with the number of concurrently active flows rather than
+// the workload size. A Stream is deterministic in (dataset, n, seed,
+// spacing): two streams with equal parameters yield identical packet
+// sequences, which is what lets the engine equivalence tests feed the same
+// workload to differently sharded engines.
+//
+// Stream is not safe for concurrent use; the engine reads it from a single
+// dispatcher goroutine.
+type Stream struct {
+	classes []classProfile
+	rng     *rand.Rand
+	n       int
+	spacing time.Duration
+
+	next   int // next flow index to generate
+	h      streamHeap
+	labels map[flow.Key]int
+	pkts   int
+}
+
+// NewStream builds a lazy packet source over n generated flows of the
+// dataset, flow i starting at i×spacing. The flow sequence is identical to
+// Generate(id, n, seed) — both draw from genRNG in flow-index order.
+func NewStream(id DatasetID, n int, seed int64, spacing time.Duration) *Stream {
+	spec := id.Spec()
+	return &Stream{
+		classes: buildClasses(spec),
+		rng:     genRNG(id, seed),
+		n:       n,
+		spacing: spacing,
+		labels:  make(map[flow.Key]int, n),
+	}
+}
+
+// Next returns the next packet in global arrival order, or ok=false when
+// the workload is exhausted.
+func (s *Stream) Next() (p pkt.Packet, ok bool) {
+	// Admit every flow whose start time is at or before the current head of
+	// line; ties resolve by flow index, matching Interleave's stable order.
+	for s.next < s.n && (s.h.Len() == 0 || time.Duration(s.next)*s.spacing <= s.h.entries[0].ts) {
+		s.admit()
+	}
+	if s.h.Len() == 0 {
+		return pkt.Packet{}, false
+	}
+	e := &s.h.entries[0]
+	p = e.pkts[e.pos]
+	e.pos++
+	if e.pos < len(e.pkts) {
+		e.ts = e.pkts[e.pos].TS
+		heap.Fix(&s.h, 0)
+	} else {
+		heap.Pop(&s.h) // flow drained: release its packets
+	}
+	s.pkts++
+	return p, true
+}
+
+// admit generates the next flow, offsets its timestamps, and enqueues it.
+func (s *Stream) admit() {
+	i := s.next
+	s.next++
+	f := genFlow(s.rng, s.classes[i%len(s.classes)], i)
+	s.labels[f.Key] = f.Label
+	off := time.Duration(i) * s.spacing
+	for j := range f.Packets {
+		f.Packets[j].TS += off
+	}
+	heap.Push(&s.h, streamEntry{ts: f.Packets[0].TS, idx: i, pkts: f.Packets})
+}
+
+// Labels returns ground truth for every flow admitted so far, keyed by
+// canonical flow key (later flows win on the unlikely key collision, as in
+// Pipeline.Replay).
+func (s *Stream) Labels() map[flow.Key]int { return s.labels }
+
+// Flows returns the total number of flows the stream will emit.
+func (s *Stream) Flows() int { return s.n }
+
+// Emitted returns the number of packets yielded so far.
+func (s *Stream) Emitted() int { return s.pkts }
+
+type streamEntry struct {
+	ts   time.Duration // arrival time of the flow's next packet
+	idx  int           // flow index, breaking timestamp ties stably
+	pkts []pkt.Packet
+	pos  int
+}
+
+type streamHeap struct {
+	entries []streamEntry
+}
+
+func (h *streamHeap) Len() int { return len(h.entries) }
+func (h *streamHeap) Less(a, b int) bool {
+	if h.entries[a].ts != h.entries[b].ts {
+		return h.entries[a].ts < h.entries[b].ts
+	}
+	return h.entries[a].idx < h.entries[b].idx
+}
+func (h *streamHeap) Swap(a, b int) { h.entries[a], h.entries[b] = h.entries[b], h.entries[a] }
+func (h *streamHeap) Push(x any)    { h.entries = append(h.entries, x.(streamEntry)) }
+func (h *streamHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = streamEntry{}
+	h.entries = old[:n-1]
+	return e
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStreamMatchesInterleave: the lazy stream must yield exactly the
+// packet sequence Interleave produces over the eagerly generated flows —
+// same flows, same global order, same tie-breaking.
+func TestStreamMatchesInterleave(t *testing.T) {
+	for _, spacing := range []time.Duration{0, time.Millisecond, 40 * time.Millisecond} {
+		const n, seed = 60, 9
+		want := Interleave(Generate(D2, n, seed), spacing)
+		s := NewStream(D2, n, seed, spacing)
+		for i, w := range want {
+			got, ok := s.Next()
+			if !ok {
+				t.Fatalf("spacing %v: stream ended at %d, want %d packets", spacing, i, len(want))
+			}
+			if got != w {
+				t.Fatalf("spacing %v: packet %d = %+v, want %+v", spacing, i, got, w)
+			}
+		}
+		if _, ok := s.Next(); ok {
+			t.Fatalf("spacing %v: stream yielded more than %d packets", spacing, len(want))
+		}
+		if s.Emitted() != len(want) {
+			t.Fatalf("spacing %v: Emitted() = %d, want %d", spacing, s.Emitted(), len(want))
+		}
+	}
+}
+
+// TestStreamLabels: ground truth accumulates as flows are admitted and
+// matches Generate's labels.
+func TestStreamLabels(t *testing.T) {
+	const n, seed = 40, 3
+	flows := Generate(D3, n, seed)
+	s := NewStream(D3, n, seed, time.Millisecond)
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if s.Flows() != n {
+		t.Fatalf("Flows() = %d, want %d", s.Flows(), n)
+	}
+	labels := s.Labels()
+	for _, f := range flows {
+		if got, ok := labels[f.Key]; !ok || got != f.Label {
+			t.Fatalf("label of %v = %d (present %v), want %d", f.Key, got, ok, f.Label)
+		}
+	}
+}
+
+// TestStreamTimestampsMonotone: the merged output never goes back in time.
+func TestStreamTimestampsMonotone(t *testing.T) {
+	s := NewStream(D1, 50, 11, 500*time.Microsecond)
+	prev := time.Duration(-1)
+	for {
+		p, ok := s.Next()
+		if !ok {
+			return
+		}
+		if p.TS < prev {
+			t.Fatalf("timestamp regressed: %v after %v", p.TS, prev)
+		}
+		prev = p.TS
+	}
+}

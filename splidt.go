@@ -19,16 +19,26 @@
 //   - Design search: DesignSearch runs the Bayesian-optimisation loop over
 //     depth, k, and partitioning, returning the (F1, #flows) Pareto
 //     frontier.
+//   - Execution at scale: NewEngine builds a sharded multi-worker engine —
+//     N pipeline replicas fed by a flow-hash dispatcher over bounded SPSC
+//     burst queues — that runs one deployment across every core while
+//     preserving single-pipeline digest semantics. NewStream provides the
+//     lazy line-rate workload source that feeds it, and EngineResult
+//     reports merged stats plus a Throughput rate summary.
 //
-// See examples/quickstart for the end-to-end path.
+// See examples/quickstart for the end-to-end path and cmd/splidt-engine for
+// the sharded execution path.
 package splidt
 
 import (
+	"time"
+
 	"splidt/internal/baselines"
 	"splidt/internal/bo"
 	"splidt/internal/controller"
 	"splidt/internal/core"
 	"splidt/internal/dataplane"
+	"splidt/internal/engine"
 	"splidt/internal/experiments"
 	"splidt/internal/metrics"
 	"splidt/internal/p4gen"
@@ -210,6 +220,44 @@ func BlockClasses(classes ...int) ControllerPolicy { return controller.BlockClas
 func NewController(classes int, policy ControllerPolicy) *Controller {
 	return controller.New(classes, policy)
 }
+
+// Engine is the sharded multi-worker execution layer: N pipeline replicas
+// dispatched by flow hash, so every flow's register state and digest stay
+// on one shard.
+type Engine = engine.Engine
+
+// EngineConfig sizes an engine: the replicated deployment, shard count,
+// burst size, and queue depth.
+type EngineConfig = engine.Config
+
+// EngineResult is one engine run's merged output: an ordered digest
+// stream, summed stats, the per-shard split, and throughput rates.
+type EngineResult = engine.Result
+
+// PacketSource yields packets in arrival order (TrafficStream implements
+// it; engine.SliceSource adapts in-memory sequences).
+type PacketSource = engine.Source
+
+// NewEngine validates the deployment and builds one pipeline replica per
+// shard.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// TrafficStream lazily generates a dataset workload in global arrival
+// order, deterministic in (dataset, flows, seed, spacing).
+type TrafficStream = trace.Stream
+
+// NewStream builds a lazy packet source over n generated flows, flow i
+// starting at i×spacing.
+func NewStream(d Dataset, n int, seed int64, spacing time.Duration) *TrafficStream {
+	return trace.NewStream(d, n, seed, spacing)
+}
+
+// Throughput reports an engine run's rates: packets/sec, digests/sec, and
+// recirculation overhead per packet.
+type Throughput = metrics.Throughput
+
+// PipelineStats aggregates data-plane counters (per shard or merged).
+type PipelineStats = dataplane.Stats
 
 // P4Options configures P4 source generation.
 type P4Options = p4gen.Options

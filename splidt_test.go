@@ -97,3 +97,54 @@ func TestDatasetsListed(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineFacade exercises the sharded execution path through the public
+// API: train → compile → engine deploy → stream → merged result.
+func TestEngineFacade(t *testing.T) {
+	flows := Generate(D2, 300, 7)
+	samples := BuildSamples(flows, 3)
+	train, _ := Split(samples, 0.7)
+	m, err := Train(train, Config{
+		Partitions: []int{2, 2, 2}, FeaturesPerSubtree: 4, NumClasses: NumClasses(D2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(EngineConfig{
+		Deploy: DeployConfig{
+			Profile: Tofino1(), Model: m, Compiled: c, FlowSlots: 1 << 16,
+		},
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewStream(D2, 100, 9, time.Millisecond)
+	res, err := eng.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Digests != 100 {
+		t.Fatalf("digested %d flows, want 100", res.Stats.Digests)
+	}
+	if got := len(res.PerShard); got != 4 {
+		t.Fatalf("%d per-shard stats, want 4", got)
+	}
+	if res.Throughput.PktsPerSec() <= 0 {
+		t.Fatal("no throughput reported")
+	}
+	labels := src.Labels()
+	correct := 0
+	for _, d := range res.Digests {
+		if labels[d.Key] == d.Class {
+			correct++
+		}
+	}
+	if correct < 50 {
+		t.Fatalf("only %d/100 flows classified correctly", correct)
+	}
+}
