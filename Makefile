@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine ci
+.PHONY: all build vet test race bench bench-engine examples ci
 
 all: build vet test
 
@@ -20,8 +20,14 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-# Engine scaling smoke: pkts/sec at 1/2/4/8 shards.
+# Engine scaling smoke: pkts/sec at 1/2/4/8 shards plus the streaming
+# session Feed path.
 bench-engine:
-	$(GO) test -run xxx -bench Engine -benchtime 1x .
+	$(GO) test -run xxx -bench 'EngineShards|SessionFeed' -benchtime 1x .
 
-ci: build vet race bench-engine
+# Build every example (livecontrol included) — they are the API's
+# executable documentation and must never rot.
+examples:
+	$(GO) build ./examples/...
+
+ci: build vet race bench-engine examples

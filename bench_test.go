@@ -7,6 +7,7 @@
 package splidt
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -359,3 +360,35 @@ func BenchmarkEngineShards1(b *testing.B) { benchmarkEngineShards(b, 1) }
 func BenchmarkEngineShards2(b *testing.B) { benchmarkEngineShards(b, 2) }
 func BenchmarkEngineShards4(b *testing.B) { benchmarkEngineShards(b, 4) }
 func BenchmarkEngineShards8(b *testing.B) { benchmarkEngineShards(b, 8) }
+
+// BenchmarkSessionFeed measures the streaming path end to end — Start, a
+// Feed loop spinning through backpressure, Close — over the same workload
+// as the shard benchmarks, so batch (Run) and streaming numbers compare
+// directly.
+func BenchmarkSessionFeed(b *testing.B) {
+	cfg, pkts := engineBenchFixture(b)
+	e, err := engine.New(engine.Config{Deploy: cfg, Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		s, err := e.Start(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.FeedAll(pkts); err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Packets != len(pkts) {
+			b.Fatalf("processed %d packets, want %d", res.Stats.Packets, len(pkts))
+		}
+		rate += res.Throughput.PktsPerSec()
+	}
+	b.ReportMetric(rate/float64(b.N), "pkts/s")
+}

@@ -3,12 +3,22 @@
 // reports throughput: packets/sec, digests/sec, recirculation overhead, and
 // the per-shard load split.
 //
+// Batch mode (default) drains the workload through Engine.Run. Live mode
+// (-live) opens a streaming session instead: packets go in through Feed, a
+// controller consumes the digest stream concurrently and pushes ActionBlock
+// verdicts for the classes named by -block back into the dispatch stage, and
+// periodic snapshots show flows being dropped while traffic is still
+// flowing. -waves replays the workload through the same session, modelling
+// repeat offenders hitting an already-populated blocklist.
+//
 // Usage:
 //
 //	splidt-engine -dataset 3 -flows 2000 -shards 8 -burst 32
+//	splidt-engine -dataset 3 -flows 2000 -live -block 0,1,2 -waves 2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,10 +45,14 @@ func main() {
 		queue      = flag.Int("queue", 8, "per-shard queue depth in bursts")
 		slots      = flag.Int("slots", 1<<18, "total flow register slots (split across shards)")
 		spacingUS  = flag.Int("spacing-us", 200, "flow start spacing (µs)")
+		live       = flag.Bool("live", false, "streaming session with a live controller loop")
+		block      = flag.String("block", "", "comma-separated classes the controller blocks (live mode)")
+		waves      = flag.Int("waves", 1, "times to replay the workload through one session (live mode)")
+		reportMS   = flag.Int("report-ms", 200, "live snapshot interval (ms)")
 	)
 	flag.Parse()
 
-	parts := parseParts(*partitions)
+	parts := parseInts(*partitions, "partition depth", 1)
 	id := splidt.Dataset(*dataset)
 	if *dataset < 1 || *dataset > len(splidt.Datasets()) {
 		log.Fatalf("dataset %d out of range 1-%d", *dataset, len(splidt.Datasets()))
@@ -71,25 +85,93 @@ func main() {
 		log.Fatal(err)
 	}
 
-	src := splidt.NewStream(id, *nFlows, *seed, time.Duration(*spacingUS)*time.Microsecond)
+	fmt.Printf("model          %v\n", m)
+	fmt.Printf("engine         %d shards × burst %d × queue %d (%d total slots)\n",
+		eng.Shards(), *burst, *queue, *slots)
+
+	spacing := time.Duration(*spacingUS) * time.Microsecond
+	if *live {
+		runLive(eng, id, *nFlows, *seed, spacing, classes, *block, *waves,
+			time.Duration(*reportMS)*time.Millisecond)
+		return
+	}
+
+	src := splidt.NewStream(id, *nFlows, *seed, spacing)
 	res, err := eng.Run(src)
 	if err != nil {
 		log.Fatal(err)
 	}
+	report(id, *nFlows, classes, src.Labels(), res)
+}
 
-	// Score classifications against the stream's ground truth.
+// runLive drives the streaming path: session + controller feedback loop.
+func runLive(eng *splidt.Engine, id splidt.Dataset, nFlows int, seed int64,
+	spacing time.Duration, classes int, block string, waves int, interval time.Duration) {
+	blocked := parseInts(block, "blocked class", 0)
+	policy := splidt.ControllerPolicy(nil)
+	if len(blocked) > 0 {
+		policy = splidt.BlockClasses(blocked...)
+	}
+	ctrl := splidt.NewController(classes, policy)
+
+	sess, err := eng.Start(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	served := make(chan int, 1)
+	go func() { served <- ctrl.Serve(sess) }()
+
+	stop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				snap := sess.Snapshot()
+				fmt.Printf("live           fed=%d processed=%d digests=%d blocked-flows=%d dropped=%d active=%d backpressure=%d\n",
+					snap.Fed, snap.Stats.Packets, snap.Stats.Digests,
+					snap.BlockedFlows, snap.Dropped, snap.ActiveFlows, snap.Backpressure)
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var labels map[splidt.FlowKey]int
+	for w := 0; w < waves; w++ {
+		src := splidt.NewStream(id, nFlows, seed, spacing)
+		if err := sess.FeedSource(src); err != nil {
+			log.Fatal(err)
+		}
+		labels = src.Labels()
+	}
+	res, err := sess.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	close(stop)
+	blockedDigests := <-served
+
+	report(id, nFlows, classes, labels, res)
+	fmt.Printf("controller     %d digests, %d block verdicts, %d flows blocked, mean TTD %v\n",
+		ctrl.Digests(), blockedDigests, sess.Snapshot().BlockedFlows, ctrl.MeanTTD())
+	fmt.Printf("dispatch       %d packets of blocked flows dropped before pipeline work\n", res.Dropped)
+}
+
+func report(id splidt.Dataset, nFlows, classes int, labels map[splidt.FlowKey]int, res *splidt.EngineResult) {
+	// Score each flow once, on its first digest: with -waves > 1 unblocked
+	// flows re-digest every wave while blocked ones don't, which would
+	// otherwise weight accuracy toward the unblocked classes.
 	conf := splidt.NewConfusion(classes)
-	labels := src.Labels()
+	scored := make(map[splidt.FlowKey]bool, len(labels))
 	for _, d := range res.Digests {
-		if label, ok := labels[d.Key]; ok {
+		if label, ok := labels[d.Key]; ok && !scored[d.Key] {
+			scored[d.Key] = true
 			conf.Add(label, d.Class)
 		}
 	}
-
-	fmt.Printf("model          %v\n", m)
-	fmt.Printf("engine         %d shards × burst %d × queue %d (%d total slots)\n",
-		eng.Shards(), *burst, *queue, *slots)
-	fmt.Printf("workload       %s: %d flows, %d packets\n", id, *nFlows, res.Stats.Packets)
+	fmt.Printf("workload       %s: %d flows, %d packets\n", id, nFlows, res.Stats.Packets)
 	fmt.Printf("throughput     %v\n", res.Throughput)
 	fmt.Printf("digests        %d (%d recirculations, %d recirc bytes)\n",
 		res.Stats.Digests, res.Stats.ControlPackets, res.Stats.RecircBytes)
@@ -105,14 +187,17 @@ func main() {
 	fmt.Println()
 }
 
-func parseParts(s string) []int {
-	var parts []int
+func parseInts(s, what string, min int) []int {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []int
 	for _, tok := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(tok))
-		if err != nil || v < 1 {
-			log.Fatalf("bad partition depth %q", tok)
+		if err != nil || v < min {
+			log.Fatalf("bad %s %q", what, tok)
 		}
-		parts = append(parts, v)
+		out = append(out, v)
 	}
-	return parts
+	return out
 }

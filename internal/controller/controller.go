@@ -215,3 +215,49 @@ func (c *Controller) Attach(results []dataplane.ReplayResult) (blocked int) {
 	}
 	return blocked
 }
+
+// DigestSession is the streaming-session surface Serve consumes —
+// engine.Session satisfies it. Declaring the interface here keeps the
+// control plane decoupled from the engine's concrete type, the same way
+// bfrt keeps a controller decoupled from the switch driver.
+type DigestSession interface {
+	// Digests is the live merged digest stream; it closes after the
+	// session ends and every digest has been delivered.
+	Digests() <-chan dataplane.Digest
+	// Poll drains pending digests without blocking (the tail after the
+	// channel closes, or the only path for poll-mode sessions).
+	Poll(buf []dataplane.Digest) int
+	// Block installs a mid-run drop verdict for the flow.
+	Block(k flow.Key)
+}
+
+// Serve runs the live feedback loop against a streaming engine session: it
+// consumes digests while traffic is still flowing, records them, and pushes
+// every ActionBlock verdict back into the session's drop filter — so a
+// blocked flow stops consuming pipeline work mid-run, the paper's
+// detect→block path. Serve returns after the session's digest stream ends
+// (i.e. after Session.Close drains), reporting how many digests drew a
+// block verdict. Run it on its own goroutine alongside the packet feed.
+func (c *Controller) Serve(s DigestSession) (blocked int) {
+	apply := func(d dataplane.Digest) {
+		if c.HandleDigest(d) == ActionBlock {
+			s.Block(d.Key)
+			blocked++
+		}
+	}
+	for d := range s.Digests() {
+		apply(d)
+	}
+	// Drain any tail the channel did not carry (defensive: covers sessions
+	// that were polled before Serve attached).
+	var buf [64]dataplane.Digest
+	for {
+		n := s.Poll(buf[:])
+		if n == 0 {
+			return blocked
+		}
+		for _, d := range buf[:n] {
+			apply(d)
+		}
+	}
+}

@@ -162,3 +162,43 @@ func TestActionString(t *testing.T) {
 		t.Fatal("Action.String broken")
 	}
 }
+
+// fakeSession implements DigestSession over a canned digest stream.
+type fakeSession struct {
+	ch      chan dataplane.Digest
+	tail    []dataplane.Digest // served through Poll after the channel closes
+	blocked []flow.Key
+}
+
+func (f *fakeSession) Digests() <-chan dataplane.Digest { return f.ch }
+func (f *fakeSession) Block(k flow.Key)                 { f.blocked = append(f.blocked, k.Canonical()) }
+func (f *fakeSession) Poll(buf []dataplane.Digest) int {
+	n := copy(buf, f.tail)
+	f.tail = f.tail[n:]
+	return n
+}
+
+func TestServeBlocksAndDrainsTail(t *testing.T) {
+	c := New(4, BlockClasses(3))
+	fs := &fakeSession{
+		ch:   make(chan dataplane.Digest, 4),
+		tail: []dataplane.Digest{digest(9, 3, time.Second)},
+	}
+	fs.ch <- digest(1, 3, time.Second)
+	fs.ch <- digest(2, 0, time.Second)
+	fs.ch <- digest(3, 3, time.Second)
+	close(fs.ch)
+
+	if blocked := c.Serve(fs); blocked != 3 {
+		t.Fatalf("Serve blocked %d digests, want 3", blocked)
+	}
+	if len(fs.blocked) != 3 {
+		t.Fatalf("session received %d Block calls, want 3", len(fs.blocked))
+	}
+	if c.Digests() != 4 {
+		t.Fatalf("controller ingested %d digests, want 4 (tail included)", c.Digests())
+	}
+	if r, ok := c.ClassOf(key(9)); !ok || r.Action != ActionBlock {
+		t.Fatalf("tail digest not recorded/blocked: %+v ok=%v", r, ok)
+	}
+}

@@ -356,3 +356,20 @@ func TestNewShards(t *testing.T) {
 		t.Fatal("NewShards with nil model did not error")
 	}
 }
+
+func TestActiveFlowsCounterMatchesScan(t *testing.T) {
+	// ActiveFlows is maintained incrementally so live engine snapshots can
+	// read it in O(1); it must agree with a register-array scan at every
+	// point of a replay, including early-exit parking and slot frees.
+	cfg := core.Config{Partitions: []int{2, 2}, FeaturesPerSubtree: 3, NumClasses: 4}
+	pl, _, testFlows := deploy(t, trace.D2, 300, cfg, 1<<16)
+	for _, p := range trace.Interleave(testFlows, time.Millisecond) {
+		pl.Process(p)
+		if pl.ActiveFlows() != pl.countActiveSlots() {
+			t.Fatalf("incremental ActiveFlows %d != scanned %d", pl.ActiveFlows(), pl.countActiveSlots())
+		}
+	}
+	if pl.ActiveFlows() != 0 {
+		t.Fatalf("%d flows active after all flows completed", pl.ActiveFlows())
+	}
+}

@@ -3,27 +3,36 @@
 // the software analogue of a multi-pipe switch ASIC (or an RSS-sharded
 // software dataplane à la ndn-dpdk's forwarder).
 //
-// Architecture: a single dispatcher goroutine pulls packets from a Source,
-// assigns each to a shard by flow.Key.Shard — a direction-symmetric hash, so
-// every packet of a flow (and hence all of its register state and its
-// digest) lives on exactly one shard — and accumulates them into fixed-size
-// bursts. Full bursts move to shard workers through bounded single-producer
-// single-consumer rings; drained bursts recycle back through a free ring,
-// so the steady-state path allocates nothing. Each worker owns one pipeline
-// replica and processes bursts in arrival order, which preserves per-flow
-// packet order end to end.
+// Architecture: packets enter through a Session (Engine.Start). The feed
+// side assigns each packet to a shard by its precomputed direction-symmetric
+// dispatch hash — so every packet of a flow (and hence all of its register
+// state and its digest) lives on exactly one shard — and accumulates them
+// into fixed-size bursts. Bursts move to shard workers through bounded
+// single-producer single-consumer rings; drained bursts recycle back through
+// a free ring, so the steady-state path allocates nothing. Each worker owns
+// one pipeline replica and processes bursts in arrival order, which
+// preserves per-flow packet order end to end. Digests flow from the workers
+// into an incremental sink stage that merges the per-shard streams while
+// traffic is still moving, so a controller can consume them live
+// (Session.Digests / Session.Poll) and push ActionBlock verdicts back into
+// the dispatch stage's drop filter (Session.Block) mid-run.
+//
+// Engine.Run remains as a thin batch wrapper over Start/Feed/Close: it
+// drains a Source through a session and returns the merged Result, with a
+// digest stream multiset-identical to what the streaming path emits.
 //
 // Correctness contract: because flows never cross shards and per-flow order
 // is preserved, an engine run is digest-equivalent to feeding the same
 // workload through one pipeline, as long as register-slot collisions do not
 // couple flows that land on different shards (collision-free operation is
 // the regime the equivalence tests pin down; Stats.Collisions reports it).
-// Digests are merged into a single deterministic stream ordered by
-// classification time, and per-shard Stats sum into the totals a single
+// Close returns digests merged into a single deterministic stream ordered
+// by classification time, and per-shard Stats sum into the totals a single
 // pipeline would have counted.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -69,12 +78,15 @@ type Config struct {
 	// Burst is the packets-per-burst batch size. Default 32 (the DPDK
 	// convention).
 	Burst int
-	// Queue is the per-shard queue depth in bursts. It bounds dispatcher
-	// runahead: a full queue backpressures the dispatcher. Default 8.
+	// Queue is the per-shard queue depth in bursts. It bounds feed-side
+	// runahead: a full queue backpressures Feed. Default 8.
 	Queue int
+	// DigestBuffer is the capacity of the live digest channel a session
+	// exposes through Digests(). Default 256.
+	DigestBuffer int
 }
 
-// Result is one engine run's merged output.
+// Result is one engine run's (or closed session's) merged output.
 type Result struct {
 	// Digests from all shards in one deterministic stream, ordered by
 	// classification time (ties broken by flow key), independent of worker
@@ -86,31 +98,47 @@ type Result struct {
 	PerShard []dataplane.Stats
 	// Throughput reports wall-clock rates for this run.
 	Throughput metrics.Throughput
+	// Dropped counts packets the dispatch stage discarded because their
+	// flow was blocked (Session.Block) while the session ran.
+	Dropped int64
+}
+
+// shardPub is a worker's last published observation of its pipeline; the
+// worker stores a fresh one after every burst (and on exit), so stats and
+// active-flow reads are safe — and coherent per shard — while the run is in
+// flight.
+type shardPub struct {
+	stats  dataplane.Stats
+	active int
 }
 
 type shardState struct {
 	pl   *dataplane.Pipeline
-	in   *spscRing // filled bursts: dispatcher → worker
-	free *spscRing // empty bursts: worker → dispatcher
-	cur  *burst    // dispatcher's partially filled burst
+	in   *spscRing // filled bursts: feed side → worker
+	free *spscRing // empty bursts: worker → feed side
+	cur  *burst    // feed side's partially filled burst
 	done atomic.Bool
 
-	digests []dataplane.Digest
-	prev    dataplane.Stats // counters at the start of the current run
+	pub atomic.Pointer[shardPub]
+
+	// hold, when non-nil, gates the worker before each burst — a test hook
+	// that makes backpressure deterministic. Always nil in production.
+	hold chan struct{}
 }
 
-// Engine drives sharded pipeline replicas. Construct with New; an Engine
-// supports any number of sequential Run calls (flow state persists across
-// runs, like a switch that stays up between traces) but is not itself
-// concurrency-safe — all concurrency lives inside Run.
+// Engine drives sharded pipeline replicas. Construct with New. An Engine
+// supports any number of sequential sessions (flow state persists across
+// them, like a switch that stays up between traces) but at most one session
+// at a time; all concurrency lives inside the session.
 type Engine struct {
 	cfg    Config
 	shards []*shardState
+	active atomic.Bool // a session is running
 }
 
 // New validates the deployment, builds one pipeline replica per shard
-// (sharing the frozen compiled tables), and preallocates every burst the
-// run will use.
+// (sharing the frozen compiled tables), and preallocates every burst a
+// session will use.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
@@ -120,6 +148,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Queue <= 0 {
 		cfg.Queue = 8
+	}
+	if cfg.DigestBuffer <= 0 {
+		cfg.DigestBuffer = 256
 	}
 	pls, err := dataplane.NewShards(cfg.Deploy, cfg.Shards)
 	if err != nil {
@@ -133,11 +164,12 @@ func New(cfg Config) (*Engine, error) {
 			free: newRing(cfg.Queue + 2),
 		}
 		// One burst per queue slot, one for the worker to hold, one for the
-		// dispatcher's partial fill — enough that neither side ever waits on
+		// feed side's partial fill — enough that neither side ever waits on
 		// an allocation.
 		for j := 0; j < cfg.Queue+2; j++ {
 			s.free.push(&burst{pkts: make([]pkt.Packet, 0, cfg.Burst)})
 		}
+		s.pub.Store(&shardPub{})
 		e.shards[i] = s
 	}
 	return e, nil
@@ -146,87 +178,59 @@ func New(cfg Config) (*Engine, error) {
 // Shards returns the engine's shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
 
-// ActiveFlows sums occupied register slots across shards. Only meaningful
-// between runs (workers own the pipelines while a run is in flight).
+// ActiveFlows sums occupied register slots across shards. It reads the
+// workers' published per-burst snapshots, so it is safe to call while a
+// session is running (the value trails live state by at most one burst per
+// shard).
 func (e *Engine) ActiveFlows() int {
 	n := 0
 	for _, s := range e.shards {
-		n += s.pl.ActiveFlows()
+		n += s.pub.Load().active
 	}
 	return n
 }
 
-// Run drains the source through the shards and returns the merged result.
-// The dispatcher runs on the calling goroutine; one worker goroutine per
-// shard processes bursts until the source is exhausted and queues drain.
+// runChunk is the batch size Run uses when feeding a generic Source through
+// a session.
+const runChunk = 2048
+
+// Run drains the source through a session and returns the merged result —
+// the batch facade over Start/Feed/Close. It is digest-multiset-identical
+// to consuming the same source through the streaming API (it is the
+// streaming API), and remains backward compatible with pre-session callers.
 func (e *Engine) Run(src Source) (*Result, error) {
 	if src == nil {
 		return nil, fmt.Errorf("engine: nil source")
 	}
-	n := len(e.shards)
-	for _, s := range e.shards {
-		s.done.Store(false)
-		s.digests = s.digests[:0]
-		s.prev = s.pl.Stats()
+	s, err := e.Start(context.Background())
+	if err != nil {
+		return nil, err
 	}
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for _, s := range e.shards {
-		go s.work(&wg)
-	}
-
-	// Dispatch: route, batch, push. Single producer per ring.
-	for {
-		p, ok := src.Next()
-		if !ok {
-			break
+	if ss, ok := src.(*SliceSource); ok {
+		// Fast path: feed the remaining slice directly, no per-packet copy
+		// into a staging chunk.
+		pkts := ss.Pkts[ss.pos:]
+		ss.pos = len(ss.Pkts)
+		if err := s.FeedAll(pkts); err != nil {
+			s.Close()
+			return nil, err
 		}
-		s := e.shards[p.Key.Shard(n)]
-		if s.cur == nil {
-			s.cur = s.takeFree()
-		}
-		s.cur.pkts = append(s.cur.pkts, p)
-		if len(s.cur.pkts) == e.cfg.Burst {
-			s.in.push(s.cur)
-			s.cur = nil
-		}
+		return s.Close()
 	}
-	// Flush partial bursts, then signal completion. done is set after the
-	// final push, so a worker that observes it and then finds the ring
-	// empty has seen everything.
-	for _, s := range e.shards {
-		if s.cur != nil && len(s.cur.pkts) > 0 {
-			s.in.push(s.cur)
-			s.cur = nil
-		}
-		s.done.Store(true)
+	if err := s.FeedSource(src); err != nil {
+		s.Close()
+		return nil, err
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	res := &Result{PerShard: make([]dataplane.Stats, n)}
-	for i, s := range e.shards {
-		res.PerShard[i] = subStats(s.pl.Stats(), s.prev)
-		res.Stats.Add(res.PerShard[i])
-		res.Digests = append(res.Digests, s.digests...)
-	}
-	sortDigests(res.Digests)
-	res.Throughput = metrics.Throughput{
-		Packets:        res.Stats.Packets,
-		Digests:        res.Stats.Digests,
-		Recirculations: res.Stats.ControlPackets,
-		Elapsed:        elapsed,
-	}
-	return res, nil
+	return s.Close()
 }
 
 // work is one shard's consumer loop: pop a burst, run it through the
-// replica, hand the burst back. Exits when the dispatcher has signalled
-// done and the queue is drained.
-func (s *shardState) work(wg *sync.WaitGroup) {
+// replica, stream digests to the sink, hand the burst back, publish a fresh
+// stats snapshot. Exits when the feed side has signalled done and the queue
+// is drained.
+func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest) {
 	defer wg.Done()
+	idle := 0
 	for {
 		b, ok := s.in.tryPop()
 		if !ok {
@@ -234,34 +238,47 @@ func (s *shardState) work(wg *sync.WaitGroup) {
 				// done is published after the final push; one more pop
 				// closes the race with a flush that landed in between.
 				if b, ok = s.in.tryPop(); !ok {
+					s.publish()
 					return
 				}
 			} else {
-				runtime.Gosched()
+				// Spin briefly, then sleep: a live session can sit idle for
+				// long stretches and must not burn a core per shard.
+				if idle++; idle > idleSpins {
+					time.Sleep(idleSleep)
+				} else {
+					runtime.Gosched()
+				}
 				continue
 			}
 		}
+		idle = 0
+		if s.hold != nil {
+			<-s.hold
+		}
 		for i := range b.pkts {
 			if d := s.pl.Process(b.pkts[i]); d != nil {
-				s.digests = append(s.digests, *d)
+				sink <- *d
 			}
 		}
 		b.pkts = b.pkts[:0]
 		s.free.push(b)
+		s.publish()
 	}
 }
 
-// takeFree blocks until the worker returns a recycled burst.
-func (s *shardState) takeFree() *burst {
-	for {
-		if b, ok := s.free.tryPop(); ok {
-			return b
-		}
-		runtime.Gosched()
-	}
+const (
+	idleSpins = 256
+	idleSleep = 100 * time.Microsecond
+)
+
+// publish refreshes the shard's observable snapshot; both fields are O(1)
+// reads off the pipeline.
+func (s *shardState) publish() {
+	s.pub.Store(&shardPub{stats: s.pl.Stats(), active: s.pl.ActiveFlows()})
 }
 
-// subStats returns now − prev field-wise (one run's deltas).
+// subStats returns now − prev field-wise (one session's deltas).
 func subStats(now, prev dataplane.Stats) dataplane.Stats {
 	return dataplane.Stats{
 		Packets:        now.Packets - prev.Packets,

@@ -1,0 +1,494 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"splidt/internal/dataplane"
+	"splidt/internal/flow"
+	"splidt/internal/metrics"
+	"splidt/internal/pkt"
+)
+
+// Feed and session lifecycle errors.
+var (
+	// ErrBackpressure reports that a shard queue is full: the workers are
+	// behind the producer. Feed returns it together with the number of
+	// packets it did accept; the caller retries with the remainder (or
+	// sheds load) — the producer side never blocks silently.
+	ErrBackpressure = errors.New("engine: backpressure: shard queue full")
+	// ErrSessionClosed reports a Feed after Close (or after the session's
+	// context was cancelled).
+	ErrSessionClosed = errors.New("engine: session closed")
+	// ErrSessionActive reports a Start while another session is running.
+	ErrSessionActive = errors.New("engine: a session is already active")
+)
+
+// Snapshot is a live view of a running (or closed) session, assembled from
+// the workers' per-burst published stats — reading one never touches state
+// a worker owns, so it is safe at any time, including mid-run under -race.
+type Snapshot struct {
+	// Stats is the merged per-shard counter deltas since Start. It trails
+	// live state by at most one in-flight burst per shard.
+	Stats dataplane.Stats
+	// PerShard is the per-shard split of Stats.
+	PerShard []dataplane.Stats
+	// ActiveFlows is the number of occupied register slots across shards.
+	ActiveFlows int
+	// Fed counts packets accepted by Feed (including ones later dropped by
+	// the block filter; excluding ones refused with ErrBackpressure).
+	Fed int64
+	// Dropped counts packets the dispatch stage discarded because their
+	// flow was blocked.
+	Dropped int64
+	// Backpressure counts Feed calls that returned ErrBackpressure.
+	Backpressure int64
+	// BlockedFlows is the current size of the drop filter.
+	BlockedFlows int
+}
+
+// Session is a long-lived streaming run of an Engine: packets go in through
+// Feed, digests come out through Digests or Poll while traffic is still
+// flowing, Snapshot observes live merged stats, Block installs mid-run drop
+// verdicts, and Close drains everything and returns the deterministic final
+// Result.
+//
+// Concurrency: Feed may be called from multiple goroutines (calls
+// serialise), and every other method is safe concurrently with Feed and
+// with each other. Digests and Poll are alternative drain modes — the first
+// Digests call switches the session to channel delivery; consume through
+// one of them, not both at once, or interleaving order across flows is
+// unspecified (each digest is still delivered exactly once, and
+// Close's Result always carries the complete ordered stream).
+type Session struct {
+	e     *Engine
+	start time.Time
+
+	feedMu sync.Mutex // serialises the producer side (Feed, shutdown flush)
+	closed bool       // under feedMu: no further Feeds accepted
+
+	fed          atomic.Int64
+	dropped      atomic.Int64
+	backpressure atomic.Int64
+
+	filter dropFilter
+
+	sinkCh   chan dataplane.Digest // workers → sink (many producers)
+	out      chan dataplane.Digest // sink/pump → consumer (channel mode)
+	sinkDone chan struct{}         // sink exited: all digests recorded
+
+	mu          sync.Mutex         // guards all/delivered/sinkClosed
+	cond        *sync.Cond         // pump wakeup, signalled under mu
+	all         []dataplane.Digest // every digest, in sink-arrival order
+	delivered   int                // all[:delivered] has gone out via Poll/Digests
+	sinkClosed  bool
+	channelMode atomic.Bool
+	pumpOnce    sync.Once
+
+	prev []dataplane.Stats // per-shard counters at Start, owned by this session
+
+	wg        sync.WaitGroup // shard workers
+	watchStop chan struct{}  // releases the context watcher
+
+	closeOnce sync.Once
+	result    *Result
+	resErr    error
+}
+
+// Start begins a streaming session: one worker goroutine per shard plus a
+// digest sink that merges per-shard digest streams incrementally. At most
+// one session runs per engine at a time. Cancelling ctx aborts the session:
+// staged partial bursts are discarded (already-queued bursts still drain),
+// Feed starts failing, and Close reports the context error. Close alone
+// performs a fully graceful drain.
+func (e *Engine) Start(ctx context.Context) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !e.active.CompareAndSwap(false, true) {
+		return nil, ErrSessionActive
+	}
+	s := &Session{
+		e:         e,
+		start:     time.Now(),
+		sinkCh:    make(chan dataplane.Digest, e.cfg.DigestBuffer),
+		out:       make(chan dataplane.Digest, e.cfg.DigestBuffer),
+		sinkDone:  make(chan struct{}),
+		watchStop: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.prev = make([]dataplane.Stats, len(e.shards))
+	for i, sh := range e.shards {
+		sh.done.Store(false)
+		s.prev[i] = sh.pl.Stats()
+		sh.pub.Store(&shardPub{stats: s.prev[i], active: sh.pl.ActiveFlows()})
+	}
+	s.wg.Add(len(e.shards))
+	for _, sh := range e.shards {
+		go sh.work(&s.wg, s.sinkCh)
+	}
+	go s.sink()
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.shutdown(false, ctx.Err())
+		case <-s.watchStop:
+		}
+	}()
+	return s, nil
+}
+
+// Feed dispatches packets to the shard workers and returns how many it
+// accepted. It never blocks: when a shard's queue is full (the workers are
+// behind) it stops at the first unplaceable packet and returns the count
+// consumed so far with ErrBackpressure — retry with pkts[n:]. Accepted
+// packets are fully handed off (partial bursts are flushed best-effort at
+// the end of each call and unconditionally at Close), and the caller keeps
+// ownership of the slice. Packets of blocked flows count as accepted but
+// are dropped before dispatch.
+func (s *Session) Feed(pkts []pkt.Packet) (int, error) {
+	s.feedMu.Lock()
+	defer s.feedMu.Unlock()
+	if s.closed {
+		return 0, ErrSessionClosed
+	}
+	n := len(s.e.shards)
+	burstCap := s.e.cfg.Burst
+	for i := range pkts {
+		p := &pkts[i]
+		if s.filter.blocked(p.Key) {
+			s.dropped.Add(1)
+			s.fed.Add(1)
+			continue
+		}
+		sh := s.e.shards[p.Shard(n)]
+		if sh.cur != nil && len(sh.cur.pkts) == burstCap {
+			if !sh.in.tryPush(sh.cur) {
+				s.backpressure.Add(1)
+				s.flushStagedLocked()
+				return i, ErrBackpressure
+			}
+			sh.cur = nil
+		}
+		if sh.cur == nil {
+			b, ok := sh.free.tryPop()
+			if !ok {
+				s.backpressure.Add(1)
+				s.flushStagedLocked()
+				return i, ErrBackpressure
+			}
+			sh.cur = b
+		}
+		sh.cur.pkts = append(sh.cur.pkts, *p)
+		s.fed.Add(1)
+	}
+	s.flushStagedLocked()
+	return len(pkts), nil
+}
+
+// flushStagedLocked hands partial bursts to the workers, best-effort, so a
+// pausing (or shedding) producer does not strand already-accepted packets
+// until the next Feed. Runs on every Feed exit — backpressure returns
+// included — with feedMu held; a full ring just leaves that burst staged
+// for the next call or Close.
+func (s *Session) flushStagedLocked() {
+	for _, sh := range s.e.shards {
+		if sh.cur != nil && len(sh.cur.pkts) > 0 && sh.in.tryPush(sh.cur) {
+			sh.cur = nil
+		}
+	}
+}
+
+// FeedAll feeds the whole slice, yielding through backpressure until every
+// packet is accepted and handed to the workers — unlike bare Feed it does
+// not leave a trailing partial burst staged, so "FeedAll returned" means
+// the workers will process every packet without further calls. Any error
+// other than ErrBackpressure aborts the loop and is returned. Callers that
+// would rather shed load than wait use Feed directly.
+func (s *Session) FeedAll(pkts []pkt.Packet) error {
+	off := 0
+	for off < len(pkts) {
+		n, err := s.Feed(pkts[off:])
+		off += n
+		switch err {
+		case nil:
+		case ErrBackpressure:
+			runtime.Gosched()
+		default:
+			return err
+		}
+	}
+	// Guaranteed trailing flush: Feed's end-of-call flush is best-effort,
+	// so spin until no shard holds a staged non-empty burst. A concurrent
+	// Close takes over delivery of anything still staged.
+	for {
+		s.feedMu.Lock()
+		if s.closed {
+			s.feedMu.Unlock()
+			return nil
+		}
+		s.flushStagedLocked()
+		staged := false
+		for _, sh := range s.e.shards {
+			if sh.cur != nil && len(sh.cur.pkts) > 0 {
+				staged = true
+				break
+			}
+		}
+		s.feedMu.Unlock()
+		if !staged {
+			return nil
+		}
+		runtime.Gosched()
+	}
+}
+
+// FeedSource drains a Source through the session in staged chunks,
+// yielding through backpressure — the one home for the pull-stage-FeedAll
+// loop Run, the CLI, and the examples all need.
+func (s *Session) FeedSource(src Source) error {
+	chunk := make([]pkt.Packet, 0, runChunk)
+	for {
+		p, ok := src.Next()
+		if ok {
+			chunk = append(chunk, p)
+		}
+		if len(chunk) == cap(chunk) || (!ok && len(chunk) > 0) {
+			if err := s.FeedAll(chunk); err != nil {
+				return err
+			}
+			chunk = chunk[:0]
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// Digests returns the live merged digest stream. The first call switches
+// the session to channel delivery: a pump goroutine forwards digests in
+// sink-arrival order (per-flow order preserved) and closes the channel
+// after the session ends and every digest has been delivered. Consumers
+// must drain until close, or use Poll instead.
+func (s *Session) Digests() <-chan dataplane.Digest {
+	s.pumpOnce.Do(func() {
+		s.channelMode.Store(true)
+		go s.pump()
+	})
+	return s.out
+}
+
+// Poll drains up to len(buf) pending digests into buf without blocking and
+// returns how many it wrote. After Close it keeps returning the remaining
+// undelivered tail until the stream is empty.
+func (s *Session) Poll(buf []dataplane.Digest) int {
+	n := 0
+	if s.channelMode.Load() {
+		// Channel mode: the pump owns pending; serve from the channel.
+		for n < len(buf) {
+			select {
+			case d, ok := <-s.out:
+				if !ok {
+					return n
+				}
+				buf[n] = d
+				n++
+			default:
+				return n
+			}
+		}
+		return n
+	}
+	s.mu.Lock()
+	n = copy(buf, s.all[s.delivered:])
+	s.delivered += n
+	s.mu.Unlock()
+	return n
+}
+
+// Snapshot assembles a live view of the session from the workers' published
+// per-burst stats. Safe to call at any time, from any goroutine.
+func (s *Session) Snapshot() Snapshot {
+	snap := Snapshot{
+		PerShard:     make([]dataplane.Stats, len(s.e.shards)),
+		Fed:          s.fed.Load(),
+		Dropped:      s.dropped.Load(),
+		Backpressure: s.backpressure.Load(),
+		BlockedFlows: s.filter.size(),
+	}
+	for i, sh := range s.e.shards {
+		pub := sh.pub.Load()
+		snap.PerShard[i] = subStats(pub.stats, s.prev[i])
+		snap.Stats.Add(snap.PerShard[i])
+		snap.ActiveFlows += pub.active
+	}
+	return snap
+}
+
+// Block installs a drop verdict for the flow (both directions): subsequent
+// packets of the flow are discarded at the dispatch stage, before they
+// consume a burst slot or pipeline work. This is the data-plane half of the
+// controller's detect→block loop.
+func (s *Session) Block(k flow.Key) { s.filter.block(k) }
+
+// Unblock removes a flow's drop verdict.
+func (s *Session) Unblock(k flow.Key) { s.filter.unblock(k) }
+
+// Blocked reports whether the flow is currently blocked.
+func (s *Session) Blocked(k flow.Key) bool { return s.filter.blocked(k) }
+
+// Close gracefully drains the session: it flushes staged bursts, waits for
+// the workers to finish every queued packet, merges the per-shard digest
+// streams into one deterministically ordered Result, and releases the
+// engine for the next session. Close is idempotent; every call returns the
+// same Result. If the session's context was cancelled first, the error is
+// the context's and in-flight staged bursts were discarded rather than
+// flushed.
+func (s *Session) Close() (*Result, error) {
+	s.shutdown(true, nil)
+	return s.result, s.resErr
+}
+
+// shutdown runs the started→fed→drained state machine's final transition
+// exactly once. flush selects graceful drain (Close) versus abort (context
+// cancellation).
+func (s *Session) shutdown(flush bool, cause error) {
+	s.closeOnce.Do(func() {
+		s.feedMu.Lock()
+		s.closed = true
+		for _, sh := range s.e.shards {
+			if sh.cur != nil {
+				// On abort the staged packets are discarded, but the burst
+				// still travels through the in ring: the worker is the free
+				// ring's only producer, and it recycles this burst like any
+				// other.
+				if !flush {
+					sh.cur.pkts = sh.cur.pkts[:0]
+				}
+				sh.in.push(sh.cur) // a zero-length burst just recycles
+				sh.cur = nil
+			}
+		}
+		// done is set after the final push, so a worker that observes it
+		// and then finds its ring empty has seen everything.
+		for _, sh := range s.e.shards {
+			sh.done.Store(true)
+		}
+		s.feedMu.Unlock()
+
+		s.wg.Wait()
+		close(s.sinkCh)
+		<-s.sinkDone
+		close(s.watchStop)
+
+		res := &Result{PerShard: make([]dataplane.Stats, len(s.e.shards))}
+		for i, sh := range s.e.shards {
+			res.PerShard[i] = subStats(sh.pl.Stats(), s.prev[i])
+			res.Stats.Add(res.PerShard[i])
+		}
+		// Sort a copy: s.all stays in arrival order so Poll/Digests can
+		// still deliver the undrained tail after Close.
+		res.Digests = append([]dataplane.Digest(nil), s.all...)
+		sortDigests(res.Digests)
+		res.Dropped = s.dropped.Load()
+		res.Throughput = metrics.Throughput{
+			Packets:        res.Stats.Packets,
+			Digests:        res.Stats.Digests,
+			Recirculations: res.Stats.ControlPackets,
+			Elapsed:        time.Since(s.start),
+		}
+		s.result = res
+		s.resErr = cause
+		s.e.active.Store(false)
+	})
+}
+
+// sink is the merge stage: it serialises the per-shard digest streams into
+// the session's single arrival-ordered record, which both the live
+// delivery path (Poll/pump, via the delivered cursor) and Close's final
+// Result read — each digest is stored once. It runs until every worker has
+// exited and the channel drained.
+func (s *Session) sink() {
+	for d := range s.sinkCh {
+		s.mu.Lock()
+		s.all = append(s.all, d)
+		s.mu.Unlock()
+		s.cond.Signal()
+	}
+	s.mu.Lock()
+	s.sinkClosed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	close(s.sinkDone)
+}
+
+// pump forwards undelivered digests to the out channel in order (channel
+// mode only). It keeps delivering after shutdown until the backlog is
+// empty, then closes the channel — so a consumer ranging over Digests()
+// sees every digest exactly once.
+func (s *Session) pump() {
+	for {
+		s.mu.Lock()
+		for s.delivered == len(s.all) && !s.sinkClosed {
+			s.cond.Wait()
+		}
+		if s.delivered == len(s.all) {
+			s.mu.Unlock()
+			close(s.out)
+			return
+		}
+		d := s.all[s.delivered]
+		s.delivered++
+		s.mu.Unlock()
+		s.out <- d
+	}
+}
+
+// dropFilter is the dispatch-stage blocklist: a direction-symmetric flow
+// set with an atomic emptiness fast path, so an unblocked workload pays one
+// atomic load per packet and nothing else.
+type dropFilter struct {
+	n   atomic.Int64
+	mu  sync.RWMutex
+	set map[flow.Key]struct{}
+}
+
+func (f *dropFilter) block(k flow.Key) {
+	c := k.Canonical()
+	f.mu.Lock()
+	if f.set == nil {
+		f.set = make(map[flow.Key]struct{})
+	}
+	if _, ok := f.set[c]; !ok {
+		f.set[c] = struct{}{}
+		f.n.Add(1)
+	}
+	f.mu.Unlock()
+}
+
+func (f *dropFilter) unblock(k flow.Key) {
+	c := k.Canonical()
+	f.mu.Lock()
+	if _, ok := f.set[c]; ok {
+		delete(f.set, c)
+		f.n.Add(-1)
+	}
+	f.mu.Unlock()
+}
+
+func (f *dropFilter) blocked(k flow.Key) bool {
+	if f.n.Load() == 0 {
+		return false
+	}
+	c := k.Canonical()
+	f.mu.RLock()
+	_, ok := f.set[c]
+	f.mu.RUnlock()
+	return ok
+}
+
+func (f *dropFilter) size() int { return int(f.n.Load()) }

@@ -1,0 +1,384 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"splidt/internal/controller"
+	"splidt/internal/dataplane"
+	"splidt/internal/pkt"
+	"splidt/internal/trace"
+)
+
+// TestStreamingMatchesBatch is the redesign's headline property: for the
+// same trace, Start/Feed/Close must produce the same digest multiset and
+// the same merged counters as Engine.Run, at every shard count. Run under
+// -race this also exercises Feed/worker/sink concurrency.
+func TestStreamingMatchesBatch(t *testing.T) {
+	cfg := deployCfg(t, eqSlots)
+	for _, shards := range []int{1, 2, 4, 8} {
+		batch, err := New(Config{Deploy: cfg, Shards: shards, Burst: 16, Queue: 4})
+		if err != nil {
+			t.Fatalf("New batch (%d shards): %v", shards, err)
+		}
+		want, err := batch.Run(trace.NewStream(trace.D3, eqFlows, eqSeed, eqSpacing))
+		if err != nil {
+			t.Fatalf("Run (%d shards): %v", shards, err)
+		}
+
+		stream, err := New(Config{Deploy: cfg, Shards: shards, Burst: 16, Queue: 4})
+		if err != nil {
+			t.Fatalf("New stream (%d shards): %v", shards, err)
+		}
+		sess, err := stream.Start(context.Background())
+		if err != nil {
+			t.Fatalf("Start (%d shards): %v", shards, err)
+		}
+		src := trace.NewStream(trace.D3, eqFlows, eqSeed, eqSpacing)
+		var stage []pkt.Packet
+		for {
+			p, ok := src.Next()
+			if ok {
+				stage = append(stage, p)
+			}
+			// Odd batch size exercises partial-burst flushes.
+			if len(stage) >= 97 || (!ok && len(stage) > 0) {
+				off := 0
+				for off < len(stage) {
+					n, err := sess.Feed(stage[off:])
+					off += n
+					if err == ErrBackpressure {
+						time.Sleep(time.Microsecond)
+						continue
+					}
+					if err != nil {
+						t.Fatalf("Feed (%d shards): %v", shards, err)
+					}
+				}
+				stage = stage[:0]
+			}
+			if !ok {
+				break
+			}
+		}
+		got, err := sess.Close()
+		if err != nil {
+			t.Fatalf("Close (%d shards): %v", shards, err)
+		}
+
+		if got.Stats != want.Stats {
+			t.Errorf("%d shards: streaming stats %+v, want %+v", shards, got.Stats, want.Stats)
+		}
+		wantCounts := digestCounts(want.Digests)
+		gotCounts := digestCounts(got.Digests)
+		if len(got.Digests) != len(want.Digests) || len(gotCounts) != len(wantCounts) {
+			t.Fatalf("%d shards: %d digests (%d distinct), want %d (%d distinct)",
+				shards, len(got.Digests), len(gotCounts), len(want.Digests), len(wantCounts))
+		}
+		for d, n := range wantCounts {
+			if gotCounts[d] != n {
+				t.Fatalf("%d shards: digest %+v count %d, want %d", shards, d, gotCounts[d], n)
+			}
+		}
+		// The deterministic final ordering must match Run's exactly.
+		for i := range got.Digests {
+			if got.Digests[i] != want.Digests[i] {
+				t.Fatalf("%d shards: ordered stream diverges at %d", shards, i)
+			}
+		}
+	}
+}
+
+// TestSessionBackpressure pins the non-blocking Feed contract: with the
+// workers gated, flooding one shard must surface ErrBackpressure (not
+// deadlock), and releasing the workers must let the remainder through with
+// nothing lost.
+func TestSessionBackpressure(t *testing.T) {
+	cfg := deployCfg(t, eqSlots)
+	e, err := New(Config{Deploy: cfg, Shards: 2, Burst: 4, Queue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan struct{})
+	for _, sh := range e.shards {
+		sh.hold = hold
+	}
+	s, err := e.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pkts := trace.Interleave(trace.Generate(trace.D3, 40, eqSeed), 0)
+	fed := 0
+	sawBackpressure := false
+	for tries := 0; fed < len(pkts); tries++ {
+		n, err := s.Feed(pkts[fed:])
+		fed += n
+		if err == ErrBackpressure {
+			sawBackpressure = true
+			break
+		}
+		if err != nil {
+			t.Fatalf("Feed: %v", err)
+		}
+	}
+	if !sawBackpressure {
+		t.Fatal("gated workers never produced ErrBackpressure")
+	}
+	if snap := s.Snapshot(); snap.Backpressure == 0 {
+		t.Fatal("backpressure not counted in snapshot")
+	}
+
+	// Release the workers; the rest of the workload must drain normally.
+	close(hold)
+	for fed < len(pkts) {
+		n, err := s.Feed(pkts[fed:])
+		fed += n
+		if err == ErrBackpressure {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Feed after release: %v", err)
+		}
+	}
+	res, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Packets != len(pkts) {
+		t.Fatalf("processed %d packets, want %d", res.Stats.Packets, len(pkts))
+	}
+}
+
+// TestSessionBlockDropsMidRun feeds a workload twice through one session,
+// blocking every flow after its first digest: the second wave must be
+// dropped at the dispatch stage, visible in Snapshot and Result, without
+// touching the pipelines.
+func TestSessionBlockDropsMidRun(t *testing.T) {
+	cfg := deployCfg(t, eqSlots)
+	e, err := New(Config{Deploy: cfg, Shards: 4, Burst: 16, Queue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := trace.Interleave(trace.Generate(trace.D3, 60, eqSeed), eqSpacing)
+
+	if err := s.FeedAll(pkts); err != nil {
+		t.Fatal(err)
+	}
+	// Drain wave 1's digests and block every classified flow.
+	waitFor(t, func() bool { return s.Snapshot().Stats.Packets == len(pkts) })
+	buf := make([]dataplane.Digest, 256)
+	blocked := 0
+	for {
+		n := s.Poll(buf)
+		if n == 0 {
+			break
+		}
+		for _, d := range buf[:n] {
+			s.Block(d.Key)
+			blocked++
+		}
+	}
+	if blocked == 0 {
+		t.Fatal("wave 1 produced no digests to block")
+	}
+	if snap := s.Snapshot(); snap.BlockedFlows != blocked {
+		t.Fatalf("BlockedFlows = %d, want %d", snap.BlockedFlows, blocked)
+	}
+
+	// Wave 2: the same flows again. Every packet of a blocked flow must be
+	// dropped before dispatch.
+	if err := s.FeedAll(pkts); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("no packets dropped for blocked flows")
+	}
+	if got := res.Stats.Packets + int(res.Dropped); got != 2*len(pkts) {
+		t.Fatalf("processed+dropped = %d, want %d", got, 2*len(pkts))
+	}
+	if snap := s.Snapshot(); snap.Dropped != res.Dropped {
+		t.Fatalf("snapshot dropped %d != result dropped %d", snap.Dropped, res.Dropped)
+	}
+}
+
+// TestSessionControllerLoop wires Controller.Serve into a live session and
+// checks the full detect→block path: flows of blocked classes stop
+// consuming pipeline work on the second wave.
+func TestSessionControllerLoop(t *testing.T) {
+	cfg := deployCfg(t, eqSlots)
+	e, err := New(Config{Deploy: cfg, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := controller.New(13, controller.BlockClasses(0, 1, 2, 3, 4, 5))
+	served := make(chan int, 1)
+	go func() { served <- ctrl.Serve(s) }()
+
+	pkts := trace.Interleave(trace.Generate(trace.D3, 80, eqSeed), eqSpacing)
+	if err := s.FeedAll(pkts); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until wave 1 has fully resolved: every packet either processed
+	// or dropped mid-run (the controller blocks early-exiting flows while
+	// their tails are still arriving), and the controller has acted on
+	// every digest.
+	waitFor(t, func() bool {
+		snap := s.Snapshot()
+		return snap.Stats.Packets+int(snap.Dropped) == len(pkts)
+	})
+	waitFor(t, func() bool {
+		snap := s.Snapshot()
+		return snap.Stats.Digests > 0 && ctrl.Digests() >= snap.Stats.Digests
+	})
+	if s.Snapshot().BlockedFlows == 0 {
+		t.Fatal("controller blocked no flows in wave 1")
+	}
+	if err := s.FeedAll(pkts); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := <-served
+	if blocked == 0 {
+		t.Fatal("Serve reported no block verdicts")
+	}
+	if res.Dropped == 0 {
+		t.Fatal("blocked flows were not dropped at dispatch")
+	}
+	if acts := ctrl.ActionCounts(); acts[controller.ActionBlock] != blocked {
+		t.Fatalf("controller block count %d != Serve's %d", acts[controller.ActionBlock], blocked)
+	}
+}
+
+// TestSessionContextCancel: cancelling the context aborts the session; Feed
+// starts failing and Close reports the context error.
+func TestSessionContextCancel(t *testing.T) {
+	cfg := deployCfg(t, eqSlots)
+	e, err := New(Config{Deploy: cfg, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := e.Start(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := trace.Interleave(trace.Generate(trace.D3, 10, eqSeed), 0)
+	if err := s.FeedAll(pkts); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	waitFor(t, func() bool {
+		_, err := s.Feed(pkts[:1])
+		return err == ErrSessionClosed
+	})
+	if _, err := s.Close(); err != context.Canceled {
+		t.Fatalf("Close after cancel = %v, want context.Canceled", err)
+	}
+	// The engine must be reusable after an aborted session.
+	if _, err := e.Run(trace.NewStream(trace.D3, 5, eqSeed, 0)); err != nil {
+		t.Fatalf("Run after aborted session: %v", err)
+	}
+}
+
+// TestSessionExclusive: one session at a time; Close releases the engine.
+func TestSessionExclusive(t *testing.T) {
+	cfg := deployCfg(t, eqSlots)
+	e, err := New(Config{Deploy: cfg, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Start(context.Background()); err != ErrSessionActive {
+		t.Fatalf("second Start = %v, want ErrSessionActive", err)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e.Start(context.Background())
+	if err != nil {
+		t.Fatalf("Start after Close: %v", err)
+	}
+	if _, err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionDigestChannel consumes the live channel concurrently with the
+// feed and checks every digest arrives exactly once, with ActiveFlows and
+// Snapshot readable throughout.
+func TestSessionDigestChannel(t *testing.T) {
+	cfg := deployCfg(t, eqSlots)
+	e, err := New(Config{Deploy: cfg, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []dataplane.Digest
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for d := range s.Digests() {
+			live = append(live, d)
+			_ = e.ActiveFlows() // must be safe mid-run
+			_ = s.Snapshot()
+		}
+	}()
+	pkts := trace.Interleave(trace.Generate(trace.D3, 60, eqSeed), eqSpacing)
+	if err := s.FeedAll(pkts); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	want := digestCounts(res.Digests)
+	got := digestCounts(live)
+	if len(live) != len(res.Digests) || len(got) != len(want) {
+		t.Fatalf("live stream carried %d digests, result has %d", len(live), len(res.Digests))
+	}
+	for d, n := range want {
+		if got[d] != n {
+			t.Fatalf("live stream digest %+v count %d, want %d", d, got[d], n)
+		}
+	}
+	if e.ActiveFlows() != 0 {
+		t.Fatalf("%d flows still active after drain", e.ActiveFlows())
+	}
+}
+
+// waitFor polls cond until it holds or the deadline trips.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -141,17 +141,24 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// ShardHash returns the direction-symmetric dispatch hash Shard reduces:
+// the symmetric 5-tuple hash scrambled through a splitmix64 finalizer so
+// that shard choice stays statistically independent of register-slot
+// indexing (Index uses the raw hash; taking both modulo related sizes would
+// otherwise confine each shard's flows to a fraction of its slots). Packet
+// sources precompute it once per flow and carry it on pkt.Packet so the
+// engine's serial dispatch stage does no hashing at all.
+func (k Key) ShardHash() uint64 {
+	return mix64(uint64(k.SymHash()))
+}
+
 // Shard maps the flow onto one of n shards (RSS-style dispatch for the
 // multi-worker engine). It is direction-symmetric, so both directions of a
 // conversation — and therefore all of a flow's register state — land on the
-// same shard. The symmetric hash is scrambled through a splitmix64
-// finalizer before reduction so that shard choice stays statistically
-// independent of register-slot indexing (Index uses the raw hash; taking
-// both modulo related sizes would otherwise confine each shard's flows to a
-// fraction of its slots). n must be positive.
+// same shard. n must be positive.
 func (k Key) Shard(n int) int {
 	if n <= 0 {
 		panic("flow: non-positive shard count")
 	}
-	return int(mix64(uint64(k.SymHash())) % uint64(n))
+	return int(k.ShardHash() % uint64(n))
 }

@@ -187,3 +187,20 @@ func TestShardDecorrelatedFromIndex(t *testing.T) {
 		}
 	}
 }
+
+func TestShardHashSymmetricAndConsistent(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		key := k(
+			AddrFrom4(10, byte(i), 3, 1), AddrFrom4(172, 16, byte(i>>2), 2),
+			uint16(2000+i), 443, ProtoTCP,
+		)
+		if key.ShardHash() != key.Reverse().ShardHash() {
+			t.Fatalf("ShardHash not direction-symmetric for %v", key)
+		}
+		for n := 1; n <= 8; n++ {
+			if got, want := int(key.ShardHash()%uint64(n)), key.Shard(n); got != want {
+				t.Fatalf("Shard(%d) = %d, but ShardHash reduction gives %d", n, want, got)
+			}
+		}
+	}
+}

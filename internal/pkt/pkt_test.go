@@ -156,3 +156,27 @@ func TestWindowOfPanics(t *testing.T) {
 	}()
 	(Packet{FlowSize: 5, Seq: 1}).WindowOf(0)
 }
+
+func TestPacketShard(t *testing.T) {
+	key := flow.Key{SrcIP: flow.AddrFrom4(10, 0, 0, 1), DstIP: flow.AddrFrom4(172, 16, 0, 2),
+		SrcPort: 1234, DstPort: 443, Proto: flow.ProtoTCP}
+	with := Packet{Key: key, ShardHash: key.ShardHash()}
+	without := Packet{Key: key} // hand-built packet: lazy fallback path
+	reversed := Packet{Key: key.Reverse(), ShardHash: key.Reverse().ShardHash()}
+	for n := 1; n <= 8; n++ {
+		want := key.Shard(n)
+		if with.Shard(n) != want || without.Shard(n) != want || reversed.Shard(n) != want {
+			t.Fatalf("Shard(%d): precomputed=%d fallback=%d reversed=%d, want %d",
+				n, with.Shard(n), without.Shard(n), reversed.Shard(n), want)
+		}
+	}
+}
+
+func TestPacketShardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shard(0) did not panic")
+		}
+	}()
+	(Packet{}).Shard(0)
+}

@@ -80,16 +80,21 @@ func genFlow(rng *rand.Rand, c classProfile, flowIdx int) LabeledFlow {
 	if !key.IsCanonical() {
 		key.SrcIP, key.DstIP = key.DstIP, key.SrcIP
 	}
+	// Precompute the dispatch hash once per flow; it is direction-symmetric,
+	// so reversed packets below carry the same value and the engine's serial
+	// dispatch stage never hashes.
+	shardHash := key.ShardHash()
 
 	packets := make([]pkt.Packet, 0, size)
 	ts := time.Duration(0)
 	for i := 0; i < size; i++ {
 		seg := segs[len(segs)*i/size]
 		p := pkt.Packet{
-			Key:      key,
-			TS:       ts,
-			Seq:      i + 1,
-			FlowSize: size,
+			Key:       key,
+			TS:        ts,
+			Seq:       i + 1,
+			FlowSize:  size,
+			ShardHash: shardHash,
 		}
 
 		// Direction.

@@ -256,3 +256,23 @@ func BenchmarkGenerate(b *testing.B) {
 		_ = Generate(D2, 100, int64(i))
 	}
 }
+
+func TestGeneratedPacketsCarryShardHash(t *testing.T) {
+	// Every generated packet — both directions included — must carry the
+	// flow's precomputed dispatch hash, so the engine's serial dispatch
+	// stage never hashes. Stream and Generate share genFlow, so this covers
+	// the lazy source too.
+	for _, f := range Generate(D3, 50, 3) {
+		want := f.Key.ShardHash()
+		for _, p := range f.Packets {
+			if p.ShardHash != want {
+				t.Fatalf("flow %v: packet %d carries hash %d, want %d (dir reversed=%v)",
+					f.Key, p.Seq, p.ShardHash, want, p.Key != f.Key)
+			}
+			if p.Shard(8) != f.Key.Shard(8) {
+				t.Fatalf("flow %v: packet %d shards to %d, flow shards to %d",
+					f.Key, p.Seq, p.Shard(8), f.Key.Shard(8))
+			}
+		}
+	}
+}

@@ -25,9 +25,24 @@
 //     preserving single-pipeline digest semantics. NewStream provides the
 //     lazy line-rate workload source that feeds it, and EngineResult
 //     reports merged stats plus a Throughput rate summary.
+//   - Streaming sessions: Engine.Start opens a long-lived EngineSession.
+//     Feed pushes packet batches without ever blocking (backpressure is
+//     surfaced as ErrBackpressure plus a counter, never a silent stall),
+//     Digests/Poll drain the incrementally merged digest stream while
+//     traffic is still flowing, Snapshot reads live merged stats, Block
+//     installs mid-run drop verdicts, and Close drains gracefully into a
+//     deterministic final EngineResult. Engine.Run is a thin batch wrapper
+//     over Start/Feed/Close — existing callers keep working unchanged and
+//     get a digest-multiset-identical result, so migration is optional,
+//     not forced.
+//   - Live control loop: Controller.Serve consumes a session's digest
+//     stream and feeds ActionBlock verdicts straight back into the
+//     session's drop filter, closing the paper's detect→block loop while
+//     the flow's packets are still arriving.
 //
-// See examples/quickstart for the end-to-end path and cmd/splidt-engine for
-// the sharded execution path.
+// See examples/quickstart for the end-to-end path, cmd/splidt-engine (and
+// its -live mode) for sharded execution, and examples/livecontrol for the
+// streaming detect→block loop.
 package splidt
 
 import (
@@ -40,6 +55,7 @@ import (
 	"splidt/internal/dataplane"
 	"splidt/internal/engine"
 	"splidt/internal/experiments"
+	"splidt/internal/flow"
 	"splidt/internal/metrics"
 	"splidt/internal/p4gen"
 	"splidt/internal/pkt"
@@ -241,6 +257,39 @@ type PacketSource = engine.Source
 // NewEngine validates the deployment and builds one pipeline replica per
 // shard.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// EngineSession is a long-lived streaming run of an Engine (Engine.Start):
+// Feed in, Digests/Poll out, Snapshot for live stats, Block for mid-run
+// drop verdicts, Close for a graceful drain into a deterministic
+// EngineResult. Engine.Run is implemented on top of it.
+type EngineSession = engine.Session
+
+// EngineSnapshot is a live view of a running session's merged stats,
+// including dispatch-stage drops and backpressure counts.
+type EngineSnapshot = engine.Snapshot
+
+// Streaming-session errors.
+var (
+	// ErrBackpressure reports a full shard queue on Feed: retry with the
+	// unconsumed remainder or shed load. The producer side never blocks.
+	ErrBackpressure = engine.ErrBackpressure
+	// ErrSessionClosed reports a Feed after Close (or context cancel).
+	ErrSessionClosed = engine.ErrSessionClosed
+	// ErrSessionActive reports a second Start on a busy engine.
+	ErrSessionActive = engine.ErrSessionActive
+)
+
+// FlowKey is a 5-tuple flow identity (Session.Block takes one; Digest
+// carries one).
+type FlowKey = flow.Key
+
+// Packet is a parsed packet as the pipeline's PHV sees it — the unit
+// Session.Feed consumes.
+type Packet = pkt.Packet
+
+// DigestSession is the session surface Controller.Serve consumes;
+// *EngineSession satisfies it.
+type DigestSession = controller.DigestSession
 
 // TrafficStream lazily generates a dataset workload in global arrival
 // order, deterministic in (dataset, flows, seed, spacing).

@@ -1,6 +1,7 @@
 package splidt
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -146,5 +147,84 @@ func TestEngineFacade(t *testing.T) {
 	}
 	if correct < 50 {
 		t.Fatalf("only %d/100 flows classified correctly", correct)
+	}
+}
+
+// TestStreamingFacade exercises the public streaming surface end to end:
+// Start a session, Serve a blocking controller on its digest stream, Feed a
+// workload twice, and verify blocked flows are dropped at the dispatcher.
+func TestStreamingFacade(t *testing.T) {
+	classes := NumClasses(D2)
+	flows := Generate(D2, 300, 7)
+	samples := BuildSamples(flows, 3)
+	train, _ := Split(samples, 0.7)
+	m, err := Train(train, Config{
+		Partitions: []int{2, 2, 2}, FeaturesPerSubtree: 4, NumClasses: classes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(EngineConfig{
+		Deploy: DeployConfig{
+			Profile: Tofino1(), Model: m, Compiled: c,
+			FlowSlots: 1 << 16, Workload: Webserver,
+		},
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := eng.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blockAll []int
+	for cls := 0; cls < classes; cls++ {
+		blockAll = append(blockAll, cls)
+	}
+	ctrl := NewController(classes, BlockClasses(blockAll...))
+	served := make(chan int, 1)
+	go func() { served <- ctrl.Serve(sess) }()
+
+	feed := func() {
+		src := NewStream(D2, 50, 3, time.Millisecond)
+		var batch []Packet
+		for {
+			p, ok := src.Next()
+			if !ok {
+				break
+			}
+			batch = append(batch, p)
+		}
+		if err := sess.FeedAll(batch); err != nil {
+			t.Errorf("FeedAll: %v", err)
+		}
+	}
+	feed()
+	// Wait for the controller to block every wave-1 flow, then replay.
+	deadline := time.Now().Add(10 * time.Second)
+	for sess.Snapshot().BlockedFlows < 50 {
+		if time.Now().After(deadline) {
+			t.Fatalf("controller blocked %d flows, want 50", sess.Snapshot().BlockedFlows)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	feed()
+	res, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked := <-served; blocked != 50 {
+		t.Fatalf("Serve blocked %d digests, want 50", blocked)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("replayed blocked flows were not dropped")
+	}
+	if snap := sess.Snapshot(); snap.Dropped != res.Dropped || snap.Stats != res.Stats {
+		t.Fatalf("final snapshot %+v disagrees with result %+v", snap, res)
 	}
 }
