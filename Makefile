@@ -20,10 +20,10 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-# Engine scaling smoke: pkts/sec at 1/2/4/8 shards plus the streaming
-# session Feed path.
+# Engine scaling smoke: pkts/sec at 1/2/4/8 shards, the streaming session
+# Feed path, and the flow-table ageing sweep stripe.
 bench-engine:
-	$(GO) test -run xxx -bench 'EngineShards|SessionFeed' -benchtime 1x .
+	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|Sweep' -benchtime 1x .
 
 # Build every example (livecontrol included) — they are the API's
 # executable documentation and must never rot.

@@ -361,6 +361,37 @@ func BenchmarkEngineShards2(b *testing.B) { benchmarkEngineShards(b, 2) }
 func BenchmarkEngineShards4(b *testing.B) { benchmarkEngineShards(b, 4) }
 func BenchmarkEngineShards8(b *testing.B) { benchmarkEngineShards(b, 8) }
 
+// BenchmarkSweep measures one flow-table ageing sweep call — the bounded
+// stripe walk a shard worker pays per burst. The array is populated with
+// parked-dead flow state first, so the measured path covers both the scan
+// and the reclaim; it must stay allocation-free.
+func BenchmarkSweep(b *testing.B) {
+	cfg, pkts := engineBenchFixture(b)
+	cfg.FlowSlots = 1 << 16
+	cfg.IdleTimeout = time.Millisecond
+	cfg.SweepStripe = 128
+	pl, err := dataplane.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range pkts {
+		pl.Process(p)
+	}
+	occupied := pl.ActiveFlows()
+	now := pl.Clock() + time.Second // everything idle past the timeout
+	b.ReportAllocs()
+	b.ResetTimer()
+	evicted := 0
+	for i := 0; i < b.N; i++ {
+		evicted += pl.Sweep(now)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cfg.SweepStripe), "slots/op")
+	if b.N >= (cfg.FlowSlots+cfg.SweepStripe-1)/cfg.SweepStripe && evicted < occupied {
+		b.Fatalf("full sweep coverage reclaimed %d of %d occupied slots", evicted, occupied)
+	}
+}
+
 // BenchmarkSessionFeed measures the streaming path end to end — Start, a
 // Feed loop spinning through backpressure, Close — over the same workload
 // as the shard benchmarks, so batch (Run) and streaming numbers compare

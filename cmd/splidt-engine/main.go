@@ -9,12 +9,15 @@
 // verdicts for the classes named by -block back into the dispatch stage, and
 // periodic snapshots show flows being dropped while traffic is still
 // flowing. -waves replays the workload through the same session, modelling
-// repeat offenders hitting an already-populated blocklist.
+// repeat offenders hitting an already-populated blocklist. -idle-timeout
+// arms flow-table ageing: per-shard sweeps driven by packet time reclaim
+// register slots of flows that went quiet (blocked early-exited flows
+// included), keeping ActiveFlows bounded over multi-wave runs.
 //
 // Usage:
 //
 //	splidt-engine -dataset 3 -flows 2000 -shards 8 -burst 32
-//	splidt-engine -dataset 3 -flows 2000 -live -block 0,1,2 -waves 2
+//	splidt-engine -dataset 3 -flows 2000 -live -block 0,1,2 -waves 2 -idle-timeout 20ms
 package main
 
 import (
@@ -44,6 +47,8 @@ func main() {
 		burst      = flag.Int("burst", 32, "packets per burst")
 		queue      = flag.Int("queue", 8, "per-shard queue depth in bursts")
 		slots      = flag.Int("slots", 1<<18, "total flow register slots (split across shards)")
+		idleTO     = flag.Duration("idle-timeout", 0, "flow-table ageing idle timeout in packet time (0 = off)")
+		stripe     = flag.Int("sweep-stripe", 0, "register slots examined per ageing sweep (0 = default)")
 		spacingUS  = flag.Int("spacing-us", 200, "flow start spacing (µs)")
 		live       = flag.Bool("live", false, "streaming session with a live controller loop")
 		block      = flag.String("block", "", "comma-separated classes the controller blocks (live mode)")
@@ -78,6 +83,7 @@ func main() {
 		Deploy: splidt.DeployConfig{
 			Profile: splidt.Tofino1(), Model: m, Compiled: c,
 			FlowSlots: *slots, Workload: splidt.Webserver,
+			IdleTimeout: *idleTO, SweepStripe: *stripe,
 		},
 		Shards: *shards, Burst: *burst, Queue: *queue,
 	})
@@ -88,6 +94,9 @@ func main() {
 	fmt.Printf("model          %v\n", m)
 	fmt.Printf("engine         %d shards × burst %d × queue %d (%d total slots)\n",
 		eng.Shards(), *burst, *queue, *slots)
+	if *idleTO > 0 {
+		fmt.Printf("ageing         idle-timeout %v, per-shard sweeps driven by packet time\n", *idleTO)
+	}
 
 	spacing := time.Duration(*spacingUS) * time.Microsecond
 	if *live {
@@ -129,9 +138,10 @@ func runLive(eng *splidt.Engine, id splidt.Dataset, nFlows int, seed int64,
 			select {
 			case <-tick.C:
 				snap := sess.Snapshot()
-				fmt.Printf("live           fed=%d processed=%d digests=%d blocked-flows=%d dropped=%d active=%d backpressure=%d\n",
+				fmt.Printf("live           fed=%d processed=%d digests=%d blocked-flows=%d dropped=%d active=%d evicted=%d backpressure=%d\n",
 					snap.Fed, snap.Stats.Packets, snap.Stats.Digests,
-					snap.BlockedFlows, snap.Dropped, snap.ActiveFlows, snap.Backpressure)
+					snap.BlockedFlows, snap.Dropped, snap.ActiveFlows,
+					snap.Stats.Evictions, snap.Backpressure)
 			case <-stop:
 				return
 			}
@@ -139,12 +149,26 @@ func runLive(eng *splidt.Engine, id splidt.Dataset, nFlows int, seed int64,
 	}()
 
 	var labels map[splidt.FlowKey]int
+	var wave0 time.Duration // packet-time offset of the current wave
 	for w := 0; w < waves; w++ {
 		src := splidt.NewStream(id, nFlows, seed, spacing)
-		if err := sess.FeedSource(src); err != nil {
+		// Each wave replays the trace shifted past the previous wave's last
+		// packet: repeat offenders arrive later in packet time, which keeps
+		// the ageing sweeps advancing instead of freezing at wave-1's end.
+		shifted := &splidt.ShiftSource{Src: src, Offset: wave0}
+		if err := sess.FeedSource(shifted); err != nil {
 			log.Fatal(err)
 		}
+		wave0 = shifted.Max()
 		labels = src.Labels()
+		// Per-wave flow-table occupancy: with ageing on, leaked slots of
+		// blocked early-exited flows are reclaimed by the sweeps, so
+		// ActiveFlows stays bounded wave over wave instead of ratcheting
+		// up. Quiesce first — FeedSource only hands packets to the rings,
+		// and a mid-drain sample would show arbitrary peak occupancy.
+		snap := waitSettled(sess)
+		fmt.Printf("wave %-2d        active-flows=%d evicted=%d blocked-flows=%d\n",
+			w+1, snap.ActiveFlows, snap.Stats.Evictions, snap.BlockedFlows)
 	}
 	res, err := sess.Close()
 	if err != nil {
@@ -154,9 +178,12 @@ func runLive(eng *splidt.Engine, id splidt.Dataset, nFlows int, seed int64,
 	blockedDigests := <-served
 
 	report(id, nFlows, classes, labels, res)
+	final := sess.Snapshot()
 	fmt.Printf("controller     %d digests, %d block verdicts, %d flows blocked, mean TTD %v\n",
-		ctrl.Digests(), blockedDigests, sess.Snapshot().BlockedFlows, ctrl.MeanTTD())
+		ctrl.Digests(), blockedDigests, final.BlockedFlows, ctrl.MeanTTD())
 	fmt.Printf("dispatch       %d packets of blocked flows dropped before pipeline work\n", res.Dropped)
+	fmt.Printf("flow table     %d slots still active, %d evicted by ageing/block\n",
+		final.ActiveFlows, res.Stats.Evictions)
 }
 
 func report(id splidt.Dataset, nFlows, classes int, labels map[splidt.FlowKey]int, res *splidt.EngineResult) {
@@ -185,6 +212,24 @@ func report(id splidt.Dataset, nFlows, classes int, labels map[splidt.FlowKey]in
 		fmt.Printf("%d: %dp/%dd", i, s.Packets, s.Digests)
 	}
 	fmt.Println()
+}
+
+// waitSettled blocks until the workers have drained everything fed so far
+// (every packet processed or dropped, two consecutive snapshots equal) and
+// returns the settled snapshot.
+func waitSettled(sess *splidt.EngineSession) splidt.EngineSnapshot {
+	for {
+		a := sess.Snapshot()
+		if int64(a.Stats.Packets)+a.Dropped == a.Fed {
+			time.Sleep(2 * time.Millisecond)
+			b := sess.Snapshot()
+			if a.Stats == b.Stats && a.Fed == b.Fed {
+				return b
+			}
+			continue
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 func parseInts(s, what string, min int) []int {

@@ -10,6 +10,15 @@
 // remaining packets are already dropped if they early-exited). Wave 2 is
 // the repeat offender: every previously blocked flow is discarded at the
 // dispatcher for the cost of one hash lookup, visible live in Snapshot().
+//
+// Blocking an early-exited flow used to leak its register slot: the
+// dispatcher drops the flow's tail, so the parked slot never saw the
+// flow-end packet that frees it, and over waves the flow table filled with
+// dead entries. Flow-table ageing closes the leak: Block evicts the slot
+// immediately, and an idle-timeout sweep (IdleTimeout/SweepStripe in the
+// deploy config, driven by packet time on each shard worker) reclaims
+// anything that goes quiet — watch ActiveFlows stay bounded wave over wave
+// and Stats.Evictions count the reclaims.
 package main
 
 import (
@@ -49,7 +58,15 @@ func main() {
 	eng, err := splidt.NewEngine(splidt.EngineConfig{
 		Deploy: splidt.DeployConfig{
 			Profile: splidt.Tofino1(), Model: model, Compiled: compiled,
-			FlowSlots: 1 << 18, Workload: splidt.Webserver,
+			FlowSlots: 1 << 16, Workload: splidt.Webserver,
+			// Flow-table ageing: slots idle for 5s of packet time are
+			// reclaimed. The timeout must exceed the workload's worst
+			// intra-flow packet gap (~2.5s here) or the sweep evicts live
+			// flows mid-conversation and resets their feature state; 2048
+			// slots swept per burst so the wave-2 traffic (mostly dropped
+			// at the dispatcher, hence few bursts) still covers each
+			// shard's array.
+			IdleTimeout: 5 * time.Second, SweepStripe: 2048,
 		},
 		Shards: 4,
 	})
@@ -75,15 +92,17 @@ func main() {
 
 	const nFlows = 600
 	fmt.Println("wave 1: first contact — classify in flight, block on digest")
-	feedWave(sess, nFlows)
+	wave1End := feedWave(sess, nFlows, 0)
 	waitQuiesce(sess, ctrl)
 	snap := sess.Snapshot()
 	fmt.Printf("  processed %d packets, %d digests, %d flows blocked, %d packets of blocked flows dropped mid-run\n",
 		snap.Stats.Packets, snap.Stats.Digests, snap.BlockedFlows, snap.Dropped)
+	fmt.Printf("  flow table after wave 1: %d slots active, %d evicted (blocked early-exits reclaimed, not leaked)\n",
+		snap.ActiveFlows, snap.Stats.Evictions)
 
 	fmt.Println("wave 2: repeat offenders — blocked flows die at the dispatcher")
 	before := snap
-	feedWave(sess, nFlows)
+	feedWave(sess, nFlows, wave1End)
 	res, err := sess.Close()
 	if err != nil {
 		log.Fatal(err)
@@ -95,6 +114,8 @@ func main() {
 		after.Dropped-before.Dropped)
 	fmt.Printf("  wave-2 pipeline load: %d packets vs wave-1 %d\n",
 		after.Stats.Packets-before.Stats.Packets, before.Stats.Packets)
+	fmt.Printf("  flow table after wave 2: %d slots active, %d evicted — bounded, not ratcheting\n",
+		after.ActiveFlows, after.Stats.Evictions)
 
 	fmt.Println("totals")
 	fmt.Printf("  digests %d, block verdicts %d, mean time-to-detection %v\n",
@@ -104,16 +125,32 @@ func main() {
 	if res.Dropped == 0 || after.BlockedFlows == 0 {
 		log.Fatal("live control loop blocked nothing — expected attack flows to be dropped")
 	}
+	if res.Stats.Evictions == 0 {
+		log.Fatal("flow-table ageing reclaimed nothing — blocked early-exited flows should have been evicted")
+	}
+	// Without eviction, every blocked early-exited flow would park a slot
+	// forever; bounded means the surviving occupancy is nowhere near that.
+	if after.ActiveFlows >= after.BlockedFlows {
+		log.Fatalf("flow table not bounded: %d slots active with %d flows blocked", after.ActiveFlows, after.BlockedFlows)
+	}
 }
 
-// feedWave streams one workload wave into the session. FeedSource stages
-// chunks and retries through backpressure for us; a load-shedding producer
-// would call Feed directly and act on ErrBackpressure instead.
-func feedWave(sess *splidt.EngineSession, nFlows int) {
-	src := splidt.NewStream(splidt.D6, nFlows, 7, 50*time.Microsecond)
+// feedWave streams one workload wave into the session, shifted to start at
+// packet time `from` — wave 2 replays the same trace later in packet time,
+// as real repeat offenders would, which also keeps the ageing sweeps'
+// packet-time clock advancing. FeedSource stages chunks and retries
+// through backpressure for us; a load-shedding producer would call Feed
+// directly and act on ErrBackpressure instead. Returns the wave's last
+// packet timestamp (the next wave's natural start).
+func feedWave(sess *splidt.EngineSession, nFlows int, from time.Duration) time.Duration {
+	src := &splidt.ShiftSource{
+		Src:    splidt.NewStream(splidt.D6, nFlows, 7, 50*time.Microsecond),
+		Offset: from,
+	}
 	if err := sess.FeedSource(src); err != nil {
 		log.Fatal(err)
 	}
+	return src.Max()
 }
 
 // waitQuiesce waits until the workers have drained the wave and the

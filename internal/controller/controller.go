@@ -229,19 +229,30 @@ type DigestSession interface {
 	Poll(buf []dataplane.Digest) int
 	// Block installs a mid-run drop verdict for the flow.
 	Block(k flow.Key)
+	// Evict reclaims the flow's register slot in the data plane —
+	// flow-table ageing's controller-initiated path. Must be idempotent: a
+	// flow that no longer owns a slot is a no-op.
+	Evict(k flow.Key)
 }
 
 // Serve runs the live feedback loop against a streaming engine session: it
 // consumes digests while traffic is still flowing, records them, and pushes
 // every ActionBlock verdict back into the session's drop filter — so a
 // blocked flow stops consuming pipeline work mid-run, the paper's
-// detect→block path. Serve returns after the session's digest stream ends
+// detect→block path. Each block verdict also evicts the flow's register
+// slot: with the flow's remaining packets dropped at the dispatcher, an
+// early-exited flow's parked slot would never see the flow-end packet that
+// frees it, so block-without-evict leaks a slot per blocked flow (the
+// engine's Session.Block evicts on its own as well; the explicit Evict
+// keeps the contract with any DigestSession implementation, and eviction
+// is idempotent). Serve returns after the session's digest stream ends
 // (i.e. after Session.Close drains), reporting how many digests drew a
 // block verdict. Run it on its own goroutine alongside the packet feed.
 func (c *Controller) Serve(s DigestSession) (blocked int) {
 	apply := func(d dataplane.Digest) {
 		if c.HandleDigest(d) == ActionBlock {
 			s.Block(d.Key)
+			s.Evict(d.Key)
 			blocked++
 		}
 	}

@@ -168,10 +168,12 @@ type fakeSession struct {
 	ch      chan dataplane.Digest
 	tail    []dataplane.Digest // served through Poll after the channel closes
 	blocked []flow.Key
+	evicted []flow.Key
 }
 
 func (f *fakeSession) Digests() <-chan dataplane.Digest { return f.ch }
 func (f *fakeSession) Block(k flow.Key)                 { f.blocked = append(f.blocked, k.Canonical()) }
+func (f *fakeSession) Evict(k flow.Key)                 { f.evicted = append(f.evicted, k.Canonical()) }
 func (f *fakeSession) Poll(buf []dataplane.Digest) int {
 	n := copy(buf, f.tail)
 	f.tail = f.tail[n:]
@@ -194,6 +196,16 @@ func TestServeBlocksAndDrainsTail(t *testing.T) {
 	}
 	if len(fs.blocked) != 3 {
 		t.Fatalf("session received %d Block calls, want 3", len(fs.blocked))
+	}
+	// Every block verdict must also reclaim the flow's register slot, or
+	// blocked early-exited flows leak their slots forever.
+	if len(fs.evicted) != 3 {
+		t.Fatalf("session received %d Evict calls, want 3", len(fs.evicted))
+	}
+	for i := range fs.blocked {
+		if fs.evicted[i] != fs.blocked[i] {
+			t.Fatalf("evict %d targeted %v, blocked %v", i, fs.evicted[i], fs.blocked[i])
+		}
 	}
 	if c.Digests() != 4 {
 		t.Fatalf("controller ingested %d digests, want 4 (tail included)", c.Digests())

@@ -1,0 +1,376 @@
+package dataplane
+
+import (
+	"testing"
+	"time"
+
+	"splidt/internal/core"
+	"splidt/internal/trace"
+)
+
+// findEarlyExit returns a test flow that exits the model before its final
+// packet — the shape whose register slot parks at doneSID until the flow's
+// last packet arrives. Fed through a clean large pipeline, such a flow's
+// digest reports fewer packets than the flow carries.
+func findEarlyExit(t *testing.T, cfg Config, flows []trace.LabeledFlow) trace.LabeledFlow {
+	t.Helper()
+	pl, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, f := range flows {
+		var d *Digest
+		for _, p := range f.Packets {
+			if got := pl.Process(p); got != nil {
+				d = got
+			}
+		}
+		if d != nil && d.Packets < len(f.Packets) {
+			return f
+		}
+	}
+	t.Fatal("no early-exiting flow in the test set; ageing tests need one")
+	return trace.LabeledFlow{}
+}
+
+// ageingDeploy builds a deployment for the ageing tests plus its held-out
+// flows.
+func ageingDeploy(t *testing.T, slots int, idle time.Duration, stripe int) (Config, []trace.LabeledFlow) {
+	t.Helper()
+	cfg := core.Config{Partitions: []int{2, 2}, FeaturesPerSubtree: 3, NumClasses: 4}
+	pl, _, testFlows := deploy(t, trace.D2, 300, cfg, slots)
+	dcfg := pl.cfg
+	dcfg.IdleTimeout = idle
+	dcfg.SweepStripe = stripe
+	return dcfg, testFlows
+}
+
+// sweepFullPass runs enough Sweep calls to cover the whole register array
+// once, returning the total evicted.
+func sweepFullPass(pl *Pipeline, now time.Duration) int {
+	evicted := 0
+	calls := (len(pl.slots) + pl.cfg.SweepStripe - 1) / pl.cfg.SweepStripe
+	for i := 0; i < calls; i++ {
+		evicted += pl.Sweep(now)
+	}
+	return evicted
+}
+
+// TestSweepReclaimsIdleAndParked is the core ageing property: a live slot
+// whose flow went quiet and a parked early-exit slot whose tail never
+// arrived (the blocked-flow leak) are both reclaimed once idle for the
+// timeout, and not a packet-time earlier.
+func TestSweepReclaimsIdleAndParked(t *testing.T) {
+	const idle = 30 * time.Second // longer than any intra-workload gap
+	dcfg, testFlows := ageingDeploy(t, 1<<12, idle, 64)
+
+	early := findEarlyExit(t, dcfg, testFlows)
+	pl, err := New(dcfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	// Park a slot: early-exited flow with its flow-end packet withheld —
+	// exactly what happens when a controller blocks the flow and the
+	// dispatcher drops its tail.
+	for _, p := range early.Packets[:len(early.Packets)-1] {
+		pl.Process(p)
+	}
+	// A live-idle slot: another flow's first packet only.
+	var other trace.LabeledFlow
+	for _, f := range testFlows {
+		if f.Key != early.Key {
+			other = f
+			break
+		}
+	}
+	pl.Process(other.Packets[0])
+	if pl.ActiveFlows() != 2 {
+		t.Fatalf("ActiveFlows = %d, want 2 (parked + live-idle)", pl.ActiveFlows())
+	}
+
+	// At the current packet clock nothing has been idle for the timeout.
+	if got := sweepFullPass(pl, pl.Clock()); got != 0 {
+		t.Fatalf("sweep at current clock evicted %d slots, want 0", got)
+	}
+	if pl.ActiveFlows() != 2 || pl.Stats().Evictions != 0 {
+		t.Fatalf("premature eviction: active=%d evictions=%d", pl.ActiveFlows(), pl.Stats().Evictions)
+	}
+
+	// One timeout later both slots are reclaimable.
+	if got := sweepFullPass(pl, pl.Clock()+idle); got != 2 {
+		t.Fatalf("sweep after timeout evicted %d slots, want 2", got)
+	}
+	if pl.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows = %d after sweep, want 0", pl.ActiveFlows())
+	}
+	if pl.ActiveFlows() != pl.countActiveSlots() {
+		t.Fatalf("incremental ActiveFlows %d != scanned %d after sweep", pl.ActiveFlows(), pl.countActiveSlots())
+	}
+	if got := pl.Stats().Evictions; got != 2 {
+		t.Fatalf("Stats.Evictions = %d, want 2", got)
+	}
+
+	// A reclaimed slot is a fresh slot: the parked flow's key can activate
+	// again.
+	pl.Process(early.Packets[0])
+	if pl.ActiveFlows() != 1 {
+		t.Fatalf("reclaimed slot did not reactivate: active=%d", pl.ActiveFlows())
+	}
+}
+
+// TestSweepDisabled pins that IdleTimeout zero keeps the pre-ageing
+// behaviour: Sweep is a no-op regardless of how stale the slots are.
+func TestSweepDisabled(t *testing.T) {
+	dcfg, testFlows := ageingDeploy(t, 1<<12, 0, 64)
+	pl, err := New(dcfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	pl.Process(testFlows[0].Packets[0])
+	if got := sweepFullPass(pl, pl.Clock()+time.Hour); got != 0 {
+		t.Fatalf("disabled sweep evicted %d slots", got)
+	}
+	if pl.ActiveFlows() != 1 || pl.Stats().Evictions != 0 {
+		t.Fatalf("disabled ageing mutated state: active=%d evictions=%d", pl.ActiveFlows(), pl.Stats().Evictions)
+	}
+	if !(&Pipeline{cfg: Config{IdleTimeout: time.Second}}).AgeingEnabled() {
+		t.Fatal("AgeingEnabled false with a timeout set")
+	}
+	if pl.AgeingEnabled() {
+		t.Fatal("AgeingEnabled true with timeout zero")
+	}
+}
+
+// TestEvictExplicit covers the controller-initiated reclaim path: the
+// owner's eviction frees the slot (ageing disabled included), a colliding
+// non-owner's does not, and eviction is idempotent.
+func TestEvictExplicit(t *testing.T) {
+	dcfg, testFlows := ageingDeploy(t, 1<<12, 0, 64)
+	dcfg.FlowSlots = 1 // force both flows onto one slot
+	pl, err := New(dcfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, b := testFlows[0], testFlows[1]
+	pl.Process(a.Packets[0])
+	if pl.ActiveFlows() != 1 {
+		t.Fatalf("ActiveFlows = %d, want 1", pl.ActiveFlows())
+	}
+	// b hashes onto the same (only) slot but does not own it: evicting b
+	// must not free a's state.
+	if pl.Evict(b.Key) {
+		t.Fatal("evicting a non-owner reclaimed the slot")
+	}
+	if !pl.Evict(a.Key) {
+		t.Fatal("owner eviction failed")
+	}
+	if pl.ActiveFlows() != 0 || pl.Stats().Evictions != 1 {
+		t.Fatalf("after evict: active=%d evictions=%d, want 0/1", pl.ActiveFlows(), pl.Stats().Evictions)
+	}
+	if pl.Evict(a.Key) {
+		t.Fatal("evicting an empty slot reported a reclaim")
+	}
+	// Direction symmetry: the reverse key evicts the same slot.
+	pl.Process(a.Packets[0])
+	if !pl.Evict(a.Key.Reverse()) {
+		t.Fatal("reverse-direction eviction failed")
+	}
+}
+
+// TestParkedSlotCollisionAccounting pins the hardware semantics of a
+// doneSID slot (satellite of the ageing work): packets of a different flow
+// that hash onto a parked slot are counted as collisions and otherwise
+// ignored — no digest, no state perturbation, no slot-count change — until
+// the owner's flow-end packet frees the slot, after which the colliding
+// flow gets service again.
+func TestParkedSlotCollisionAccounting(t *testing.T) {
+	dcfg, testFlows := ageingDeploy(t, 1<<12, 0, 64)
+	early := findEarlyExit(t, dcfg, testFlows)
+	dcfg.FlowSlots = 1
+	pl, err := New(dcfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Park the only slot: early-exited owner, flow-end packet withheld.
+	for _, p := range early.Packets[:len(early.Packets)-1] {
+		pl.Process(p)
+	}
+	if pl.countActiveSlots() != 1 {
+		t.Fatal("setup: slot not occupied")
+	}
+	var g trace.LabeledFlow
+	for _, f := range testFlows {
+		if f.Key != early.Key {
+			g = f
+			break
+		}
+	}
+
+	before := pl.Stats()
+	const n = 3
+	for _, p := range g.Packets[:n] {
+		if d := pl.Process(p); d != nil {
+			t.Fatal("collider on a parked slot produced a digest")
+		}
+	}
+	after := pl.Stats()
+	if got := after.Collisions - before.Collisions; got != n {
+		t.Fatalf("parked-slot collisions = %d, want %d (one per swallowed packet)", got, n)
+	}
+	if after.Packets-before.Packets != n {
+		t.Fatal("swallowed packets must still count as processed")
+	}
+	if after.Digests != before.Digests || after.ControlPackets != before.ControlPackets {
+		t.Fatal("collider perturbed parked-slot inference state")
+	}
+	if pl.ActiveFlows() != 1 {
+		t.Fatalf("ActiveFlows = %d, want 1 (collider must not re-activate a parked slot)", pl.ActiveFlows())
+	}
+
+	// The owner's flow-end packet frees the slot; the colliding flow's next
+	// packet then claims it as a fresh activation.
+	pl.Process(early.Packets[len(early.Packets)-1])
+	if pl.ActiveFlows() != 0 {
+		t.Fatalf("owner flow-end did not free the parked slot (active=%d)", pl.ActiveFlows())
+	}
+	pl.Process(g.Packets[n])
+	if pl.ActiveFlows() != 1 {
+		t.Fatal("collider not served after the parked slot freed")
+	}
+}
+
+// TestSweepReclaimsParkedUnderCollisions pins that collider packets do not
+// refresh a parked-dead slot's age: the owner is gone (tail dropped), the
+// collider's packets are swallowed, and the sweep must still be able to
+// free the slot so the collider finally gets service — idle is measured
+// from the owner's last packet, not the collider's.
+func TestSweepReclaimsParkedUnderCollisions(t *testing.T) {
+	const idle = 2 * time.Second
+	dcfg, testFlows := ageingDeploy(t, 1<<12, idle, 64)
+	early := findEarlyExit(t, dcfg, testFlows)
+	dcfg.FlowSlots = 1
+	pl, err := New(dcfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Park the slot, owner's tail withheld (the leak shape).
+	for _, p := range early.Packets[:len(early.Packets)-1] {
+		pl.Process(p)
+	}
+	parkClock := pl.Clock()
+
+	// Collider traffic one second later: swallowed on the parked slot, and
+	// it must not reset the slot's age.
+	var g trace.LabeledFlow
+	for _, f := range testFlows {
+		if f.Key != early.Key {
+			g = f
+			break
+		}
+	}
+	collide := g.Packets[0]
+	collide.TS = parkClock + time.Second
+	pl.Process(collide)
+
+	// Two seconds after the owner's last packet — but only one second after
+	// the collider's — the slot is idle for the timeout and must go. Had
+	// the collider refreshed the stamp, this sweep would free nothing.
+	if got := sweepFullPass(pl, parkClock+idle); got != 1 {
+		t.Fatalf("sweep evicted %d slots, want 1 (collider kept the dead parked slot alive)", got)
+	}
+	if pl.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows = %d after sweep, want 0", pl.ActiveFlows())
+	}
+	// The collider finally gets the slot.
+	next := g.Packets[1]
+	next.TS = parkClock + idle
+	pl.Process(next)
+	if pl.ActiveFlows() != 1 || pl.countActiveSlots() != 1 {
+		t.Fatal("collider not served after the dead parked slot was reclaimed")
+	}
+}
+
+// TestNewShardsRemainder pins the register-budget fix: FlowSlots that do
+// not divide evenly by the shard count must still be fully distributed
+// (first shards take the remainder), not silently truncated.
+func TestNewShardsRemainder(t *testing.T) {
+	dcfg, _ := ageingDeploy(t, 1000, 0, 0)
+	cases := []struct {
+		slots, n int
+		want     []int
+	}{
+		{1000, 3, []int{334, 333, 333}},
+		{1000, 7, []int{143, 143, 143, 143, 143, 143, 142}},
+		{5, 3, []int{2, 2, 1}},
+		{2, 4, []int{1, 1, 1, 1}}, // budget < shards: every shard still gets a slot
+		{1 << 16, 4, []int{1 << 14, 1 << 14, 1 << 14, 1 << 14}},
+	}
+	for _, tc := range cases {
+		cfg := dcfg
+		cfg.FlowSlots = tc.slots
+		shards, err := NewShards(cfg, tc.n)
+		if err != nil {
+			t.Fatalf("NewShards(%d slots, %d shards): %v", tc.slots, tc.n, err)
+		}
+		total := 0
+		for i, s := range shards {
+			if got := len(s.slots); got != tc.want[i] {
+				t.Fatalf("%d slots / %d shards: shard %d has %d slots, want %d",
+					tc.slots, tc.n, i, got, tc.want[i])
+			}
+			total += len(s.slots)
+		}
+		if tc.slots >= tc.n && total != tc.slots {
+			t.Fatalf("%d slots / %d shards: distributed %d, lost %d",
+				tc.slots, tc.n, total, tc.slots-total)
+		}
+	}
+}
+
+// TestProcessAndSweepAllocationFree guards the hot path: the steady-state
+// packet paths (live mid-window accumulation, parked-slot draining) and
+// the ageing sweep may not allocate. Only digest emission allocates — one
+// Digest per classification, off the per-packet path.
+func TestProcessAndSweepAllocationFree(t *testing.T) {
+	dcfg, testFlows := ageingDeploy(t, 1<<12, time.Minute, 64)
+	pl, err := New(dcfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	// Live path: a mid-window packet of an active flow (no window boundary,
+	// no digest) — the overwhelmingly common per-packet case.
+	var g trace.LabeledFlow
+	for _, f := range testFlows {
+		if len(f.Packets) >= 8 {
+			g = f
+			break
+		}
+	}
+	mid := g.Packets[0] // Seq 1 of a long flow: never a window end
+	pl.Process(mid)
+	if avg := testing.AllocsPerRun(200, func() { pl.Process(mid) }); avg != 0 {
+		t.Fatalf("live-path Process allocates %.1f per packet", avg)
+	}
+
+	// Parked path: an early-exited flow draining its tail.
+	early := findEarlyExit(t, dcfg, testFlows)
+	pl2, err := New(dcfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, p := range early.Packets[:len(early.Packets)-1] {
+		pl2.Process(p)
+	}
+	tail := early.Packets[len(early.Packets)-2] // owner packet, not flow end
+	if avg := testing.AllocsPerRun(200, func() { pl2.Process(tail) }); avg != 0 {
+		t.Fatalf("parked-path Process allocates %.1f per packet", avg)
+	}
+
+	if avg := testing.AllocsPerRun(200, func() {
+		pl.Sweep(pl.Clock() + time.Minute)
+	}); avg != 0 {
+		t.Fatalf("Sweep allocates %.1f per call", avg)
+	}
+}

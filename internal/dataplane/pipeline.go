@@ -10,6 +10,12 @@
 // next SID (propagated by a recirculated control packet that also clears the
 // flow's feature and dependency-chain registers).
 //
+// Flow-table ageing is a first-class subsystem, as on real packet
+// processors: slots carry a packet-time touch stamp, Sweep incrementally
+// reclaims slots idle past Config.IdleTimeout (one bounded stripe per
+// call, amortised O(1) per packet), and Evict reclaims a specific flow's
+// slot on a controller verdict. Reclaims are counted in Stats.Evictions.
+//
 // Resource budgets are enforced at construction through the same
 // resources.Profile model the design search uses, so a pipeline that
 // constructs is a pipeline that fits the target.
@@ -40,7 +46,25 @@ type Config struct {
 	FlowSlots int
 	// Workload, when set, is used for the recirculation budget check.
 	Workload trace.Workload
+	// IdleTimeout enables flow-table ageing: a slot untouched for at least
+	// this long (measured in packet time, not wall clock) becomes
+	// reclaimable by Sweep — both live-idle slots and parked early-exit
+	// slots whose flow tail never arrived (e.g. because the dispatcher
+	// drops a blocked flow's remaining packets). Zero disables ageing:
+	// Sweep is a no-op and the pipeline behaves exactly as before the
+	// ageing subsystem existed.
+	IdleTimeout time.Duration
+	// SweepStripe is the number of register slots one Sweep call examines
+	// (default 128). Bounding per-call work lets a caller interleave one
+	// Sweep per packet burst and keep ageing amortised O(1) per packet,
+	// the way hardware flow-table sweep engines share the pipeline with
+	// traffic.
+	SweepStripe int
 }
+
+// defaultSweepStripe is the SweepStripe applied when the config leaves it
+// zero.
+const defaultSweepStripe = 128
 
 // Digest is the classification record the pipeline sends to the controller
 // when a flow exits the model (§3.1.2).
@@ -62,6 +86,7 @@ type Stats struct {
 	Digests        int // classifications emitted
 	Collisions     int // packets that hit a slot owned by another flow
 	RecircBytes    int // control-channel bytes
+	Evictions      int // register slots reclaimed by Sweep or Evict
 }
 
 // Add folds another pipeline's counters into s. Every Stats field is a
@@ -73,6 +98,7 @@ func (s *Stats) Add(o Stats) {
 	s.Digests += o.Digests
 	s.Collisions += o.Collisions
 	s.RecircBytes += o.RecircBytes
+	s.Evictions += o.Evictions
 }
 
 // MergeStats sums per-shard counters into one aggregate.
@@ -89,6 +115,7 @@ type slot struct {
 	pktCount uint32
 	owner    flow.Key
 	started  time.Duration
+	touched  time.Duration // pipeline clock when a packet last hit the slot
 	state    features.FlowState
 }
 
@@ -105,6 +132,14 @@ type Pipeline struct {
 	stats  Stats
 	active int      // occupied slots, maintained incrementally by Process
 	marks  []uint32 // per-window scratch, reused so Process never allocates
+	// clock is the highest packet timestamp Process has seen. Slots are
+	// touch-stamped with it (not the raw packet TS) so ageing stays
+	// monotone even when a source replays a trace from time zero — the
+	// hardware analogue is the switch's free-running timestamp register.
+	clock time.Duration
+	// sweepPos is the ageing engine's cursor into the register array; each
+	// Sweep call advances it by one stripe, wrapping around.
+	sweepPos int
 }
 
 // validate runs the deployment feasibility checks New and NewShards share:
@@ -134,6 +169,9 @@ func New(cfg Config) (*Pipeline, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
+	if cfg.SweepStripe <= 0 {
+		cfg.SweepStripe = defaultSweepStripe
+	}
 	return &Pipeline{
 		cfg:   cfg,
 		parts: cfg.Model.NumPartitions(),
@@ -143,12 +181,15 @@ func New(cfg Config) (*Pipeline, error) {
 }
 
 // NewShards validates the deployment once and builds n pipeline replicas of
-// it, each owning an equal share of the register budget (cfg.FlowSlots / n
-// slots, at least 1). The replicas share the compiled tables read-only —
-// the tables are frozen here so concurrent lookups never mutate them — and
-// each replica keeps private register state, so a dispatcher that keys
-// flows onto shards with flow.Key.Shard preserves single-pipeline per-flow
-// semantics. This is the multi-pipe construction the sharded engine runs.
+// it, together owning exactly the cfg.FlowSlots register budget: each shard
+// gets FlowSlots / n slots and the first FlowSlots % n shards take one
+// extra, so no slot of the budget is lost to integer division (a shard
+// still gets at least 1 slot when FlowSlots < n). The replicas share the
+// compiled tables read-only — the tables are frozen here so concurrent
+// lookups never mutate them — and each replica keeps private register
+// state, so a dispatcher that keys flows onto shards with flow.Key.Shard
+// preserves single-pipeline per-flow semantics. This is the multi-pipe
+// construction the sharded engine runs.
 func NewShards(cfg Config, n int) ([]*Pipeline, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("dataplane: non-positive shard count %d", n)
@@ -156,19 +197,26 @@ func NewShards(cfg Config, n int) ([]*Pipeline, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
-	cfg.Compiled.Freeze()
-	per := cfg.FlowSlots / n
-	if per < 1 {
-		per = 1
+	if cfg.SweepStripe <= 0 {
+		cfg.SweepStripe = defaultSweepStripe
 	}
-	shardCfg := cfg
-	shardCfg.FlowSlots = per
+	cfg.Compiled.Freeze()
+	per, rem := cfg.FlowSlots/n, cfg.FlowSlots%n
 	shards := make([]*Pipeline, n)
 	for i := range shards {
+		slots := per
+		if i < rem {
+			slots++
+		}
+		if slots < 1 {
+			slots = 1
+		}
+		shardCfg := cfg
+		shardCfg.FlowSlots = slots
 		shards[i] = &Pipeline{
 			cfg:   shardCfg,
 			parts: cfg.Model.NumPartitions(),
-			slots: make([]slot, per),
+			slots: make([]slot, slots),
 			marks: make([]uint32, cfg.Compiled.K),
 		}
 	}
@@ -179,6 +227,9 @@ func NewShards(cfg Config, n int) ([]*Pipeline, error) {
 // when the packet triggered a final classification.
 func (pl *Pipeline) Process(p pkt.Packet) *Digest {
 	pl.stats.Packets++
+	if p.TS > pl.clock {
+		pl.clock = p.TS
+	}
 	ck := p.Key.Canonical()
 	idx := int(p.Key.SymHash() % uint32(len(pl.slots)))
 	s := &pl.slots[idx]
@@ -196,16 +247,34 @@ func (pl *Pipeline) Process(p pkt.Packet) *Digest {
 		// registers. Count it and proceed with shared state.
 		pl.stats.Collisions++
 	}
-
 	if s.sid == doneSID {
-		// Flow already classified via early exit; drain remaining packets
-		// and free the slot at flow end.
-		if s.owner == ck && p.Seq >= p.FlowSize {
-			*s = slot{}
-			pl.active--
+		// Parked slot: the early-exited owner holds the registers until its
+		// flow-end packet arrives. This mirrors the hardware semantics: the
+		// SID register reads doneSID for every packet that hashes here,
+		// which gates the feature and model tables off, so a colliding
+		// flow's packets pass through unclassified and leave no state —
+		// they are counted above as collisions and otherwise ignored. The
+		// colliding flow gets no inference until the slot frees (flow end
+		// of the owner, Evict, or an idle-timeout Sweep). Only the owner
+		// refreshes the parked slot's age: collider packets are not folded
+		// into its state, and letting them keep a dead parked slot fresh
+		// would starve the collider of its slot forever — the sweep must be
+		// able to reclaim a parked slot whose owner went away even while
+		// colliders still hash onto it.
+		if s.owner == ck {
+			s.touched = pl.clock
+			if p.Seq >= p.FlowSize {
+				*s = slot{}
+				pl.active--
+			}
 		}
 		return nil
 	}
+	// Live slot: every packet that hashes here refreshes its age, colliders
+	// included — they genuinely share the registers (their packets fold
+	// into the window state below), so the slot is live as long as anything
+	// hits it, like the hardware timestamp register written on access.
+	s.touched = pl.clock
 
 	// Feature collection and engineering: fold the packet into the window
 	// registers (simple accumulators, dependency chain, k feature slots).
@@ -285,6 +354,71 @@ func (pl *Pipeline) Stats() Stats { return pl.stats }
 // incrementally by Process, so reading it is O(1) — cheap enough for the
 // engine's per-burst live snapshots.
 func (pl *Pipeline) ActiveFlows() int { return pl.active }
+
+// Sweep advances the flow-table ageing engine by one stripe: it examines
+// the next cfg.SweepStripe register slots (wrapping around the array) and
+// frees every occupied slot whose last touch is at least IdleTimeout before
+// now — live slots of flows that went quiet as well as parked early-exit
+// slots whose tail was dropped upstream and would otherwise leak forever.
+// now is packet time (the caller's monotone view of the traffic clock, e.g.
+// the newest timestamp a shard worker has processed), never wall clock, so
+// sweeping is deterministic for a given packet sequence and sweep schedule.
+// It returns how many slots it reclaimed and counts them in
+// Stats.Evictions. With IdleTimeout zero, ageing is disabled and Sweep does
+// nothing. Sweep never allocates; a full pass over the array costs
+// ceil(FlowSlots/SweepStripe) calls, which callers amortise to O(1) work
+// per packet by sweeping once per burst, like hardware sweep engines that
+// steal idle pipeline cycles.
+func (pl *Pipeline) Sweep(now time.Duration) int {
+	if pl.cfg.IdleTimeout <= 0 {
+		return 0
+	}
+	stripe := pl.cfg.SweepStripe
+	if stripe > len(pl.slots) {
+		stripe = len(pl.slots)
+	}
+	evicted := 0
+	for i := 0; i < stripe; i++ {
+		s := &pl.slots[pl.sweepPos]
+		pl.sweepPos++
+		if pl.sweepPos == len(pl.slots) {
+			pl.sweepPos = 0
+		}
+		if s.sid != 0 && now-s.touched >= pl.cfg.IdleTimeout {
+			*s = slot{}
+			pl.active--
+			pl.stats.Evictions++
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// Evict frees the flow's register slot immediately if the flow currently
+// owns it, returning whether a slot was reclaimed. This is the
+// controller-initiated ageing path: when policy blocks a flow whose tail
+// will be dropped upstream, the slot would otherwise stay parked until an
+// idle-timeout sweep finds it. Evict works with ageing disabled, and it is
+// a no-op when the slot is empty or owned by a colliding flow (the slot is
+// that flow's state now — evicting it would punish an innocent bystander).
+func (pl *Pipeline) Evict(k flow.Key) bool {
+	ck := k.Canonical()
+	s := &pl.slots[int(k.SymHash()%uint32(len(pl.slots)))]
+	if s.sid == 0 || s.owner != ck {
+		return false
+	}
+	*s = slot{}
+	pl.active--
+	pl.stats.Evictions++
+	return true
+}
+
+// Clock returns the pipeline's packet-time clock: the newest timestamp
+// Process has seen. It is the natural `now` for Sweep.
+func (pl *Pipeline) Clock() time.Duration { return pl.clock }
+
+// AgeingEnabled reports whether the deployment configured an idle timeout.
+func (pl *Pipeline) AgeingEnabled() bool { return pl.cfg.IdleTimeout > 0 }
 
 // countActiveSlots scans the register array; tests use it to cross-check
 // the incremental ActiveFlows counter.

@@ -15,7 +15,11 @@
 // into an incremental sink stage that merges the per-shard streams while
 // traffic is still moving, so a controller can consume them live
 // (Session.Digests / Session.Poll) and push ActionBlock verdicts back into
-// the dispatch stage's drop filter (Session.Block) mid-run.
+// the dispatch stage's drop filter (Session.Block) mid-run. Blocking also
+// evicts the flow's register slot via a per-shard eviction mailbox, and
+// workers drive the dataplane's flow-table ageing sweep once per burst
+// from a monotone packet-time clock — so long-lived sessions reclaim slots
+// of blocked and dead flows instead of leaking them (Stats.Evictions).
 //
 // Engine.Run remains as a thin batch wrapper over Start/Feed/Close: it
 // drains a Source through a session and returns the merged Result, with a
@@ -41,6 +45,7 @@ import (
 	"time"
 
 	"splidt/internal/dataplane"
+	"splidt/internal/flow"
 	"splidt/internal/metrics"
 	"splidt/internal/pkt"
 )
@@ -67,6 +72,36 @@ func (s *SliceSource) Next() (pkt.Packet, bool) {
 	s.pos++
 	return p, true
 }
+
+// ShiftSource wraps a Source, offsetting every packet timestamp by a fixed
+// Offset — how a driver replays one trace as successive later waves. The
+// flow-table ageing sweep runs on packet time, so a wave re-fed with its
+// original timestamps would leave the monotone sweep clock frozen at the
+// previous wave's end and the sweep inert; shifting each wave past the
+// last keeps packet time advancing the way real repeat traffic would.
+// Max reports the highest shifted timestamp yielded so far — after a wave
+// drains, it is the natural Offset for the next one.
+type ShiftSource struct {
+	Src    Source
+	Offset time.Duration
+	max    time.Duration
+}
+
+// Next yields the next packet with its timestamp shifted.
+func (s *ShiftSource) Next() (pkt.Packet, bool) {
+	p, ok := s.Src.Next()
+	if !ok {
+		return p, false
+	}
+	p.TS += s.Offset
+	if p.TS > s.max {
+		s.max = p.TS
+	}
+	return p, true
+}
+
+// Max returns the highest shifted timestamp Next has yielded.
+func (s *ShiftSource) Max() time.Duration { return s.max }
 
 // Config sizes an engine.
 type Config struct {
@@ -98,8 +133,9 @@ type Result struct {
 	PerShard []dataplane.Stats
 	// Throughput reports wall-clock rates for this run.
 	Throughput metrics.Throughput
-	// Dropped counts packets the dispatch stage discarded because their
-	// flow was blocked (Session.Block) while the session ran.
+	// Dropped counts packets discarded because their flow was blocked
+	// (Session.Block) while the session ran — at the dispatch stage, or at
+	// a worker for packets already queued when the verdict landed.
 	Dropped int64
 }
 
@@ -121,9 +157,55 @@ type shardState struct {
 
 	pub atomic.Pointer[shardPub]
 
+	// Eviction mailbox: Session.Block/Evict enqueue flow keys here from any
+	// goroutine; the worker — the only goroutine allowed to touch its
+	// pipeline — drains it between bursts (and while idle, so blocking
+	// frees state even when no traffic is flowing). evictN is the
+	// emptiness fast path the worker checks each iteration.
+	evictMu      sync.Mutex
+	evictQ       []flow.Key
+	evictScratch []flow.Key // worker-owned drain buffer, reused
+	evictN       atomic.Int64
+
+	// sweepNow is the worker's monotone packet-time clock: the newest
+	// timestamp it has processed, fed to the pipeline's ageing Sweep after
+	// each burst. Worker-private.
+	sweepNow time.Duration
+
 	// hold, when non-nil, gates the worker before each burst — a test hook
 	// that makes backpressure deterministic. Always nil in production.
 	hold chan struct{}
+}
+
+// evict enqueues a controller-initiated slot reclaim for the worker to
+// apply. Safe from any goroutine.
+func (s *shardState) evict(k flow.Key) {
+	s.evictMu.Lock()
+	s.evictQ = append(s.evictQ, k)
+	s.evictMu.Unlock()
+	s.evictN.Add(1)
+}
+
+// drainEvictions applies every queued eviction to the shard's pipeline.
+// Worker-only. Returns whether it reclaimed at least one slot (so the
+// caller knows to publish a fresh snapshot).
+func (s *shardState) drainEvictions() bool {
+	if s.evictN.Load() == 0 {
+		return false
+	}
+	s.evictMu.Lock()
+	keys := append(s.evictScratch[:0], s.evictQ...)
+	s.evictQ = s.evictQ[:0]
+	s.evictN.Store(0)
+	s.evictMu.Unlock()
+	s.evictScratch = keys[:0]
+	freed := false
+	for _, k := range keys {
+		if s.pl.Evict(k) {
+			freed = true
+		}
+	}
+	return freed
 }
 
 // Engine drives sharded pipeline replicas. Construct with New. An Engine
@@ -224,11 +306,22 @@ func (e *Engine) Run(src Source) (*Result, error) {
 	return s.Close()
 }
 
-// work is one shard's consumer loop: pop a burst, run it through the
-// replica, stream digests to the sink, hand the burst back, publish a fresh
-// stats snapshot. Exits when the feed side has signalled done and the queue
-// is drained.
-func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest) {
+// work is one shard's consumer loop: pop a burst, apply queued evictions,
+// run the burst through the replica, advance the ageing sweep by one stripe
+// of packet time, stream digests to the sink, hand the burst back, publish
+// a fresh stats snapshot. Exits when the feed side has signalled done and
+// the queue is drained.
+//
+// filter is re-checked per packet: the dispatch stage already drops blocked
+// flows, but packets queued in the ring before a verdict landed would
+// otherwise slip past it — and after Block evicts the flow's slot, such a
+// straggler would re-activate the slot and leak it again. Because Block
+// installs the filter entry before enqueueing the eviction, any packet
+// processed after the eviction is applied must see the filter and drop, so
+// a blocked flow can never resurrect its register state. The empty-filter
+// fast path is one atomic load, so unblocked workloads pay nothing.
+func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest,
+	filter *dropFilter, dropped *atomic.Int64) {
 	defer wg.Done()
 	idle := 0
 	for {
@@ -238,10 +331,16 @@ func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest) {
 				// done is published after the final push; one more pop
 				// closes the race with a flush that landed in between.
 				if b, ok = s.in.tryPop(); !ok {
+					s.drainEvictions()
 					s.publish()
 					return
 				}
 			} else {
+				// Apply evictions while idle so a controller block frees
+				// register state even when no traffic is flowing.
+				if s.drainEvictions() {
+					s.publish()
+				}
 				// Spin briefly, then sleep: a live session can sit idle for
 				// long stretches and must not burn a core per shard.
 				if idle++; idle > idleSpins {
@@ -256,10 +355,26 @@ func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest) {
 		if s.hold != nil {
 			<-s.hold
 		}
+		s.drainEvictions()
 		for i := range b.pkts {
+			if filter.blocked(b.pkts[i].Key) {
+				dropped.Add(1)
+				continue
+			}
 			if d := s.pl.Process(b.pkts[i]); d != nil {
 				sink <- *d
 			}
+		}
+		if n := len(b.pkts); n > 0 {
+			// Drive flow-table ageing from packet time, never wall clock:
+			// one bounded sweep stripe per burst keeps the reclaim cost
+			// amortised O(1) per packet and the schedule deterministic for
+			// a given burst sequence. The clock is monotone across replayed
+			// waves (a re-streamed trace restarts at time zero).
+			if ts := b.pkts[n-1].TS; ts > s.sweepNow {
+				s.sweepNow = ts
+			}
+			s.pl.Sweep(s.sweepNow)
 		}
 		b.pkts = b.pkts[:0]
 		s.free.push(b)
@@ -286,6 +401,7 @@ func subStats(now, prev dataplane.Stats) dataplane.Stats {
 		Digests:        now.Digests - prev.Digests,
 		Collisions:     now.Collisions - prev.Collisions,
 		RecircBytes:    now.RecircBytes - prev.RecircBytes,
+		Evictions:      now.Evictions - prev.Evictions,
 	}
 }
 

@@ -206,3 +206,36 @@ func TestSliceSource(t *testing.T) {
 		t.Fatal("exhausted source yielded a packet")
 	}
 }
+
+// TestShiftSource checks the wave-replay wrapper: timestamps shift by the
+// offset, everything else passes through, and Max tracks the shifted end.
+func TestShiftSource(t *testing.T) {
+	pkts := trace.Interleave(trace.Generate(trace.D2, 3, 1), time.Millisecond)
+	const off = 10 * time.Second
+	src := &ShiftSource{Src: &SliceSource{Pkts: pkts}, Offset: off}
+	n := 0
+	var max time.Duration
+	for {
+		p, ok := src.Next()
+		if !ok {
+			break
+		}
+		if want := pkts[n].TS + off; p.TS != want {
+			t.Fatalf("packet %d TS = %v, want %v", n, p.TS, want)
+		}
+		p.TS = pkts[n].TS
+		if p != pkts[n] {
+			t.Fatalf("packet %d mutated beyond TS", n)
+		}
+		if p.TS+off > max {
+			max = p.TS + off
+		}
+		n++
+	}
+	if n != len(pkts) {
+		t.Fatalf("yielded %d packets, want %d", n, len(pkts))
+	}
+	if src.Max() != max {
+		t.Fatalf("Max = %v, want %v", src.Max(), max)
+	}
+}

@@ -33,7 +33,9 @@ var (
 // a worker owns, so it is safe at any time, including mid-run under -race.
 type Snapshot struct {
 	// Stats is the merged per-shard counter deltas since Start. It trails
-	// live state by at most one in-flight burst per shard.
+	// live state by at most one in-flight burst per shard. Stats.Evictions
+	// counts register slots reclaimed this session by flow-table ageing
+	// sweeps and Block/Evict-initiated eviction.
 	Stats dataplane.Stats
 	// PerShard is the per-shard split of Stats.
 	PerShard []dataplane.Stats
@@ -42,8 +44,9 @@ type Snapshot struct {
 	// Fed counts packets accepted by Feed (including ones later dropped by
 	// the block filter; excluding ones refused with ErrBackpressure).
 	Fed int64
-	// Dropped counts packets the dispatch stage discarded because their
-	// flow was blocked.
+	// Dropped counts packets discarded because their flow was blocked —
+	// at the dispatch stage, or at a worker for packets that were already
+	// queued when the verdict landed.
 	Dropped int64
 	// Backpressure counts Feed calls that returned ErrBackpressure.
 	Backpressure int64
@@ -83,11 +86,12 @@ type Session struct {
 
 	mu          sync.Mutex         // guards all/delivered/sinkClosed
 	cond        *sync.Cond         // pump wakeup, signalled under mu
-	all         []dataplane.Digest // every digest, in sink-arrival order
+	all         []dataplane.Digest // undelivered + (retain mode) delivered digests, in sink-arrival order
 	delivered   int                // all[:delivered] has gone out via Poll/Digests
 	sinkClosed  bool
 	channelMode atomic.Bool
 	pumpOnce    sync.Once
+	bounded     bool // drop digests once delivered (WithBoundedDigests)
 
 	prev []dataplane.Stats // per-shard counters at Start, owned by this session
 
@@ -99,13 +103,28 @@ type Session struct {
 	resErr    error
 }
 
+// SessionOption configures a Session at Start.
+type SessionOption func(*Session)
+
+// WithBoundedDigests switches the session to drop-after-delivery digest
+// retention: a digest handed out through Digests() or Poll is released
+// rather than kept for Close, so a long-lived session's memory is bounded
+// by the undelivered backlog instead of growing with every classification.
+// The trade-off: Close's Result.Digests then carries only the digests not
+// yet delivered at Close time (still deterministically ordered) — sessions
+// that need the complete stream in the final Result use the default retain
+// mode.
+func WithBoundedDigests() SessionOption {
+	return func(s *Session) { s.bounded = true }
+}
+
 // Start begins a streaming session: one worker goroutine per shard plus a
 // digest sink that merges per-shard digest streams incrementally. At most
 // one session runs per engine at a time. Cancelling ctx aborts the session:
 // staged partial bursts are discarded (already-queued bursts still drain),
 // Feed starts failing, and Close reports the context error. Close alone
 // performs a fully graceful drain.
-func (e *Engine) Start(ctx context.Context) (*Session, error) {
+func (e *Engine) Start(ctx context.Context, opts ...SessionOption) (*Session, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -120,16 +139,25 @@ func (e *Engine) Start(ctx context.Context) (*Session, error) {
 		sinkDone:  make(chan struct{}),
 		watchStop: make(chan struct{}),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.prev = make([]dataplane.Stats, len(e.shards))
 	for i, sh := range e.shards {
 		sh.done.Store(false)
 		s.prev[i] = sh.pl.Stats()
+		// Evictions enqueued after the previous session's workers exited
+		// belong to that session's filter state; drop them.
+		sh.evictMu.Lock()
+		sh.evictQ = sh.evictQ[:0]
+		sh.evictN.Store(0)
+		sh.evictMu.Unlock()
 		sh.pub.Store(&shardPub{stats: s.prev[i], active: sh.pl.ActiveFlows()})
 	}
 	s.wg.Add(len(e.shards))
 	for _, sh := range e.shards {
-		go sh.work(&s.wg, s.sinkCh)
+		go sh.work(&s.wg, s.sinkCh, &s.filter, &s.dropped)
 	}
 	go s.sink()
 	go func() {
@@ -306,8 +334,22 @@ func (s *Session) Poll(buf []dataplane.Digest) int {
 	s.mu.Lock()
 	n = copy(buf, s.all[s.delivered:])
 	s.delivered += n
+	s.compactLocked()
 	s.mu.Unlock()
 	return n
+}
+
+// compactLocked releases delivered digests in bounded mode by shifting the
+// undelivered tail to the front of the backing array, so memory tracks the
+// backlog, not the session's lifetime output. Called with mu held; a no-op
+// in retain mode, where s.all must keep the complete stream for Close.
+func (s *Session) compactLocked() {
+	if !s.bounded || s.delivered == 0 {
+		return
+	}
+	n := copy(s.all, s.all[s.delivered:])
+	s.all = s.all[:n]
+	s.delivered = 0
 }
 
 // Snapshot assembles a live view of the session from the workers' published
@@ -331,9 +373,37 @@ func (s *Session) Snapshot() Snapshot {
 
 // Block installs a drop verdict for the flow (both directions): subsequent
 // packets of the flow are discarded at the dispatch stage, before they
-// consume a burst slot or pipeline work. This is the data-plane half of the
-// controller's detect→block loop.
-func (s *Session) Block(k flow.Key) { s.filter.block(k) }
+// consume a burst slot or pipeline work, and packets already queued in the
+// shard ring are discarded by the worker before processing. This is the
+// data-plane half of the controller's detect→block loop. Block also evicts
+// the flow's register slot (see Evict): once the flow's remaining packets
+// are dropped, an early-exited flow's parked slot would never see the
+// flow-end packet that frees it, so blocking without evicting leaks a slot
+// per blocked flow in a long-lived session. The filter entry is installed
+// before the eviction is enqueued, so the freed slot cannot be
+// re-activated by in-flight stragglers of the same flow.
+func (s *Session) Block(k flow.Key) {
+	s.filter.block(k)
+	s.Evict(k)
+}
+
+// Evict asynchronously reclaims the flow's register slot on its owning
+// shard — the controller-initiated arm of flow-table ageing, effective
+// even with IdleTimeout unset. The reclaim is handed to the shard's worker
+// (the only goroutine that may touch its pipeline) and applied before the
+// worker's next burst, or promptly while it idles; it is a no-op if the
+// flow does not currently own its slot. Safe from any goroutine. After the
+// session has closed, Evict does nothing: the shard mailboxes belong to
+// the next session by then, and a stale verdict must not reclaim a live
+// flow's slot there.
+func (s *Session) Evict(k flow.Key) {
+	s.feedMu.Lock()
+	defer s.feedMu.Unlock()
+	if s.closed {
+		return
+	}
+	s.e.shards[k.Shard(len(s.e.shards))].evict(k)
+}
 
 // Unblock removes a flow's drop verdict.
 func (s *Session) Unblock(k flow.Key) { s.filter.unblock(k) }
@@ -347,7 +417,8 @@ func (s *Session) Blocked(k flow.Key) bool { return s.filter.blocked(k) }
 // engine for the next session. Close is idempotent; every call returns the
 // same Result. If the session's context was cancelled first, the error is
 // the context's and in-flight staged bursts were discarded rather than
-// flushed.
+// flushed. For sessions started WithBoundedDigests, Result.Digests holds
+// only the digests not yet delivered through Digests()/Poll.
 func (s *Session) Close() (*Result, error) {
 	s.shutdown(true, nil)
 	return s.result, s.resErr
@@ -391,8 +462,18 @@ func (s *Session) shutdown(flush bool, cause error) {
 			res.Stats.Add(res.PerShard[i])
 		}
 		// Sort a copy: s.all stays in arrival order so Poll/Digests can
-		// still deliver the undrained tail after Close.
-		res.Digests = append([]dataplane.Digest(nil), s.all...)
+		// still deliver the undrained tail after Close. In bounded mode
+		// the Result carries exactly the undelivered backlog — s.all may
+		// still hold a delivered-but-uncompacted prefix (the pump compacts
+		// in batches), so slice past the delivered cursor. The pump may be
+		// mutating concurrently — snapshot under mu.
+		s.mu.Lock()
+		tail := s.all
+		if s.bounded {
+			tail = s.all[s.delivered:]
+		}
+		res.Digests = append([]dataplane.Digest(nil), tail...)
+		s.mu.Unlock()
 		sortDigests(res.Digests)
 		res.Dropped = s.dropped.Load()
 		res.Throughput = metrics.Throughput{
@@ -443,10 +524,20 @@ func (s *Session) pump() {
 		}
 		d := s.all[s.delivered]
 		s.delivered++
+		// Compact periodically, not per digest: the copy is O(backlog), so
+		// a threshold keeps pump delivery amortised O(1) while still
+		// bounding memory in drop-after-delivery mode.
+		if s.delivered >= pumpCompactThreshold || s.delivered == len(s.all) {
+			s.compactLocked()
+		}
 		s.mu.Unlock()
 		s.out <- d
 	}
 }
+
+// pumpCompactThreshold is how many delivered digests the pump lets
+// accumulate before compacting a bounded session's buffer.
+const pumpCompactThreshold = 256
 
 // dropFilter is the dispatch-stage blocklist: a direction-symmetric flow
 // set with an atomic emptiness fast path, so an unblocked workload pays one

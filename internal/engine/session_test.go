@@ -7,6 +7,7 @@ import (
 
 	"splidt/internal/controller"
 	"splidt/internal/dataplane"
+	"splidt/internal/flow"
 	"splidt/internal/pkt"
 	"splidt/internal/trace"
 )
@@ -380,5 +381,265 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition not reached within deadline")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// feedBlockingDigests drives the leak scenario: the workload is fed in
+// small chunks and every digest is answered with blockFn mid-stream, so
+// early-exited flows get their remaining packets dropped at the dispatcher
+// while their register slots sit parked. It returns how many flows drew a
+// block.
+func feedBlockingDigests(t *testing.T, s *Session, pkts []pkt.Packet, blockFn func(flow.Key)) int {
+	t.Helper()
+	buf := make([]dataplane.Digest, 256)
+	blocked := 0
+	const chunk = 512
+	for off := 0; off < len(pkts); off += chunk {
+		end := off + chunk
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		if err := s.FeedAll(pkts[off:end]); err != nil {
+			t.Fatalf("FeedAll: %v", err)
+		}
+		for {
+			n := s.Poll(buf)
+			if n == 0 {
+				break
+			}
+			for _, d := range buf[:n] {
+				blockFn(d.Key)
+				blocked++
+			}
+		}
+	}
+	// Let the workers finish everything fed so far: every packet is either
+	// processed or dropped at dispatch.
+	waitFor(t, func() bool {
+		snap := s.Snapshot()
+		return int64(snap.Stats.Packets)+snap.Dropped == snap.Fed
+	})
+	return blocked
+}
+
+// shiftTS returns the packets with timestamps offset by d — a later traffic
+// wave on the session's packet-time axis.
+func shiftTS(pkts []pkt.Packet, d time.Duration) []pkt.Packet {
+	out := make([]pkt.Packet, len(pkts))
+	copy(out, pkts)
+	for i := range out {
+		out[i].TS += d
+	}
+	return out
+}
+
+// TestBlockedFlowLeakRegression is the ageing subsystem's reason to exist,
+// in failing-then-fixed shape. PR 2's Block was a dispatch drop filter
+// only: blocking a flow that had early-exited left its parked register
+// slot waiting for a flow-end packet the dispatcher would now drop, so the
+// slot leaked — ActiveFlows never returned to ~0. The test reproduces that
+// exact behaviour through the internal filter (leg 1), then shows the
+// idle-timeout sweep reclaiming the leak with ageing enabled (leg 2), and
+// the new Block evicting it immediately even with ageing off (leg 3).
+func TestBlockedFlowLeakRegression(t *testing.T) {
+	wave1 := trace.Interleave(trace.Generate(trace.D3, 60, eqSeed), eqSpacing)
+	// Wave 2: different flows (fresh seed) far enough into packet time that
+	// everything wave 1 leaked has been idle for longer than the timeout.
+	wave2 := shiftTS(trace.Interleave(trace.Generate(trace.D3, 60, eqSeed+1), eqSpacing), 40*time.Second)
+
+	run := func(idle time.Duration, useFilterOnly bool) (leaked, final, evictions int) {
+		cfg := deployCfg(t, 1<<14)
+		cfg.IdleTimeout = idle
+		cfg.SweepStripe = 1024
+		e, err := New(Config{Deploy: cfg, Shards: 2, Burst: 16, Queue: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := e.Start(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockFn := s.Block
+		if useFilterOnly {
+			// PR-2 semantics: drop filter without eviction — the buggy shape.
+			blockFn = func(k flow.Key) { s.filter.block(k) }
+		}
+		if blocked := feedBlockingDigests(t, s, wave1, blockFn); blocked == 0 {
+			t.Fatal("wave 1 produced no digests to block")
+		}
+		// Give pending Block evictions a chance to land (they publish).
+		waitFor(t, func() bool {
+			snap := s.Snapshot()
+			return useFilterOnly || snap.Stats.Evictions > 0 || snap.ActiveFlows == 0
+		})
+		leaked = s.Snapshot().ActiveFlows
+
+		// Wave 2 drives packet time (and with it the per-shard sweeps)
+		// forward; its own flows complete and free their slots.
+		if err := s.FeedAll(wave2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		snap := s.Snapshot()
+		return leaked, snap.ActiveFlows, snap.Stats.Evictions
+	}
+
+	// Leg 1 — the regression: ageing off, filter-only block. Early-exited
+	// blocked flows leak their slots and nothing ever reclaims them.
+	leaked, final, evictions := run(0, true)
+	if leaked == 0 {
+		t.Fatal("filter-only blocking leaked no slots; the regression scenario needs early-exited blocked flows")
+	}
+	if final < leaked {
+		t.Fatalf("ageing off: leak shrank from %d to %d slots without any eviction mechanism", leaked, final)
+	}
+	if evictions != 0 {
+		t.Fatalf("ageing off: %d evictions counted", evictions)
+	}
+
+	// Leg 2 — the fix, sweep arm: same buggy filter-only blocking, but the
+	// idle-timeout sweep reclaims the parked-dead slots as wave 2's packet
+	// time passes the timeout.
+	leaked2, final2, evictions2 := run(10*time.Second, true)
+	if leaked2 == 0 {
+		t.Fatal("ageing on: wave 1 leaked nothing to reclaim")
+	}
+	if final2 >= leaked2 {
+		t.Fatalf("sweep reclaimed nothing: %d leaked, %d still active", leaked2, final2)
+	}
+	if evictions2 < leaked2 {
+		t.Fatalf("sweep evicted %d slots, want at least the %d leaked", evictions2, leaked2)
+	}
+	if final2 > 2 {
+		t.Fatalf("ActiveFlows = %d after sweep, want ~0", final2)
+	}
+
+	// Leg 3 — the fix, eviction arm: Block reclaims the slot at verdict
+	// time, ageing not required. The filter entry lands before the
+	// eviction and the workers re-check it per packet, so tail packets
+	// already queued in the shard rings cannot re-activate the freed slot.
+	_, final3, evictions3 := run(0, false)
+	if evictions3 == 0 {
+		t.Fatal("evicting Block counted no evictions")
+	}
+	if final3 > 2 {
+		t.Fatalf("ActiveFlows = %d at close with evicting Block, want ~0", final3)
+	}
+
+	// Leg 4 — the shipped configuration, both arms: evict-on-Block plus the
+	// ageing sweep leave no leak at all.
+	_, final4, evictions4 := run(10*time.Second, false)
+	if final4 > 2 {
+		t.Fatalf("ActiveFlows = %d with eviction and ageing, want ~0", final4)
+	}
+	if evictions4 == 0 {
+		t.Fatal("no evictions counted with eviction and ageing enabled")
+	}
+}
+
+// TestSessionBoundedDigestRetention pins both retention modes: by default a
+// session keeps every digest for Close's complete deterministic Result even
+// after delivering them through Poll; WithBoundedDigests drops digests once
+// delivered, so the Result carries only the undelivered tail.
+func TestSessionBoundedDigestRetention(t *testing.T) {
+	pkts := trace.Interleave(trace.Generate(trace.D3, 40, eqSeed), 0)
+	for _, bounded := range []bool{false, true} {
+		cfg := deployCfg(t, eqSlots)
+		e, err := New(Config{Deploy: cfg, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var opts []SessionOption
+		if bounded {
+			opts = append(opts, WithBoundedDigests())
+		}
+		s, err := e.Start(context.Background(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.FeedAll(pkts); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, func() bool { return s.Snapshot().Stats.Packets == len(pkts) })
+
+		// Drain the full stream mid-session.
+		buf := make([]dataplane.Digest, 64)
+		var drained []dataplane.Digest
+		waitFor(t, func() bool {
+			for {
+				n := s.Poll(buf)
+				if n == 0 {
+					break
+				}
+				drained = append(drained, buf[:n]...)
+			}
+			return len(drained) >= s.Snapshot().Stats.Digests
+		})
+		if len(drained) == 0 {
+			t.Fatal("no digests to drain")
+		}
+
+		res, err := s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bounded {
+			if len(res.Digests) != 0 {
+				t.Fatalf("bounded mode: Result kept %d delivered digests, want 0", len(res.Digests))
+			}
+		} else {
+			if len(res.Digests) != len(drained) {
+				t.Fatalf("retain mode: Result has %d digests, drained %d — Close must keep the complete stream", len(res.Digests), len(drained))
+			}
+		}
+		// Either way, exactly-once delivery through Poll: drained multiset
+		// equals the processed digest count.
+		if len(drained) != res.Stats.Digests {
+			t.Fatalf("drained %d digests, stats counted %d", len(drained), res.Stats.Digests)
+		}
+	}
+}
+
+// TestSessionBoundedDigestChannel checks drop-after-delivery under channel
+// consumption: the pump's compaction must not drop, duplicate, or reorder
+// deliveries.
+func TestSessionBoundedDigestChannel(t *testing.T) {
+	cfg := deployCfg(t, eqSlots)
+	e, err := New(Config{Deploy: cfg, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Start(context.Background(), WithBoundedDigests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []dataplane.Digest
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for d := range s.Digests() {
+			live = append(live, d)
+		}
+	}()
+	pkts := trace.Interleave(trace.Generate(trace.D3, 60, eqSeed), eqSpacing)
+	if err := s.FeedAll(pkts); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if len(live) != res.Stats.Digests {
+		t.Fatalf("channel delivered %d digests, stats counted %d", len(live), res.Stats.Digests)
+	}
+	// Result may only carry digests that were still undelivered at Close.
+	liveCounts := digestCounts(live)
+	for _, d := range res.Digests {
+		if liveCounts[d] == 0 {
+			t.Fatalf("Result digest %+v never reached the channel", d)
+		}
 	}
 }

@@ -105,12 +105,23 @@ func (k Key) bytes() [13]byte {
 	return b
 }
 
+// ieeeTable backs Hash's explicit CRC32 loop.
+var ieeeTable = crc32.MakeTable(crc32.IEEE)
+
 // Hash returns the CRC32 (IEEE) of the 5-tuple, the same function Tofino
 // exposes for register indexing. SpliDT hashes the 5-tuple on every packet
-// to locate the flow's slot in each register array.
+// to locate the flow's slot in each register array. The checksum is
+// computed with an explicit table loop over the fixed-size tuple rather
+// than crc32.ChecksumIEEE: the library's arch-dispatched entry point makes
+// the 13-byte buffer escape to the heap, and this sits on the per-packet
+// path of every pipeline (equality with ChecksumIEEE is pinned by tests).
 func (k Key) Hash() uint32 {
 	b := k.bytes()
-	return crc32.ChecksumIEEE(b[:])
+	crc := ^uint32(0)
+	for _, x := range b {
+		crc = ieeeTable[byte(crc)^x] ^ (crc >> 8)
+	}
+	return ^crc
 }
 
 // Index maps the flow hash onto a register array of the given size.

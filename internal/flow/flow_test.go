@@ -1,6 +1,8 @@
 package flow
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 	"testing/quick"
 )
@@ -73,6 +75,24 @@ func TestHashDeterministic(t *testing.T) {
 	}
 	if key.Hash() == key.Reverse().Hash() {
 		t.Fatal("directional Hash should (generically) differ across directions")
+	}
+}
+
+func TestHashMatchesChecksumIEEE(t *testing.T) {
+	// Hash's allocation-free table loop must compute exactly the CRC32
+	// (IEEE) of the 13-byte wire tuple — the function Tofino exposes.
+	f := func(a, b uint32, sp, dp uint16, pr uint8) bool {
+		key := k(Addr(a), Addr(b), sp, dp, Proto(pr))
+		var w [13]byte
+		binary.BigEndian.PutUint32(w[0:4], a)
+		binary.BigEndian.PutUint32(w[4:8], b)
+		binary.BigEndian.PutUint16(w[8:10], sp)
+		binary.BigEndian.PutUint16(w[10:12], dp)
+		w[12] = pr
+		return key.Hash() == crc32.ChecksumIEEE(w[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -39,6 +39,12 @@
 //     stream and feeds ActionBlock verdicts straight back into the
 //     session's drop filter, closing the paper's detect→block loop while
 //     the flow's packets are still arriving.
+//   - Flow-table ageing: DeployConfig.IdleTimeout arms an incremental
+//     per-shard sweep driven by packet time that reclaims register slots
+//     of flows that went quiet — including parked early-exit slots whose
+//     tails the dispatcher dropped — and Session.Block evicts the blocked
+//     flow's slot immediately, so long-lived sessions keep ActiveFlows
+//     bounded (evictions are counted in Stats.Evictions).
 //
 // See examples/quickstart for the end-to-end path, cmd/splidt-engine (and
 // its -live mode) for sharded execution, and examples/livecontrol for the
@@ -254,6 +260,11 @@ type EngineResult = engine.Result
 // it; engine.SliceSource adapts in-memory sequences).
 type PacketSource = engine.Source
 
+// ShiftSource offsets a PacketSource's timestamps — replay a trace as a
+// later wave so packet time (and flow-table ageing with it) keeps
+// advancing.
+type ShiftSource = engine.ShiftSource
+
 // NewEngine validates the deployment and builds one pipeline replica per
 // shard.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
@@ -265,8 +276,17 @@ func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
 type EngineSession = engine.Session
 
 // EngineSnapshot is a live view of a running session's merged stats,
-// including dispatch-stage drops and backpressure counts.
+// including dispatch-stage drops, backpressure counts, and flow-table
+// ageing evictions (Stats.Evictions).
 type EngineSnapshot = engine.Snapshot
+
+// SessionOption configures an EngineSession at Engine.Start.
+type SessionOption = engine.SessionOption
+
+// WithBoundedDigests makes a session drop digests once delivered through
+// Digests()/Poll, bounding a long-lived session's memory by its
+// undelivered backlog; Close's Result then carries only that tail.
+func WithBoundedDigests() SessionOption { return engine.WithBoundedDigests() }
 
 // Streaming-session errors.
 var (
