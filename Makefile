@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine examples ci
+.PHONY: all build vet test race bench bench-engine bench-json examples ci
 
 all: build vet test
 
@@ -21,9 +21,20 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 # Engine scaling smoke: pkts/sec at 1/2/4/8 shards, the streaming session
-# Feed path, and the flow-table ageing sweep stripe.
+# Feed path, parallel dispatch at 1/2/4 feeders, and the flow-table ageing
+# sweep stripe.
 bench-engine:
-	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|Sweep' -benchtime 1x .
+	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|ParallelFeed|Sweep' -benchtime 1x .
+
+# Engine benchmark trajectory, recorded: the same suite with enough
+# repetitions for benchstat, written to BENCH_engine.json in the standard
+# Go benchmark text format (what benchstat consumes — compare two commits
+# with `benchstat old.json new.json`). Redirect, don't tee: a failing
+# benchmark must fail the target, not vanish behind the pipe's status.
+bench-json:
+	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|ParallelFeed|Sweep' \
+		-benchtime 2x -count 3 . > BENCH_engine.json
+	@cat BENCH_engine.json
 
 # Build every example (livecontrol included) — they are the API's
 # executable documentation and must never rot.

@@ -361,6 +361,60 @@ func BenchmarkEngineShards2(b *testing.B) { benchmarkEngineShards(b, 2) }
 func BenchmarkEngineShards4(b *testing.B) { benchmarkEngineShards(b, 4) }
 func BenchmarkEngineShards8(b *testing.B) { benchmarkEngineShards(b, 8) }
 
+// benchmarkParallelFeed measures end-to-end pkts/s with M concurrent
+// feeders driving one 4-shard session over a flow-disjoint partition of the
+// workload (trace.Partition) — the dispatch-side scaling the MPSC shard
+// rings and per-feeder staging exist for. Feeder count 1 degenerates to the
+// BenchmarkSessionFeed shape, so the two trajectories compare directly.
+// Note: on a single-CPU runner (GOMAXPROCS=1) all feeder counts report
+// roughly flat pkts/s; the scaling shows on multicore hardware.
+func benchmarkParallelFeed(b *testing.B, feeders int) {
+	cfg, pkts := engineBenchFixture(b)
+	e, err := engine.New(engine.Config{Deploy: cfg, Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts := trace.Partition(pkts, feeders)
+	b.ResetTimer()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		s, err := e.Start(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for _, part := range parts {
+			f, err := s.NewFeeder()
+			if err != nil {
+				b.Fatal(err)
+			}
+			wg.Add(1)
+			go func(part []pkt.Packet) {
+				defer wg.Done()
+				if err := f.FeedAll(part); err != nil {
+					b.Error(err)
+				}
+				f.Close()
+			}(part)
+		}
+		wg.Wait()
+		res, err := s.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Packets != len(pkts) {
+			b.Fatalf("processed %d packets, want %d", res.Stats.Packets, len(pkts))
+		}
+		rate += res.Throughput.PktsPerSec()
+	}
+	b.ReportMetric(rate/float64(b.N), "pkts/s")
+	b.ReportMetric(float64(feeders), "feeders")
+}
+
+func BenchmarkParallelFeed1(b *testing.B) { benchmarkParallelFeed(b, 1) }
+func BenchmarkParallelFeed2(b *testing.B) { benchmarkParallelFeed(b, 2) }
+func BenchmarkParallelFeed4(b *testing.B) { benchmarkParallelFeed(b, 4) }
+
 // BenchmarkSweep measures one flow-table ageing sweep call — the bounded
 // stripe walk a shard worker pays per burst. The array is populated with
 // parked-dead flow state first, so the measured path covers both the scan

@@ -3,7 +3,10 @@
 // reports throughput: packets/sec, digests/sec, recirculation overhead, and
 // the per-shard load split.
 //
-// Batch mode (default) drains the workload through Engine.Run. Live mode
+// Batch mode (default) drains the workload through Engine.Run; -feeders N
+// instead splits it into N flow-disjoint partitions and dispatches them
+// through N concurrent Feeder handles over the engine's MPSC shard rings —
+// the parallel producer side. Live mode
 // (-live) opens a streaming session instead: packets go in through Feed, a
 // controller consumes the digest stream concurrently and pushes ActionBlock
 // verdicts for the classes named by -block back into the dispatch stage, and
@@ -17,6 +20,7 @@
 // Usage:
 //
 //	splidt-engine -dataset 3 -flows 2000 -shards 8 -burst 32
+//	splidt-engine -dataset 3 -flows 2000 -shards 4 -feeders 4
 //	splidt-engine -dataset 3 -flows 2000 -live -block 0,1,2 -waves 2 -idle-timeout 20ms
 package main
 
@@ -27,6 +31,7 @@ import (
 	"log"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"splidt"
@@ -44,6 +49,7 @@ func main() {
 		k          = flag.Int("k", 4, "features per subtree")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		shards     = flag.Int("shards", 0, "pipeline replicas / worker goroutines (0 = GOMAXPROCS)")
+		feeders    = flag.Int("feeders", 1, "concurrent dispatch producers over a flow-disjoint workload partition (batch mode)")
 		burst      = flag.Int("burst", 32, "packets per burst")
 		queue      = flag.Int("queue", 8, "per-shard queue depth in bursts")
 		slots      = flag.Int("slots", 1<<18, "total flow register slots (split across shards)")
@@ -100,17 +106,67 @@ func main() {
 
 	spacing := time.Duration(*spacingUS) * time.Microsecond
 	if *live {
+		if *feeders > 1 {
+			log.Printf("-feeders %d ignored: live mode drives the session through FeedSource (single producer)", *feeders)
+		}
 		runLive(eng, id, *nFlows, *seed, spacing, classes, *block, *waves,
 			time.Duration(*reportMS)*time.Millisecond)
 		return
 	}
 
 	src := splidt.NewStream(id, *nFlows, *seed, spacing)
+	if *feeders > 1 {
+		res := runParallel(eng, src, *feeders)
+		report(id, *nFlows, classes, src.Labels(), res)
+		return
+	}
 	res, err := eng.Run(src)
 	if err != nil {
 		log.Fatal(err)
 	}
 	report(id, *nFlows, classes, src.Labels(), res)
+}
+
+// runParallel drains the stream, splits it into feeders flow-disjoint
+// partitions, and drives one session with a private Feeder per partition —
+// the parallel-dispatch path (engine package: per-feeder staging bursts
+// over MPSC shard rings).
+func runParallel(eng *splidt.Engine, src splidt.PacketSource, feeders int) *splidt.EngineResult {
+	var pkts []splidt.Packet
+	for {
+		p, ok := src.Next()
+		if !ok {
+			break
+		}
+		pkts = append(pkts, p)
+	}
+	parts := splidt.PartitionPackets(pkts, feeders)
+	sess, err := eng.Start(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, part := range parts {
+		f, err := sess.NewFeeder()
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(part []splidt.Packet) {
+			defer wg.Done()
+			if err := f.FeedAll(part); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}(part)
+	}
+	wg.Wait()
+	res, err := sess.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dispatch       %d feeders over flow-disjoint partitions\n", feeders)
+	return res
 }
 
 // runLive drives the streaming path: session + controller feedback loop.

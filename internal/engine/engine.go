@@ -3,14 +3,18 @@
 // the software analogue of a multi-pipe switch ASIC (or an RSS-sharded
 // software dataplane à la ndn-dpdk's forwarder).
 //
-// Architecture: packets enter through a Session (Engine.Start). The feed
-// side assigns each packet to a shard by its precomputed direction-symmetric
-// dispatch hash — so every packet of a flow (and hence all of its register
-// state and its digest) lives on exactly one shard — and accumulates them
-// into fixed-size bursts. Bursts move to shard workers through bounded
-// single-producer single-consumer rings; drained bursts recycle back through
-// a free ring, so the steady-state path allocates nothing. Each worker owns
-// one pipeline replica and processes bursts in arrival order, which
+// Architecture: packets enter through a Session (Engine.Start), via one or
+// more producer handles (Session.NewFeeder; Session.Feed wraps a default
+// one). Each feeder assigns each packet to a shard by its precomputed
+// direction-symmetric dispatch hash — so every packet of a flow (and hence
+// all of its register state and its digest) lives on exactly one shard —
+// and accumulates them into fixed-size bursts in private per-shard staging.
+// Bursts move to shard workers through bounded multi-producer
+// single-consumer rings (CAS-reserved slots, the rte_ring MP shape);
+// drained bursts recycle back through the owning feeder's private SPSC free
+// ring, so the steady-state path allocates nothing and concurrent producers
+// share no lock. Each worker owns one pipeline replica and processes bursts
+// in arrival order, which — with each flow confined to one feeder —
 // preserves per-flow packet order end to end. Digests flow from the workers
 // into an incremental sink stage that merges the per-shard streams while
 // traffic is still moving, so a controller can consume them live
@@ -150,9 +154,7 @@ type shardPub struct {
 
 type shardState struct {
 	pl   *dataplane.Pipeline
-	in   *spscRing // filled bursts: feed side → worker
-	free *spscRing // empty bursts: worker → feed side
-	cur  *burst    // feed side's partially filled burst
+	in   *mpscRing // filled bursts: feeders (many) → worker (one)
 	done atomic.Bool
 
 	pub atomic.Pointer[shardPub]
@@ -171,6 +173,13 @@ type shardState struct {
 	// timestamp it has processed, fed to the pipeline's ageing Sweep after
 	// each burst. Worker-private.
 	sweepNow time.Duration
+
+	// filterEpoch/filterCheck cache the worker's last per-burst view of the
+	// session's drop filter (epoch and non-emptiness), amortising the
+	// per-packet atomic load to one load per burst on unblocked workloads.
+	// Worker-private; reset by Start for each session's fresh filter.
+	filterEpoch uint64
+	filterCheck bool
 
 	// hold, when non-nil, gates the worker before each burst — a test hook
 	// that makes backpressure deterministic. Always nil in production.
@@ -216,11 +225,19 @@ type Engine struct {
 	cfg    Config
 	shards []*shardState
 	active atomic.Bool // a session is running
+
+	// defFree is the engine-owned burst pool every session's default feeder
+	// recycles through, built on first Start. Sessions are exclusive and a
+	// closed session's workers have recycled every burst home, so reuse
+	// across sequential sessions is safe — Run/Start-per-call patterns stay
+	// allocation-free after the first session, as they were before feeders.
+	defFree []*spscRing
 }
 
-// New validates the deployment, builds one pipeline replica per shard
-// (sharing the frozen compiled tables), and preallocates every burst a
-// session will use.
+// New validates the deployment and builds one pipeline replica per shard
+// (sharing the frozen compiled tables). Burst pools are per producer, so
+// they are allocated when a session constructs its feeders (NewFeeder),
+// not here; the steady-state feed path still allocates nothing.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
@@ -241,15 +258,8 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{cfg: cfg, shards: make([]*shardState, cfg.Shards)}
 	for i, pl := range pls {
 		s := &shardState{
-			pl:   pl,
-			in:   newRing(cfg.Queue),
-			free: newRing(cfg.Queue + 2),
-		}
-		// One burst per queue slot, one for the worker to hold, one for the
-		// feed side's partial fill — enough that neither side ever waits on
-		// an allocation.
-		for j := 0; j < cfg.Queue+2; j++ {
-			s.free.push(&burst{pkts: make([]pkt.Packet, 0, cfg.Burst)})
+			pl: pl,
+			in: newMPSCRing(cfg.Queue),
 		}
 		s.pub.Store(&shardPub{})
 		e.shards[i] = s
@@ -308,18 +318,28 @@ func (e *Engine) Run(src Source) (*Result, error) {
 
 // work is one shard's consumer loop: pop a burst, apply queued evictions,
 // run the burst through the replica, advance the ageing sweep by one stripe
-// of packet time, stream digests to the sink, hand the burst back, publish
-// a fresh stats snapshot. Exits when the feed side has signalled done and
-// the queue is drained.
+// of packet time, stream digests to the sink, hand the burst back to its
+// owning feeder's free ring, publish a fresh stats snapshot. Exits when the
+// feed side has signalled done and the queue is drained.
 //
-// filter is re-checked per packet: the dispatch stage already drops blocked
-// flows, but packets queued in the ring before a verdict landed would
-// otherwise slip past it — and after Block evicts the flow's slot, such a
-// straggler would re-activate the slot and leak it again. Because Block
-// installs the filter entry before enqueueing the eviction, any packet
-// processed after the eviction is applied must see the filter and drop, so
-// a blocked flow can never resurrect its register state. The empty-filter
-// fast path is one atomic load, so unblocked workloads pay nothing.
+// filter re-checks close the dispatch race: the feeders already drop
+// blocked flows, but packets queued in the ring before a verdict landed
+// would otherwise slip past — and after Block evicts the flow's slot, such
+// a straggler would re-activate the slot and leak it again. The check is
+// amortised per burst: the worker reloads the filter's epoch once per burst
+// (after applying evictions) and walks packets through the filter only
+// while that view says the filter has entries. The invariant that keeps
+// eviction safe survives the amortisation because evictions are applied
+// only at these same per-burst boundaries: Block installs the filter entry
+// (bumping the epoch) before enqueueing the eviction, so by the time
+// drainEvictions has applied it, the epoch refresh that follows must
+// observe the bump and turn per-packet checks on — every packet processed
+// after an applied eviction still sees the filter, and a blocked flow can
+// never resurrect its register state. A verdict landing mid-burst whose
+// eviction has not yet been applied may let that burst's stragglers through
+// to the pipeline (they are dropped from the next burst on), which only
+// moves a few packets from the dropped count to the processed count —
+// exactly the dispatch race the Block contract already allows.
 func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest,
 	filter *dropFilter, dropped *atomic.Int64) {
 	defer wg.Done()
@@ -356,13 +376,27 @@ func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest,
 			<-s.hold
 		}
 		s.drainEvictions()
-		for i := range b.pkts {
-			if filter.blocked(b.pkts[i].Key) {
-				dropped.Add(1)
-				continue
+		// Refresh the cached filter view once per burst — after the eviction
+		// drain, so an applied eviction's filter entry is always observed.
+		if e := filter.ep.Load(); e != s.filterEpoch {
+			s.filterEpoch = e
+			s.filterCheck = filter.size() > 0
+		}
+		if s.filterCheck {
+			for i := range b.pkts {
+				if filter.blocked(b.pkts[i].Key) {
+					dropped.Add(1)
+					continue
+				}
+				if d := s.pl.Process(b.pkts[i]); d != nil {
+					sink <- *d
+				}
 			}
-			if d := s.pl.Process(b.pkts[i]); d != nil {
-				sink <- *d
+		} else {
+			for i := range b.pkts {
+				if d := s.pl.Process(b.pkts[i]); d != nil {
+					sink <- *d
+				}
 			}
 		}
 		if n := len(b.pkts); n > 0 {
@@ -377,7 +411,7 @@ func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest,
 			s.pl.Sweep(s.sweepNow)
 		}
 		b.pkts = b.pkts[:0]
-		s.free.push(b)
+		b.home.push(b)
 		s.publish()
 	}
 }

@@ -1,0 +1,285 @@
+package engine
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"splidt/internal/pkt"
+)
+
+// ErrFeederClosed reports a Feed on a Feeder after its Close (Session.Feed
+// translates it to ErrSessionClosed for the default feeder, whose lifetime
+// is the session's).
+var ErrFeederClosed = errors.New("engine: feeder closed")
+
+// Feeder is one producer's private handle into a session's dispatch stage.
+// Where Session.Feed serialises every caller on one lock, each Feeder owns
+// its own per-shard staging bursts and its own per-shard free rings, so M
+// feeders dispatch into the shard workers' MPSC input rings with no shared
+// lock anywhere on the hot path — the per-producer staging of a DPDK-style
+// forwarder's input threads.
+//
+// A Feeder is meant to be driven by a single goroutine: its methods
+// serialise on a private mutex, uncontended in that use, so the lock's job
+// is to make Feeder-close and Session.Close interleavings safe. (The one
+// deliberate exception is the session's default feeder, whose lock is what
+// serialises concurrent Session.Feed callers — that contention is the
+// pre-feeder contract, not a fast path.) Packet-disjointness is the caller's
+// contract: per-flow packet order is preserved only when all packets of a
+// flow go through the same Feeder (trace.Partition splits a workload that
+// way); flows split across feeders may reorder, and the digest multiset
+// guarantee then degrades the same way any cross-producer reordering would.
+//
+// Close flushes the feeder's staged bursts to the workers and retires the
+// handle. Session.Close force-closes any feeder still open, so abandoning a
+// Feeder leaks nothing.
+type Feeder struct {
+	s *Session
+
+	mu     sync.Mutex // private to this feeder; see the concurrency note above
+	closed bool       // under mu: no further Feeds accepted
+
+	cur  []*burst    // per-shard staged partial burst
+	free []*spscRing // per-shard private free ring (worker → this feeder)
+
+	// rot rotates the starting shard of each staged-burst flush so one
+	// shard with a persistently full ring cannot starve the others' staged
+	// bursts behind a fixed retry order.
+	rot int
+}
+
+// NewFeeder returns a new producer handle with its own burst pool: Queue+2
+// bursts per shard (enough to fill a shard's input ring single-handedly,
+// plus one in flight at the worker and one staging), recycled through the
+// feeder's private SPSC free rings. Construction is the only allocation a
+// feeder ever performs; the Feed hot path is allocation-free. It fails
+// after the session has closed.
+func (s *Session) NewFeeder() (*Feeder, error) {
+	return s.newFeeder(nil)
+}
+
+// newFeeder registers a feeder over the given burst pool, building a fresh
+// one when free is nil. The seal check runs before the pool is built, so a
+// NewFeeder racing Session.Close never allocates for nothing; holding
+// feederMu across construction keeps check-and-register atomic (shutdown
+// contends on it only once, at seal time).
+func (s *Session) newFeeder(free []*spscRing) (*Feeder, error) {
+	s.feederMu.Lock()
+	defer s.feederMu.Unlock()
+	if s.feedersSealed {
+		return nil, ErrSessionClosed
+	}
+	if free == nil {
+		free = newBurstPool(len(s.e.shards), s.e.cfg)
+	}
+	f := &Feeder{
+		s:    s,
+		cur:  make([]*burst, len(s.e.shards)),
+		free: free,
+	}
+	s.feeders[f] = struct{}{}
+	return f, nil
+}
+
+// newBurstPool builds one free ring per shard, each pre-filled with
+// Queue+2 bursts that recycle home to it.
+func newBurstPool(nShards int, cfg Config) []*spscRing {
+	free := make([]*spscRing, nShards)
+	pool := cfg.Queue + 2
+	for i := range free {
+		r := newRing(pool)
+		for j := 0; j < pool; j++ {
+			r.push(&burst{pkts: make([]pkt.Packet, 0, cfg.Burst), home: r})
+		}
+		free[i] = r
+	}
+	return free
+}
+
+// Feed dispatches packets to the shard workers through this feeder's
+// private staging and returns how many it accepted — the same non-blocking
+// contract as Session.Feed (stop at the first unplaceable packet, return
+// the count with ErrBackpressure, caller retries with pkts[n:]). Packets of
+// blocked flows count as accepted but are dropped before dispatch. The
+// caller keeps ownership of the slice.
+func (f *Feeder) Feed(pkts []pkt.Packet) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrFeederClosed
+	}
+	s := f.s
+	n := len(s.e.shards)
+	burstCap := s.e.cfg.Burst
+	for i := range pkts {
+		p := &pkts[i]
+		if s.filter.blocked(p.Key) {
+			s.dropped.Add(1)
+			s.fed.Add(1)
+			continue
+		}
+		si := p.Shard(n)
+		cur := f.cur[si]
+		if cur != nil && len(cur.pkts) == burstCap {
+			if !s.e.shards[si].in.tryPush(cur) {
+				s.backpressure.Add(1)
+				f.flushStaged()
+				return i, ErrBackpressure
+			}
+			f.cur[si] = nil
+			cur = nil
+		}
+		if cur == nil {
+			b, ok := f.free[si].tryPop()
+			if !ok {
+				s.backpressure.Add(1)
+				f.flushStaged()
+				return i, ErrBackpressure
+			}
+			f.cur[si] = b
+			cur = b
+		}
+		cur.pkts = append(cur.pkts, *p)
+		s.fed.Add(1)
+	}
+	f.flushStaged()
+	return len(pkts), nil
+}
+
+// flushStaged hands partial bursts to the workers, best-effort, so a
+// pausing (or shedding) producer does not strand already-accepted packets
+// until its next Feed. Runs on every Feed exit — backpressure returns
+// included — with the feeder locked; a full ring just leaves that burst
+// staged for the next call or Close. The walk starts at a rotating shard:
+// with a fixed order, a shard whose ring stays full would be retried first
+// on every flush while later shards' staged bursts wait behind it.
+func (f *Feeder) flushStaged() {
+	n := len(f.cur)
+	start := f.rot
+	f.rot++
+	if f.rot >= n {
+		f.rot = 0
+	}
+	for k := 0; k < n; k++ {
+		i := start + k
+		if i >= n {
+			i -= n
+		}
+		if b := f.cur[i]; b != nil && len(b.pkts) > 0 && f.s.e.shards[i].in.tryPush(b) {
+			f.cur[i] = nil
+		}
+	}
+}
+
+// FeedAll feeds the whole slice, yielding through backpressure until every
+// packet is accepted and handed to the workers — unlike bare Feed it does
+// not leave a trailing partial burst staged. Any error other than
+// ErrBackpressure aborts the loop and is returned; a concurrent close takes
+// over delivery of anything still staged, and FeedAll then returns nil for
+// the already-accepted packets exactly as Session.FeedAll always has.
+func (f *Feeder) FeedAll(pkts []pkt.Packet) error {
+	off := 0
+	for off < len(pkts) {
+		n, err := f.Feed(pkts[off:])
+		off += n
+		switch err {
+		case nil:
+		case ErrBackpressure:
+			runtime.Gosched()
+		default:
+			return err
+		}
+	}
+	// Guaranteed trailing flush: Feed's end-of-call flush is best-effort,
+	// so spin until no shard holds a staged non-empty burst.
+	for {
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			return nil
+		}
+		f.flushStaged()
+		staged := false
+		for _, b := range f.cur {
+			if b != nil && len(b.pkts) > 0 {
+				staged = true
+				break
+			}
+		}
+		f.mu.Unlock()
+		if !staged {
+			return nil
+		}
+		runtime.Gosched()
+	}
+}
+
+// FeedSource drains a Source through the feeder in staged chunks, yielding
+// through backpressure.
+func (f *Feeder) FeedSource(src Source) error {
+	chunk := make([]pkt.Packet, 0, runChunk)
+	for {
+		p, ok := src.Next()
+		if ok {
+			chunk = append(chunk, p)
+		}
+		if len(chunk) == cap(chunk) || (!ok && len(chunk) > 0) {
+			if err := f.FeedAll(chunk); err != nil {
+				return err
+			}
+			chunk = chunk[:0]
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// Close flushes the feeder's staged bursts to the workers and retires the
+// handle: subsequent Feeds fail with ErrFeederClosed. The flush may wait on
+// busy workers but cannot wedge — the session's shutdown acquires this
+// feeder's lock before it stops the workers, so they are live for as long
+// as Close needs them. Close is idempotent and safe concurrently with
+// Session.Close (whichever wins flushes; the other no-ops).
+func (f *Feeder) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	for i, b := range f.cur {
+		if b != nil {
+			f.s.e.shards[i].in.push(b)
+			f.cur[i] = nil
+		}
+	}
+	f.mu.Unlock()
+	f.s.feederMu.Lock()
+	delete(f.s.feeders, f)
+	f.s.feederMu.Unlock()
+}
+
+// closeForShutdown is Session shutdown's arm of Close: it seals the feeder
+// and either flushes (graceful Close) or discards (context abort) whatever
+// is staged. Caller must not hold the feeder's lock. The burst still
+// travels through the in ring even when discarded: the shard worker is the
+// home ring's only producer, and it recycles this burst like any other.
+func (f *Feeder) closeForShutdown(flush bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for i, b := range f.cur {
+		if b != nil {
+			if !flush {
+				b.pkts = b.pkts[:0]
+			}
+			f.s.e.shards[i].in.push(b) // a zero-length burst just recycles
+			f.cur[i] = nil
+		}
+	}
+}

@@ -7,12 +7,16 @@ import (
 	"splidt/internal/pkt"
 )
 
-// burst is a fixed-capacity packet batch — the unit that moves between the
-// dispatcher and a shard worker. Bursts are allocated once per shard at
-// engine construction and recycled through the shard's free ring, so the
-// steady-state hot path performs no allocation.
+// burst is a fixed-capacity packet batch — the unit that moves between a
+// feeder and a shard worker. Bursts are allocated once per (feeder, shard)
+// pair at feeder construction and recycled through that pair's private free
+// ring (home), so the steady-state hot path performs no allocation.
 type burst struct {
 	pkts []pkt.Packet // len == n valid packets, cap == engine burst size
+	// home is the free ring this burst recycles through: the SPSC ring of
+	// the (feeder, shard) pair that owns it. The shard's worker is its only
+	// producer and the owning feeder its only consumer.
+	home *spscRing
 }
 
 // spscRing is a bounded single-producer single-consumer ring of bursts.
@@ -68,6 +72,104 @@ func (r *spscRing) tryPop() (*burst, bool) {
 // push spins until b fits. Backpressure: a full ring means the worker is
 // behind, so the producer yields its timeslice rather than busy-burning.
 func (r *spscRing) push(b *burst) {
+	for !r.tryPush(b) {
+		runtime.Gosched()
+	}
+}
+
+// mpscSlot is one cell of an mpscRing: the burst plus the slot's sequence
+// number, which encodes whose turn the cell is on (producer lap vs consumer
+// lap) without any shared lock.
+type mpscSlot struct {
+	seq atomic.Uint64
+	b   *burst
+}
+
+// mpscRing is a bounded multi-producer single-consumer ring of bursts — the
+// shard input queue once multiple feeders dispatch concurrently. Producers
+// reserve a slot by CAS on tail (the rte_ring MP reservation, cf.
+// ndn-dpdk's input-thread → forwarder rings), then publish the burst by
+// advancing the slot's sequence number; the consumer side is unchanged from
+// the SPSC shape: it spins nowhere, owns head outright, and observes each
+// slot's sequence to know when its burst is published. This is the classic
+// Vyukov bounded-queue discipline restricted to one consumer.
+//
+// Per-producer FIFO holds: a producer's successive pushes reserve strictly
+// increasing slot indices, and the consumer pops in slot order — so bursts
+// from one feeder never reorder, which is what keeps per-flow packet order
+// intact when each flow is confined to one feeder.
+type mpscRing struct {
+	slots []mpscSlot
+	mask  uint64
+
+	// tail is shared by all producers (CAS); head is consumer-private.
+	// Separate cache lines so producers and the consumer do not false-share.
+	_    [64]byte
+	tail atomic.Uint64 // next slot index to reserve (producers, CAS)
+	_    [64]byte
+	head uint64 // next slot index to pop (consumer-owned, no atomics needed)
+	_    [64]byte
+}
+
+// newMPSCRing builds a ring with capacity rounded up to a power of two
+// (≥ 2). Slot i starts at sequence i, meaning "free for the producer whose
+// reservation lands on index i".
+func newMPSCRing(capacity int) *mpscRing {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &mpscRing{slots: make([]mpscSlot, n), mask: uint64(n - 1)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// tryPush enqueues b, reporting false when the ring is full. Safe from any
+// number of concurrent producers.
+func (r *mpscRing) tryPush(b *burst) bool {
+	for {
+		tail := r.tail.Load()
+		s := &r.slots[tail&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == tail:
+			// Slot free this lap: reserve it. A CAS loss means another
+			// producer took the index — retry at the new tail.
+			if r.tail.CompareAndSwap(tail, tail+1) {
+				s.b = b
+				s.seq.Store(tail + 1) // publish: consumer may now take it
+				return true
+			}
+		case seq < tail:
+			// Slot still holds last lap's unconsumed burst: ring is full.
+			return false
+		default:
+			// tail moved between the two loads; retry with a fresh view.
+		}
+	}
+}
+
+// tryPop dequeues the oldest published burst, reporting false when none is
+// ready. Single consumer only. A slot whose producer has reserved but not
+// yet published reads as not-ready, preserving slot order.
+func (r *mpscRing) tryPop() (*burst, bool) {
+	s := &r.slots[r.head&r.mask]
+	if s.seq.Load() != r.head+1 {
+		return nil, false
+	}
+	b := s.b
+	s.b = nil
+	// Release the slot for the producer one lap ahead.
+	s.seq.Store(r.head + uint64(len(r.slots)))
+	r.head++
+	return b, true
+}
+
+// push spins until b fits, yielding the timeslice while the consumer is
+// behind.
+func (r *mpscRing) push(b *burst) {
 	for !r.tryPush(b) {
 		runtime.Gosched()
 	}

@@ -3,7 +3,6 @@ package engine
 import (
 	"context"
 	"errors"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,18 +60,31 @@ type Snapshot struct {
 // Result.
 //
 // Concurrency: Feed may be called from multiple goroutines (calls
-// serialise), and every other method is safe concurrently with Feed and
-// with each other. Digests and Poll are alternative drain modes — the first
-// Digests call switches the session to channel delivery; consume through
-// one of them, not both at once, or interleaving order across flows is
-// unspecified (each digest is still delivered exactly once, and
+// serialise on the session's default Feeder), and every other method is
+// safe concurrently with Feed and with each other. Producers that want
+// dispatch parallelism instead of serialisation take a private handle each
+// via NewFeeder — M feeders push into the shard workers' multi-producer
+// rings with no shared lock on the hot path (Feed/FeedAll/FeedSource are
+// thin wrappers over the default feeder, so one feeder behaves exactly as
+// the session always has). Digests and Poll are alternative drain modes —
+// the first Digests call switches the session to channel delivery; consume
+// through one of them, not both at once, or interleaving order across flows
+// is unspecified (each digest is still delivered exactly once, and
 // Close's Result always carries the complete ordered stream).
 type Session struct {
 	e     *Engine
 	start time.Time
 
-	feedMu sync.Mutex // serialises the producer side (Feed, shutdown flush)
-	closed bool       // under feedMu: no further Feeds accepted
+	lifeMu sync.Mutex // guards closed (session lifecycle, not the feed path)
+	closed bool       // under lifeMu: session shut down, Evict is a no-op
+
+	// Feeder registry: shutdown seals it, then force-closes every feeder
+	// still open so staged bursts are delivered (or discarded, on abort)
+	// exactly once.
+	feederMu      sync.Mutex
+	feeders       map[*Feeder]struct{}
+	feedersSealed bool
+	def           *Feeder // backs Session.Feed/FeedAll/FeedSource
 
 	fed          atomic.Int64
 	dropped      atomic.Int64
@@ -134,6 +146,7 @@ func (e *Engine) Start(ctx context.Context, opts ...SessionOption) (*Session, er
 	s := &Session{
 		e:         e,
 		start:     time.Now(),
+		feeders:   make(map[*Feeder]struct{}),
 		sinkCh:    make(chan dataplane.Digest, e.cfg.DigestBuffer),
 		out:       make(chan dataplane.Digest, e.cfg.DigestBuffer),
 		sinkDone:  make(chan struct{}),
@@ -153,7 +166,19 @@ func (e *Engine) Start(ctx context.Context, opts ...SessionOption) (*Session, er
 		sh.evictQ = sh.evictQ[:0]
 		sh.evictN.Store(0)
 		sh.evictMu.Unlock()
+		// This session's drop filter starts empty at epoch zero; reset the
+		// worker's cached per-burst view to match.
+		sh.filterEpoch = 0
+		sh.filterCheck = false
 		sh.pub.Store(&shardPub{stats: s.prev[i], active: sh.pl.ActiveFlows()})
+	}
+	if e.defFree == nil {
+		e.defFree = newBurstPool(len(e.shards), e.cfg)
+	}
+	var err error
+	if s.def, err = s.newFeeder(e.defFree); err != nil {
+		e.active.Store(false)
+		return nil, err
 	}
 	s.wg.Add(len(e.shards))
 	for _, sh := range e.shards {
@@ -170,65 +195,23 @@ func (e *Engine) Start(ctx context.Context, opts ...SessionOption) (*Session, er
 	return s, nil
 }
 
-// Feed dispatches packets to the shard workers and returns how many it
-// accepted. It never blocks: when a shard's queue is full (the workers are
-// behind) it stops at the first unplaceable packet and returns the count
-// consumed so far with ErrBackpressure — retry with pkts[n:]. Accepted
-// packets are fully handed off (partial bursts are flushed best-effort at
-// the end of each call and unconditionally at Close), and the caller keeps
-// ownership of the slice. Packets of blocked flows count as accepted but
-// are dropped before dispatch.
+// Feed dispatches packets to the shard workers through the session's
+// default Feeder and returns how many it accepted. It never blocks: when a
+// shard's queue is full (the workers are behind) it stops at the first
+// unplaceable packet and returns the count consumed so far with
+// ErrBackpressure — retry with pkts[n:]. Accepted packets are fully handed
+// off (partial bursts are flushed best-effort at the end of each call and
+// unconditionally at Close), and the caller keeps ownership of the slice.
+// Packets of blocked flows count as accepted but are dropped before
+// dispatch. Concurrent callers serialise; producers that want real
+// dispatch parallelism take a private Feeder each (NewFeeder).
 func (s *Session) Feed(pkts []pkt.Packet) (int, error) {
-	s.feedMu.Lock()
-	defer s.feedMu.Unlock()
-	if s.closed {
-		return 0, ErrSessionClosed
+	n, err := s.def.Feed(pkts)
+	if err == ErrFeederClosed {
+		// The default feeder closes only when the session does.
+		err = ErrSessionClosed
 	}
-	n := len(s.e.shards)
-	burstCap := s.e.cfg.Burst
-	for i := range pkts {
-		p := &pkts[i]
-		if s.filter.blocked(p.Key) {
-			s.dropped.Add(1)
-			s.fed.Add(1)
-			continue
-		}
-		sh := s.e.shards[p.Shard(n)]
-		if sh.cur != nil && len(sh.cur.pkts) == burstCap {
-			if !sh.in.tryPush(sh.cur) {
-				s.backpressure.Add(1)
-				s.flushStagedLocked()
-				return i, ErrBackpressure
-			}
-			sh.cur = nil
-		}
-		if sh.cur == nil {
-			b, ok := sh.free.tryPop()
-			if !ok {
-				s.backpressure.Add(1)
-				s.flushStagedLocked()
-				return i, ErrBackpressure
-			}
-			sh.cur = b
-		}
-		sh.cur.pkts = append(sh.cur.pkts, *p)
-		s.fed.Add(1)
-	}
-	s.flushStagedLocked()
-	return len(pkts), nil
-}
-
-// flushStagedLocked hands partial bursts to the workers, best-effort, so a
-// pausing (or shedding) producer does not strand already-accepted packets
-// until the next Feed. Runs on every Feed exit — backpressure returns
-// included — with feedMu held; a full ring just leaves that burst staged
-// for the next call or Close.
-func (s *Session) flushStagedLocked() {
-	for _, sh := range s.e.shards {
-		if sh.cur != nil && len(sh.cur.pkts) > 0 && sh.in.tryPush(sh.cur) {
-			sh.cur = nil
-		}
-	}
+	return n, err
 }
 
 // FeedAll feeds the whole slice, yielding through backpressure until every
@@ -238,63 +221,22 @@ func (s *Session) flushStagedLocked() {
 // other than ErrBackpressure aborts the loop and is returned. Callers that
 // would rather shed load than wait use Feed directly.
 func (s *Session) FeedAll(pkts []pkt.Packet) error {
-	off := 0
-	for off < len(pkts) {
-		n, err := s.Feed(pkts[off:])
-		off += n
-		switch err {
-		case nil:
-		case ErrBackpressure:
-			runtime.Gosched()
-		default:
-			return err
-		}
+	err := s.def.FeedAll(pkts)
+	if err == ErrFeederClosed {
+		err = ErrSessionClosed
 	}
-	// Guaranteed trailing flush: Feed's end-of-call flush is best-effort,
-	// so spin until no shard holds a staged non-empty burst. A concurrent
-	// Close takes over delivery of anything still staged.
-	for {
-		s.feedMu.Lock()
-		if s.closed {
-			s.feedMu.Unlock()
-			return nil
-		}
-		s.flushStagedLocked()
-		staged := false
-		for _, sh := range s.e.shards {
-			if sh.cur != nil && len(sh.cur.pkts) > 0 {
-				staged = true
-				break
-			}
-		}
-		s.feedMu.Unlock()
-		if !staged {
-			return nil
-		}
-		runtime.Gosched()
-	}
+	return err
 }
 
 // FeedSource drains a Source through the session in staged chunks,
 // yielding through backpressure — the one home for the pull-stage-FeedAll
 // loop Run, the CLI, and the examples all need.
 func (s *Session) FeedSource(src Source) error {
-	chunk := make([]pkt.Packet, 0, runChunk)
-	for {
-		p, ok := src.Next()
-		if ok {
-			chunk = append(chunk, p)
-		}
-		if len(chunk) == cap(chunk) || (!ok && len(chunk) > 0) {
-			if err := s.FeedAll(chunk); err != nil {
-				return err
-			}
-			chunk = chunk[:0]
-		}
-		if !ok {
-			return nil
-		}
+	err := s.def.FeedSource(src)
+	if err == ErrFeederClosed {
+		err = ErrSessionClosed
 	}
+	return err
 }
 
 // Digests returns the live merged digest stream. The first call switches
@@ -397,8 +339,8 @@ func (s *Session) Block(k flow.Key) {
 // the next session by then, and a stale verdict must not reclaim a live
 // flow's slot there.
 func (s *Session) Evict(k flow.Key) {
-	s.feedMu.Lock()
-	defer s.feedMu.Unlock()
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
 	if s.closed {
 		return
 	}
@@ -429,27 +371,30 @@ func (s *Session) Close() (*Result, error) {
 // cancellation).
 func (s *Session) shutdown(flush bool, cause error) {
 	s.closeOnce.Do(func() {
-		s.feedMu.Lock()
+		s.lifeMu.Lock()
 		s.closed = true
-		for _, sh := range s.e.shards {
-			if sh.cur != nil {
-				// On abort the staged packets are discarded, but the burst
-				// still travels through the in ring: the worker is the free
-				// ring's only producer, and it recycles this burst like any
-				// other.
-				if !flush {
-					sh.cur.pkts = sh.cur.pkts[:0]
-				}
-				sh.in.push(sh.cur) // a zero-length burst just recycles
-				sh.cur = nil
-			}
+		s.lifeMu.Unlock()
+
+		// Seal the registry (no new feeders), then force-close every feeder
+		// still open: each seal acquires that feeder's private lock, so no
+		// push can be in flight once the loop completes, and every staged
+		// burst has been delivered (flush) or discarded (abort). Feeders
+		// closing themselves concurrently just win the race and no-op here.
+		s.feederMu.Lock()
+		s.feedersSealed = true
+		open := make([]*Feeder, 0, len(s.feeders))
+		for f := range s.feeders {
+			open = append(open, f)
+		}
+		s.feederMu.Unlock()
+		for _, f := range open {
+			f.closeForShutdown(flush)
 		}
 		// done is set after the final push, so a worker that observes it
 		// and then finds its ring empty has seen everything.
 		for _, sh := range s.e.shards {
 			sh.done.Store(true)
 		}
-		s.feedMu.Unlock()
 
 		s.wg.Wait()
 		close(s.sinkCh)
@@ -541,9 +486,13 @@ const pumpCompactThreshold = 256
 
 // dropFilter is the dispatch-stage blocklist: a direction-symmetric flow
 // set with an atomic emptiness fast path, so an unblocked workload pays one
-// atomic load per packet and nothing else.
+// atomic load per packet and nothing else. ep advances on every change to
+// the set, letting shard workers amortise even that load to once per burst:
+// a worker caches (epoch, non-empty) and re-checks packets individually
+// only while its cached view says the filter has entries — see work.
 type dropFilter struct {
 	n   atomic.Int64
+	ep  atomic.Uint64
 	mu  sync.RWMutex
 	set map[flow.Key]struct{}
 }
@@ -557,6 +506,7 @@ func (f *dropFilter) block(k flow.Key) {
 	if _, ok := f.set[c]; !ok {
 		f.set[c] = struct{}{}
 		f.n.Add(1)
+		f.ep.Add(1)
 	}
 	f.mu.Unlock()
 }
@@ -567,6 +517,7 @@ func (f *dropFilter) unblock(k flow.Key) {
 	if _, ok := f.set[c]; ok {
 		delete(f.set, c)
 		f.n.Add(-1)
+		f.ep.Add(1)
 	}
 	f.mu.Unlock()
 }

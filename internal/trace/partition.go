@@ -1,0 +1,53 @@
+package trace
+
+import "splidt/internal/pkt"
+
+// Partition splits an interleaved packet sequence into m packet-disjoint
+// subsequences by flow hash: every packet of a flow (both directions) lands
+// in the same partition, and packets keep their relative order within each
+// partition. This is the producer-side analogue of the engine's shard
+// dispatch — it is what lets M concurrent feeders (engine.Session.NewFeeder)
+// drive one session in parallel while preserving per-flow packet order, the
+// precondition for the engine's digest-multiset equivalence.
+//
+// The partition index is taken from the upper bits of the flow's dispatch
+// hash while shard selection reduces the full hash modulo the shard count,
+// so partition choice stays statistically independent of shard choice: each
+// feeder's traffic spreads across all shards instead of pinning feeder i to
+// shard i whenever m equals the shard count.
+//
+// Partition copies packets into fresh slices; the input is not retained. m
+// must be positive.
+func Partition(pkts []pkt.Packet, m int) [][]pkt.Packet {
+	if m <= 0 {
+		panic("trace: non-positive partition count")
+	}
+	parts := make([][]pkt.Packet, m)
+	if m == 1 {
+		parts[0] = append([]pkt.Packet(nil), pkts...)
+		return parts
+	}
+	counts := make([]int, m)
+	for i := range pkts {
+		counts[partitionOf(&pkts[i], m)]++
+	}
+	for i, c := range counts {
+		parts[i] = make([]pkt.Packet, 0, c)
+	}
+	for i := range pkts {
+		j := partitionOf(&pkts[i], m)
+		parts[j] = append(parts[j], pkts[i])
+	}
+	return parts
+}
+
+// partitionOf maps a packet to its partition by the high half of the flow's
+// direction-symmetric dispatch hash, falling back to recomputing the hash
+// for hand-built packets that never had it stamped (mirroring pkt.Shard).
+func partitionOf(p *pkt.Packet, m int) int {
+	h := p.ShardHash
+	if h == 0 {
+		h = p.Key.ShardHash()
+	}
+	return int((h >> 32) % uint64(m))
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"splidt/internal/flow"
+	"splidt/internal/pkt"
+)
+
+// TestPartitionFlowDisjointOrderPreserving pins the properties multi-feeder
+// dispatch depends on: partitions cover the input exactly (no packet lost,
+// duplicated, or mutated), every flow — both directions — lives entirely in
+// one partition, and each partition preserves the input's relative order.
+func TestPartitionFlowDisjointOrderPreserving(t *testing.T) {
+	pkts := Interleave(Generate(D3, 120, 5), time.Millisecond)
+	for _, m := range []int{1, 2, 3, 4, 8} {
+		parts := Partition(pkts, m)
+		if len(parts) != m {
+			t.Fatalf("m=%d: %d partitions", m, len(parts))
+		}
+		total := 0
+		owner := make(map[flow.Key]int)
+		for j, part := range parts {
+			total += len(part)
+			// Relative order within a partition must match the input's: the
+			// part must be a subsequence of pkts.
+			pos := 0
+			for _, p := range part {
+				for pos < len(pkts) && pkts[pos] != p {
+					pos++
+				}
+				if pos == len(pkts) {
+					t.Fatalf("m=%d part %d: not an order-preserving subsequence", m, j)
+				}
+				pos++
+				c := p.Key.Canonical()
+				if prev, ok := owner[c]; ok && prev != j {
+					t.Fatalf("m=%d: flow %v split across partitions %d and %d", m, c, prev, j)
+				}
+				owner[c] = j
+			}
+		}
+		if total != len(pkts) {
+			t.Fatalf("m=%d: partitions carry %d packets, input has %d", m, total, len(pkts))
+		}
+		if m > 1 && len(parts[0]) == len(pkts) {
+			t.Fatalf("m=%d: everything landed in one partition", m)
+		}
+	}
+}
+
+// TestPartitionHandBuiltPackets covers the ShardHash==0 fallback: packets
+// without a precomputed dispatch hash must partition consistently with
+// stamped ones.
+func TestPartitionHandBuiltPackets(t *testing.T) {
+	k := flow.Key{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 1234, DstPort: 80, Proto: 6}
+	stamped := pkt.Packet{Key: k, ShardHash: k.ShardHash()}
+	bare := pkt.Packet{Key: k}
+	for _, m := range []int{2, 3, 7} {
+		parts := Partition([]pkt.Packet{stamped, bare}, m)
+		found := -1
+		for j, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			if len(part) != 2 {
+				t.Fatalf("m=%d: stamped and bare packets of one flow split up", m)
+			}
+			found = j
+		}
+		if found < 0 {
+			t.Fatalf("m=%d: packets vanished", m)
+		}
+	}
+}
+
+// TestPartitionPanicsOnBadCount pins the contract for a non-positive m.
+func TestPartitionPanicsOnBadCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Partition(pkts, 0) did not panic")
+		}
+	}()
+	Partition(nil, 0)
+}

@@ -288,6 +288,18 @@ type SessionOption = engine.SessionOption
 // undelivered backlog; Close's Result then carries only that tail.
 func WithBoundedDigests() SessionOption { return engine.WithBoundedDigests() }
 
+// EngineFeeder is one producer's private handle into a session's dispatch
+// stage (Session.NewFeeder): M feeders over a flow-disjoint workload
+// partition (PartitionPackets) dispatch into the shard workers concurrently
+// with no shared lock on the hot path. Session.Feed wraps a default one.
+type EngineFeeder = engine.Feeder
+
+// PartitionPackets splits a packet sequence into m flow-disjoint,
+// order-preserving subsequences by flow hash — one per concurrent feeder.
+// Keeping each flow on one feeder is what preserves per-flow packet order,
+// and with it the engine's digest-multiset equivalence.
+func PartitionPackets(pkts []Packet, m int) [][]Packet { return trace.Partition(pkts, m) }
+
 // Streaming-session errors.
 var (
 	// ErrBackpressure reports a full shard queue on Feed: retry with the
@@ -297,6 +309,8 @@ var (
 	ErrSessionClosed = engine.ErrSessionClosed
 	// ErrSessionActive reports a second Start on a busy engine.
 	ErrSessionActive = engine.ErrSessionActive
+	// ErrFeederClosed reports a Feed on a closed EngineFeeder.
+	ErrFeederClosed = engine.ErrFeederClosed
 )
 
 // FlowKey is a 5-tuple flow identity (Session.Block takes one; Digest
