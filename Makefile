@@ -21,19 +21,25 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 # Engine scaling smoke: pkts/sec at 1/2/4/8 shards, the streaming session
-# Feed path, parallel dispatch at 1/2/4 feeders, and the flow-table ageing
-# sweep stripe.
+# Feed path, parallel dispatch at 1/2/4 feeders, the flow-table ageing
+# sweep stripe, the high-load-factor direct-vs-cuckoo trajectory, and the
+# flow-table store micro-benchmarks (lookup/insert per scheme).
 bench-engine:
-	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|ParallelFeed|Sweep' -benchtime 1x .
+	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|ParallelFeed|Sweep|EngineHighLoad' -benchtime 1x .
+	$(GO) test -run xxx -bench FlowTable -benchtime 1000x ./internal/flowtable
 
 # Engine benchmark trajectory, recorded: the same suite with enough
 # repetitions for benchstat, written to BENCH_engine.json in the standard
 # Go benchmark text format (what benchstat consumes — compare two commits
 # with `benchstat old.json new.json`). Redirect, don't tee: a failing
-# benchmark must fail the target, not vanish behind the pipe's status.
+# benchmark must fail the target, not vanish behind the pipe's status. The
+# flow-table micro-benchmarks append with an iteration-count benchtime of
+# their own (2 iterations would be noise at nanosecond scale).
 bench-json:
-	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|ParallelFeed|Sweep' \
+	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|ParallelFeed|Sweep|EngineHighLoad' \
 		-benchtime 2x -count 3 . > BENCH_engine.json
+	$(GO) test -run xxx -bench FlowTable -benchtime 50000x -count 3 \
+		./internal/flowtable >> BENCH_engine.json
 	@cat BENCH_engine.json
 
 # Build every example (livecontrol included) — they are the API's

@@ -415,6 +415,40 @@ func BenchmarkParallelFeed1(b *testing.B) { benchmarkParallelFeed(b, 1) }
 func BenchmarkParallelFeed2(b *testing.B) { benchmarkParallelFeed(b, 2) }
 func BenchmarkParallelFeed4(b *testing.B) { benchmarkParallelFeed(b, 4) }
 
+// benchmarkEngineHighLoad measures end-to-end engine throughput with the
+// flow table under real pressure: the register budget is cut to 4Ki slots
+// for the 3000-flow workload, a load factor where the direct scheme couples
+// flows (collisions reported as a metric) and the cuckoo scheme pays for
+// displacement and verification. Comparing the two trajectories prices the
+// exactness the associative scheme buys.
+func benchmarkEngineHighLoad(b *testing.B, scheme dataplane.TableScheme) {
+	cfg, pkts := engineBenchFixture(b)
+	cfg.FlowSlots = 1 << 12
+	cfg.Table = scheme
+	e, err := engine.New(engine.Config{Deploy: cfg, Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rate, collisions float64
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(&engine.SliceSource{Pkts: pkts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Packets != len(pkts) {
+			b.Fatalf("processed %d packets, want %d", res.Stats.Packets, len(pkts))
+		}
+		rate += res.Throughput.PktsPerSec()
+		collisions += float64(res.Stats.Collisions)
+	}
+	b.ReportMetric(rate/float64(b.N), "pkts/s")
+	b.ReportMetric(collisions/float64(b.N), "collisions/op")
+}
+
+func BenchmarkEngineHighLoadDirect(b *testing.B) { benchmarkEngineHighLoad(b, dataplane.TableDirect) }
+func BenchmarkEngineHighLoadCuckoo(b *testing.B) { benchmarkEngineHighLoad(b, dataplane.TableCuckoo) }
+
 // BenchmarkSweep measures one flow-table ageing sweep call — the bounded
 // stripe walk a shard worker pays per burst. The array is populated with
 // parked-dead flow state first, so the measured path covers both the scan

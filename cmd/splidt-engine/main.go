@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -53,6 +54,9 @@ func main() {
 		burst      = flag.Int("burst", 32, "packets per burst")
 		queue      = flag.Int("queue", 8, "per-shard queue depth in bursts")
 		slots      = flag.Int("slots", 1<<18, "total flow register slots (split across shards)")
+		table      = flag.String("table", "direct", "flow-table scheme: direct (hash-indexed slots, collisions couple flows), cuckoo (d-way associative + stash, verified exact), or oracle (unbounded map, testing only)")
+		ways       = flag.Int("ways", splidt.DefaultTableWays, "cuckoo bucket associativity (-table cuckoo)")
+		stash      = flag.Int("stash", splidt.DefaultTableStash, "cuckoo overflow stash entries (-table cuckoo; 0 = library default, negative = no stash)")
 		idleTO     = flag.Duration("idle-timeout", 0, "flow-table ageing idle timeout in packet time (0 = off)")
 		stripe     = flag.Int("sweep-stripe", 0, "register slots examined per ageing sweep (0 = default)")
 		spacingUS  = flag.Int("spacing-us", 200, "flow start spacing (µs)")
@@ -62,6 +66,27 @@ func main() {
 		reportMS   = flag.Int("report-ms", 200, "live snapshot interval (ms)")
 	)
 	flag.Parse()
+
+	// Validate flags up front with usage errors, instead of letting a bad
+	// value panic (or silently self-correct) deep inside engine deployment.
+	scheme, err := splidt.ParseTableScheme(*table)
+	if err != nil {
+		usageError("-table: %v", err)
+	}
+	if *shards < 0 {
+		usageError("-shards must be >= 1 (or 0 for GOMAXPROCS), got %d", *shards)
+	}
+	for name, v := range map[string]int{
+		"-feeders": *feeders, "-ways": *ways,
+		"-burst": *burst, "-queue": *queue, "-slots": *slots, "-flows": *nFlows,
+		"-train-flows": *trainFlows, "-waves": *waves,
+	} {
+		if v < 1 {
+			usageError("%s must be >= 1, got %d", name, v)
+		}
+	}
+	// -stash deliberately escapes the >= 1 rule: the library contract makes
+	// 0 the default-selecting value and negative the stash-less deployment.
 
 	parts := parseInts(*partitions, "partition depth", 1)
 	id := splidt.Dataset(*dataset)
@@ -89,6 +114,7 @@ func main() {
 		Deploy: splidt.DeployConfig{
 			Profile: splidt.Tofino1(), Model: m, Compiled: c,
 			FlowSlots: *slots, Workload: splidt.Webserver,
+			Table: scheme, Ways: *ways, Stash: *stash,
 			IdleTimeout: *idleTO, SweepStripe: *stripe,
 		},
 		Shards: *shards, Burst: *burst, Queue: *queue,
@@ -100,6 +126,12 @@ func main() {
 	fmt.Printf("model          %v\n", m)
 	fmt.Printf("engine         %d shards × burst %d × queue %d (%d total slots)\n",
 		eng.Shards(), *burst, *queue, *slots)
+	if scheme == splidt.TableCuckoo {
+		fmt.Printf("flow table     cuckoo: %d-way buckets + %d-entry stash per shard, verified keys\n",
+			*ways, splidt.TableStashLines(*stash))
+	} else {
+		fmt.Printf("flow table     %s\n", scheme)
+	}
 	if *idleTO > 0 {
 		fmt.Printf("ageing         idle-timeout %v, per-shard sweeps driven by packet time\n", *idleTO)
 	}
@@ -194,10 +226,10 @@ func runLive(eng *splidt.Engine, id splidt.Dataset, nFlows int, seed int64,
 			select {
 			case <-tick.C:
 				snap := sess.Snapshot()
-				fmt.Printf("live           fed=%d processed=%d digests=%d blocked-flows=%d dropped=%d active=%d evicted=%d backpressure=%d\n",
+				fmt.Printf("live           fed=%d processed=%d digests=%d blocked-flows=%d dropped=%d active=%d evicted=%d collisions=%d backpressure=%d\n",
 					snap.Fed, snap.Stats.Packets, snap.Stats.Digests,
 					snap.BlockedFlows, snap.Dropped, snap.ActiveFlows,
-					snap.Stats.Evictions, snap.Backpressure)
+					snap.Stats.Evictions, snap.Stats.Collisions, snap.Backpressure)
 			case <-stop:
 				return
 			}
@@ -223,8 +255,9 @@ func runLive(eng *splidt.Engine, id splidt.Dataset, nFlows int, seed int64,
 		// up. Quiesce first — FeedSource only hands packets to the rings,
 		// and a mid-drain sample would show arbitrary peak occupancy.
 		snap := waitSettled(sess)
-		fmt.Printf("wave %-2d        active-flows=%d evicted=%d blocked-flows=%d\n",
-			w+1, snap.ActiveFlows, snap.Stats.Evictions, snap.BlockedFlows)
+		fmt.Printf("wave %-2d        active-flows=%d evicted=%d blocked-flows=%d collisions=%d\n",
+			w+1, snap.ActiveFlows, snap.Stats.Evictions, snap.BlockedFlows,
+			snap.Stats.Collisions)
 	}
 	res, err := sess.Close()
 	if err != nil {
@@ -238,8 +271,8 @@ func runLive(eng *splidt.Engine, id splidt.Dataset, nFlows int, seed int64,
 	fmt.Printf("controller     %d digests, %d block verdicts, %d flows blocked, mean TTD %v\n",
 		ctrl.Digests(), blockedDigests, final.BlockedFlows, ctrl.MeanTTD())
 	fmt.Printf("dispatch       %d packets of blocked flows dropped before pipeline work\n", res.Dropped)
-	fmt.Printf("flow table     %d slots still active, %d evicted by ageing/block\n",
-		final.ActiveFlows, res.Stats.Evictions)
+	fmt.Printf("flow table     %d slots still active, %d evicted by ageing/block, %d collision packets\n",
+		final.ActiveFlows, res.Stats.Evictions, final.Stats.Collisions)
 }
 
 func report(id splidt.Dataset, nFlows, classes int, labels map[splidt.FlowKey]int, res *splidt.EngineResult) {
@@ -286,6 +319,14 @@ func waitSettled(sess *splidt.EngineSession) splidt.EngineSnapshot {
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// usageError reports a bad flag value the way flag parsing itself would: a
+// message plus the usage text, exit 2.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(flag.CommandLine.Output(), "splidt-engine: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func parseInts(s, what string, min int) []int {

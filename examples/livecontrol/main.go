@@ -97,8 +97,8 @@ func main() {
 	snap := sess.Snapshot()
 	fmt.Printf("  processed %d packets, %d digests, %d flows blocked, %d packets of blocked flows dropped mid-run\n",
 		snap.Stats.Packets, snap.Stats.Digests, snap.BlockedFlows, snap.Dropped)
-	fmt.Printf("  flow table after wave 1: %d slots active, %d evicted (blocked early-exits reclaimed, not leaked)\n",
-		snap.ActiveFlows, snap.Stats.Evictions)
+	fmt.Printf("  flow table after wave 1: %d slots active, %d evicted (blocked early-exits reclaimed, not leaked), %d collision packets\n",
+		snap.ActiveFlows, snap.Stats.Evictions, snap.Stats.Collisions)
 
 	fmt.Println("wave 2: repeat offenders — blocked flows die at the dispatcher")
 	before := snap
@@ -114,8 +114,8 @@ func main() {
 		after.Dropped-before.Dropped)
 	fmt.Printf("  wave-2 pipeline load: %d packets vs wave-1 %d\n",
 		after.Stats.Packets-before.Stats.Packets, before.Stats.Packets)
-	fmt.Printf("  flow table after wave 2: %d slots active, %d evicted — bounded, not ratcheting\n",
-		after.ActiveFlows, after.Stats.Evictions)
+	fmt.Printf("  flow table after wave 2: %d slots active, %d evicted — bounded, not ratcheting — %d collision packets\n",
+		after.ActiveFlows, after.Stats.Evictions, after.Stats.Collisions)
 
 	fmt.Println("totals")
 	fmt.Printf("  digests %d, block verdicts %d, mean time-to-detection %v\n",

@@ -49,7 +49,7 @@ func ageingDeploy(t *testing.T, slots int, idle time.Duration, stripe int) (Conf
 // once, returning the total evicted.
 func sweepFullPass(pl *Pipeline, now time.Duration) int {
 	evicted := 0
-	calls := (len(pl.slots) + pl.cfg.SweepStripe - 1) / pl.cfg.SweepStripe
+	calls := (pl.TableCap() + pl.cfg.SweepStripe - 1) / pl.cfg.SweepStripe
 	for i := 0; i < calls; i++ {
 		evicted += pl.Sweep(now)
 	}
@@ -315,11 +315,11 @@ func TestNewShardsRemainder(t *testing.T) {
 		}
 		total := 0
 		for i, s := range shards {
-			if got := len(s.slots); got != tc.want[i] {
+			if got := s.TableCap(); got != tc.want[i] {
 				t.Fatalf("%d slots / %d shards: shard %d has %d slots, want %d",
 					tc.slots, tc.n, i, got, tc.want[i])
 			}
-			total += len(s.slots)
+			total += s.TableCap()
 		}
 		if tc.slots >= tc.n && total != tc.slots {
 			t.Fatalf("%d slots / %d shards: distributed %d, lost %d",
@@ -328,49 +328,54 @@ func TestNewShardsRemainder(t *testing.T) {
 	}
 }
 
-// TestProcessAndSweepAllocationFree guards the hot path: the steady-state
-// packet paths (live mid-window accumulation, parked-slot draining) and
-// the ageing sweep may not allocate. Only digest emission allocates — one
-// Digest per classification, off the per-packet path.
+// TestProcessAndSweepAllocationFree guards the hot path for both deployable
+// table schemes: the steady-state packet paths (live mid-window
+// accumulation, parked-entry draining) and the ageing sweep may not
+// allocate. Only digest emission allocates — one Digest per classification,
+// off the per-packet path.
 func TestProcessAndSweepAllocationFree(t *testing.T) {
-	dcfg, testFlows := ageingDeploy(t, 1<<12, time.Minute, 64)
-	pl, err := New(dcfg)
-	if err != nil {
-		t.Fatalf("New: %v", err)
-	}
-
-	// Live path: a mid-window packet of an active flow (no window boundary,
-	// no digest) — the overwhelmingly common per-packet case.
-	var g trace.LabeledFlow
-	for _, f := range testFlows {
-		if len(f.Packets) >= 8 {
-			g = f
-			break
+	base, testFlows := ageingDeploy(t, 1<<12, time.Minute, 64)
+	for _, scheme := range []TableScheme{TableDirect, TableCuckoo} {
+		dcfg := base
+		dcfg.Table = scheme
+		pl, err := New(dcfg)
+		if err != nil {
+			t.Fatalf("New(%s): %v", scheme, err)
 		}
-	}
-	mid := g.Packets[0] // Seq 1 of a long flow: never a window end
-	pl.Process(mid)
-	if avg := testing.AllocsPerRun(200, func() { pl.Process(mid) }); avg != 0 {
-		t.Fatalf("live-path Process allocates %.1f per packet", avg)
-	}
 
-	// Parked path: an early-exited flow draining its tail.
-	early := findEarlyExit(t, dcfg, testFlows)
-	pl2, err := New(dcfg)
-	if err != nil {
-		t.Fatalf("New: %v", err)
-	}
-	for _, p := range early.Packets[:len(early.Packets)-1] {
-		pl2.Process(p)
-	}
-	tail := early.Packets[len(early.Packets)-2] // owner packet, not flow end
-	if avg := testing.AllocsPerRun(200, func() { pl2.Process(tail) }); avg != 0 {
-		t.Fatalf("parked-path Process allocates %.1f per packet", avg)
-	}
+		// Live path: a mid-window packet of an active flow (no window
+		// boundary, no digest) — the overwhelmingly common per-packet case.
+		var g trace.LabeledFlow
+		for _, f := range testFlows {
+			if len(f.Packets) >= 8 {
+				g = f
+				break
+			}
+		}
+		mid := g.Packets[0] // Seq 1 of a long flow: never a window end
+		pl.Process(mid)
+		if avg := testing.AllocsPerRun(200, func() { pl.Process(mid) }); avg != 0 {
+			t.Fatalf("%s: live-path Process allocates %.1f per packet", scheme, avg)
+		}
 
-	if avg := testing.AllocsPerRun(200, func() {
-		pl.Sweep(pl.Clock() + time.Minute)
-	}); avg != 0 {
-		t.Fatalf("Sweep allocates %.1f per call", avg)
+		// Parked path: an early-exited flow draining its tail.
+		early := findEarlyExit(t, base, testFlows)
+		pl2, err := New(dcfg)
+		if err != nil {
+			t.Fatalf("New(%s): %v", scheme, err)
+		}
+		for _, p := range early.Packets[:len(early.Packets)-1] {
+			pl2.Process(p)
+		}
+		tail := early.Packets[len(early.Packets)-2] // owner packet, not flow end
+		if avg := testing.AllocsPerRun(200, func() { pl2.Process(tail) }); avg != 0 {
+			t.Fatalf("%s: parked-path Process allocates %.1f per packet", scheme, avg)
+		}
+
+		if avg := testing.AllocsPerRun(200, func() {
+			pl.Sweep(pl.Clock() + time.Minute)
+		}); avg != 0 {
+			t.Fatalf("%s: Sweep allocates %.1f per call", scheme, avg)
+		}
 	}
 }

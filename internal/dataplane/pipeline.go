@@ -2,19 +2,25 @@
 // the reproduction's stand-in for the paper's Tofino1 testbed.
 //
 // The pipeline executes compiled SpliDT programs with the mechanism of §3.1:
-// packets are parsed into PHV fields, the 5-tuple CRC32 locates the flow's
-// register slot, reserved registers track the subtree ID (SID) and packet
-// count, feature state accumulates through the dependency chain, and at each
-// window boundary the match-key generator tables produce range marks that
-// the model table matches to either a class (emitted as a digest) or the
-// next SID (propagated by a recirculated control packet that also clears the
-// flow's feature and dependency-chain registers).
+// packets are parsed into PHV fields, the 5-tuple hash locates the flow's
+// state in the flow table, reserved registers track the subtree ID (SID) and
+// packet count, feature state accumulates through the dependency chain, and
+// at each window boundary the match-key generator tables produce range marks
+// that the model table matches to either a class (emitted as a digest) or
+// the next SID (propagated by a recirculated control packet that also clears
+// the flow's feature and dependency-chain registers).
 //
-// Flow-table ageing is a first-class subsystem, as on real packet
-// processors: slots carry a packet-time touch stamp, Sweep incrementally
-// reclaims slots idle past Config.IdleTimeout (one bounded stripe per
-// call, amortised O(1) per packet), and Evict reclaims a specific flow's
-// slot on a controller verdict. Reclaims are counted in Stats.Evictions.
+// The flow table itself is a first-class subsystem (internal/flowtable) with
+// a scheme knob: Config.Table selects the paper's direct-mapped register
+// array (the default — colliding flows share state, as on real register
+// hardware) or a d-way cuckoo table with a bounded stash whose verified
+// lookups keep flows exact well past the collision-free regime.
+//
+// Flow-table ageing is likewise first-class, as on real packet processors:
+// entries carry a packet-time touch stamp, Sweep incrementally reclaims
+// entries idle past Config.IdleTimeout (one bounded stripe per call,
+// amortised O(1) per packet), and Evict reclaims a specific flow's entry on
+// a controller verdict. Reclaims are counted in Stats.Evictions.
 //
 // Resource budgets are enforced at construction through the same
 // resources.Profile model the design search uses, so a pipeline that
@@ -26,35 +32,84 @@ import (
 	"time"
 
 	"splidt/internal/core"
-	"splidt/internal/features"
 	"splidt/internal/flow"
+	"splidt/internal/flowtable"
 	"splidt/internal/pkt"
 	"splidt/internal/rangemark"
 	"splidt/internal/resources"
 	"splidt/internal/trace"
 )
 
+// TableScheme selects the flow-state store the pipeline deploys
+// (internal/flowtable).
+type TableScheme string
+
+// The flow-table schemes.
+const (
+	// TableDirect is the direct-mapped register array of the paper's
+	// deployment: one slot per hash index, colliding flows share state.
+	// The zero value of Config.Table selects it, so existing deployments
+	// behave exactly as before the flow-table subsystem existed.
+	TableDirect TableScheme = "direct"
+	// TableCuckoo is the d-way set-associative store with cuckoo
+	// displacement and a bounded stash: full-key verification per entry, so
+	// flows never couple and exactness extends to high load factors.
+	TableCuckoo TableScheme = "cuckoo"
+	// TableOracle is the unbounded exact map — physically unbuildable,
+	// allocates per flow, and exists as the ground truth the equivalence
+	// tests compare the bounded schemes against.
+	TableOracle TableScheme = "oracle"
+)
+
+// ParseTableScheme validates a scheme name ("" selects TableDirect).
+func ParseTableScheme(s string) (TableScheme, error) {
+	switch TableScheme(s) {
+	case "", TableDirect:
+		return TableDirect, nil
+	case TableCuckoo:
+		return TableCuckoo, nil
+	case TableOracle:
+		return TableOracle, nil
+	default:
+		return "", fmt.Errorf("unknown table scheme %q (valid: %s, %s, %s)",
+			s, TableDirect, TableCuckoo, TableOracle)
+	}
+}
+
 // Config assembles a deployment: the hardware target, the trained model and
-// its compiled tables, and the register array size (concurrent flow slots).
+// its compiled tables, and the flow-table geometry (concurrent flow slots,
+// scheme, associativity).
 type Config struct {
 	Profile  resources.Profile
 	Model    *core.Model
 	Compiled *rangemark.Compiled
-	// FlowSlots is the register array length; flows hash onto slots with
-	// CRC32, so it bounds concurrent flows (collisions share state, as on
-	// real hardware).
+	// FlowSlots is the flow-table register budget: the slot-array length
+	// for the direct scheme (flows hash onto slots, collisions share state,
+	// as on real hardware), or the bucket-cell budget for the cuckoo scheme
+	// (rounded up to a whole number of Ways-wide buckets).
 	FlowSlots int
+	// Table selects the flow-table scheme; the zero value is TableDirect,
+	// preserving the pre-flowtable pipeline exactly.
+	Table TableScheme
+	// Ways is the cuckoo bucket associativity (default
+	// flowtable.DefaultWays). Direct and oracle schemes ignore it.
+	Ways int
+	// Stash is the cuckoo overflow stash size in entries: 0 selects
+	// flowtable.DefaultStash, negative disables the stash (pure bucket
+	// table — overflow rejects immediately). Direct and oracle schemes
+	// ignore it.
+	Stash int
 	// Workload, when set, is used for the recirculation budget check.
 	Workload trace.Workload
-	// IdleTimeout enables flow-table ageing: a slot untouched for at least
-	// this long (measured in packet time, not wall clock) becomes
-	// reclaimable by Sweep — both live-idle slots and parked early-exit
-	// slots whose flow tail never arrived (e.g. because the dispatcher
+	// IdleTimeout enables flow-table ageing: an entry untouched for at
+	// least this long (measured in packet time, not wall clock) becomes
+	// reclaimable by Sweep — both live-idle entries and parked early-exit
+	// entries whose flow tail never arrived (e.g. because the dispatcher
 	// drops a blocked flow's remaining packets). Zero disables ageing:
 	// Sweep is a no-op and the pipeline behaves exactly as before the
 	// ageing subsystem existed.
 	IdleTimeout time.Duration
-	// SweepStripe is the number of register slots one Sweep call examines
+	// SweepStripe is the number of flow-table cells one Sweep call examines
 	// (default 128). Bounding per-call work lets a caller interleave one
 	// Sweep per packet burst and keep ageing amortised O(1) per packet,
 	// the way hardware flow-table sweep engines share the pipeline with
@@ -84,9 +139,20 @@ type Stats struct {
 	Packets        int // data packets processed
 	ControlPackets int // recirculated subtree transitions
 	Digests        int // classifications emitted
-	Collisions     int // packets that hit a slot owned by another flow
-	RecircBytes    int // control-channel bytes
-	Evictions      int // register slots reclaimed by Sweep or Evict
+	// Collisions counts packets that could not get exclusive flow state:
+	// for the direct scheme, packets that hit a slot owned by another flow
+	// (the flows share registers); for the cuckoo scheme, packets of flows
+	// the table rejected outright (no bucket way, no displacement path, no
+	// stash line — the packet passes through with no state).
+	Collisions  int
+	RecircBytes int // control-channel bytes
+	Evictions   int // flow-table entries reclaimed by Sweep or Evict
+	// Kicks counts cuckoo displacements: resident entries moved to their
+	// alternate bucket to clear an insertion path (zero for other schemes).
+	Kicks int
+	// StashInserts counts cuckoo inserts that overflowed into the bounded
+	// stash (zero for other schemes).
+	StashInserts int
 }
 
 // Add folds another pipeline's counters into s. Every Stats field is a
@@ -99,6 +165,8 @@ func (s *Stats) Add(o Stats) {
 	s.Collisions += o.Collisions
 	s.RecircBytes += o.RecircBytes
 	s.Evictions += o.Evictions
+	s.Kicks += o.Kicks
+	s.StashInserts += o.StashInserts
 }
 
 // MergeStats sums per-shard counters into one aggregate.
@@ -110,36 +178,23 @@ func MergeStats(shards ...Stats) Stats {
 	return out
 }
 
-type slot struct {
-	sid      uint16
-	pktCount uint32
-	owner    flow.Key
-	started  time.Duration
-	touched  time.Duration // pipeline clock when a packet last hit the slot
-	state    features.FlowState
-}
-
-// doneSID parks a slot after an early exit: the flow is classified but still
-// has packets in flight, so the slot stays owned (no further inference)
-// until the final packet frees it.
+// doneSID parks an entry after an early exit: the flow is classified but
+// still has packets in flight, so the entry stays owned (no further
+// inference) until the final packet frees it.
 const doneSID = 0xFFFF
 
 // Pipeline is one simulated switch pipeline with a deployed SpliDT program.
 type Pipeline struct {
-	cfg    Config
-	parts  int
-	slots  []slot
-	stats  Stats
-	active int      // occupied slots, maintained incrementally by Process
-	marks  []uint32 // per-window scratch, reused so Process never allocates
-	// clock is the highest packet timestamp Process has seen. Slots are
+	cfg   Config
+	parts int
+	table flowtable.Store
+	stats Stats
+	marks []uint32 // per-window scratch, reused so Process never allocates
+	// clock is the highest packet timestamp Process has seen. Entries are
 	// touch-stamped with it (not the raw packet TS) so ageing stays
 	// monotone even when a source replays a trace from time zero — the
 	// hardware analogue is the switch's free-running timestamp register.
 	clock time.Duration
-	// sweepPos is the ageing engine's cursor into the register array; each
-	// Sweep call advances it by one stripe, wrapping around.
-	sweepPos int
 }
 
 // validate runs the deployment feasibility checks New and NewShards share:
@@ -152,6 +207,12 @@ func validate(cfg Config) error {
 	if cfg.FlowSlots <= 0 {
 		return fmt.Errorf("dataplane: non-positive flow slots")
 	}
+	if _, err := ParseTableScheme(string(cfg.Table)); err != nil {
+		return fmt.Errorf("dataplane: %w", err)
+	}
+	if cfg.Ways < 0 {
+		return fmt.Errorf("dataplane: negative table ways")
+	}
 	w := cfg.Workload
 	if w.Name == "" {
 		w = trace.Webserver
@@ -163,6 +224,33 @@ func validate(cfg Config) error {
 	return nil
 }
 
+// newStore builds the configured flow-table scheme over the FlowSlots
+// budget.
+func newStore(cfg Config) flowtable.Store {
+	switch cfg.Table {
+	case TableCuckoo:
+		return flowtable.NewCuckoo(flowtable.CuckooConfig{
+			Capacity: cfg.FlowSlots,
+			Ways:     cfg.Ways,
+			Stash:    cfg.Stash,
+		})
+	case TableOracle:
+		return flowtable.NewOracle()
+	default:
+		return flowtable.NewDirect(cfg.FlowSlots)
+	}
+}
+
+// newPipeline assembles a pipeline over an already-validated config.
+func newPipeline(cfg Config) *Pipeline {
+	return &Pipeline{
+		cfg:   cfg,
+		parts: cfg.Model.NumPartitions(),
+		table: newStore(cfg),
+		marks: make([]uint32, cfg.Compiled.K),
+	}
+}
+
 // New validates the deployment against the hardware profile and builds the
 // pipeline.
 func New(cfg Config) (*Pipeline, error) {
@@ -172,12 +260,7 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.SweepStripe <= 0 {
 		cfg.SweepStripe = defaultSweepStripe
 	}
-	return &Pipeline{
-		cfg:   cfg,
-		parts: cfg.Model.NumPartitions(),
-		slots: make([]slot, cfg.FlowSlots),
-		marks: make([]uint32, cfg.Compiled.K),
-	}, nil
+	return newPipeline(cfg), nil
 }
 
 // NewShards validates the deployment once and builds n pipeline replicas of
@@ -186,8 +269,8 @@ func New(cfg Config) (*Pipeline, error) {
 // extra, so no slot of the budget is lost to integer division (a shard
 // still gets at least 1 slot when FlowSlots < n). The replicas share the
 // compiled tables read-only — the tables are frozen here so concurrent
-// lookups never mutate them — and each replica keeps private register
-// state, so a dispatcher that keys flows onto shards with flow.Key.Shard
+// lookups never mutate them — and each replica keeps a private flow table,
+// so a dispatcher that keys flows onto shards with flow.Key.Shard
 // preserves single-pipeline per-flow semantics. This is the multi-pipe
 // construction the sharded engine runs.
 func NewShards(cfg Config, n int) ([]*Pipeline, error) {
@@ -213,12 +296,7 @@ func NewShards(cfg Config, n int) ([]*Pipeline, error) {
 		}
 		shardCfg := cfg
 		shardCfg.FlowSlots = slots
-		shards[i] = &Pipeline{
-			cfg:   shardCfg,
-			parts: cfg.Model.NumPartitions(),
-			slots: make([]slot, slots),
-			marks: make([]uint32, cfg.Compiled.K),
-		}
+		shards[i] = newPipeline(shardCfg)
 	}
 	return shards, nil
 }
@@ -231,68 +309,74 @@ func (pl *Pipeline) Process(p pkt.Packet) *Digest {
 		pl.clock = p.TS
 	}
 	ck := p.Key.Canonical()
-	idx := int(p.Key.SymHash() % uint32(len(pl.slots)))
-	s := &pl.slots[idx]
-
-	if s.sid == 0 {
-		// Fresh slot: activate the root subtree.
-		s.sid = 1
-		s.owner = ck
-		s.started = p.TS
-		s.state.Reset()
-		s.pktCount = 0
-		pl.active++
-	} else if s.owner != ck {
-		// Hash collision: on hardware the flows would silently share
-		// registers. Count it and proceed with shared state.
+	e, st := pl.table.Acquire(ck)
+	switch st {
+	case flowtable.StatusFresh:
+		// Fresh entry: activate the root subtree.
+		e.SID = 1
+		e.Started = p.TS
+		e.State.Reset()
+		e.PktCount = 0
+	case flowtable.StatusShared:
+		// Direct-scheme hash collision: on register hardware the flows
+		// silently share state. Count it and proceed with shared registers.
 		pl.stats.Collisions++
+	case flowtable.StatusFull:
+		// Cuckoo-scheme insert rejection: the table and stash are full, so
+		// the flow gets no state and the packet passes through
+		// unclassified. Count it as a collision — a packet denied exclusive
+		// flow state — and move on; a later packet retries the insert once
+		// entries free up.
+		pl.stats.Collisions++
+		return nil
 	}
-	if s.sid == doneSID {
-		// Parked slot: the early-exited owner holds the registers until its
+	if e.SID == doneSID {
+		// Parked entry: the early-exited owner holds the registers until its
 		// flow-end packet arrives. This mirrors the hardware semantics: the
-		// SID register reads doneSID for every packet that hashes here,
-		// which gates the feature and model tables off, so a colliding
-		// flow's packets pass through unclassified and leave no state —
-		// they are counted above as collisions and otherwise ignored. The
-		// colliding flow gets no inference until the slot frees (flow end
-		// of the owner, Evict, or an idle-timeout Sweep). Only the owner
-		// refreshes the parked slot's age: collider packets are not folded
-		// into its state, and letting them keep a dead parked slot fresh
-		// would starve the collider of its slot forever — the sweep must be
-		// able to reclaim a parked slot whose owner went away even while
-		// colliders still hash onto it.
-		if s.owner == ck {
-			s.touched = pl.clock
+		// SID register reads doneSID for every packet that reaches it, which
+		// gates the feature and model tables off, so a colliding flow's
+		// packets pass through unclassified and leave no state — they are
+		// counted above as collisions and otherwise ignored. The colliding
+		// flow gets no inference until the entry frees (flow end of the
+		// owner, Evict, or an idle-timeout Sweep). Only the owner refreshes
+		// the parked entry's age: collider packets are not folded into its
+		// state, and letting them keep a dead parked entry fresh would
+		// starve the collider of its slot forever — the sweep must be able
+		// to reclaim a parked entry whose owner went away even while
+		// colliders still hash onto it. (Verified schemes never share, so
+		// there st is always Owner here.)
+		if st != flowtable.StatusShared {
+			e.Touched = pl.clock
 			if p.Seq >= p.FlowSize {
-				*s = slot{}
-				pl.active--
+				pl.table.Release(e)
 			}
 		}
 		return nil
 	}
-	// Live slot: every packet that hashes here refreshes its age, colliders
-	// included — they genuinely share the registers (their packets fold
-	// into the window state below), so the slot is live as long as anything
-	// hits it, like the hardware timestamp register written on access.
-	s.touched = pl.clock
+	// Live entry: every packet that reaches it refreshes its age, direct-
+	// scheme colliders included — they genuinely share the registers (their
+	// packets fold into the window state below), so the entry is live as
+	// long as anything hits it, like the hardware timestamp register
+	// written on access.
+	e.Touched = pl.clock
 
 	// Feature collection and engineering: fold the packet into the window
 	// registers (simple accumulators, dependency chain, k feature slots).
-	s.state.Update(p)
-	s.pktCount++
+	e.State.Update(p)
+	e.PktCount++
 
 	if !pl.windowEnd(p) {
 		return nil
 	}
 
 	// Subtree model prediction: key generators → range marks → model table.
-	vec := s.state.Snapshot()
-	marks := pl.cfg.Compiled.MarksInto(int(s.sid), vec[:], pl.marks)
-	rule, ok := pl.cfg.Compiled.Lookup(int(s.sid), marks)
+	vec := e.State.Snapshot()
+	marks := pl.cfg.Compiled.MarksInto(int(e.SID), vec[:], pl.marks)
+	rule, ok := pl.cfg.Compiled.Lookup(int(e.SID), marks)
 	if !ok {
 		// Model tables partition the mark space; a miss means the deployed
 		// rules are corrupt.
-		panic(fmt.Sprintf("dataplane: model table miss at SID %d marks %v", s.sid, marks))
+		panic(fmt.Sprintf("dataplane: model table miss at SID %d marks %v", e.SID, marks))
 	}
 
 	if p.Seq >= p.FlowSize || rule.Exit {
@@ -300,16 +384,15 @@ func (pl *Pipeline) Process(p pkt.Packet) *Digest {
 			Key:     ck,
 			Class:   rule.Class,
 			At:      p.TS,
-			Started: s.started,
-			Packets: int(s.pktCount),
+			Started: e.Started,
+			Packets: int(e.PktCount),
 		}
 		pl.stats.Digests++
 		if p.Seq >= p.FlowSize {
-			*s = slot{} // flow over: free the slot
-			pl.active--
+			pl.table.Release(e) // flow over: free the entry
 		} else {
-			s.sid = doneSID // early exit: park until the flow ends
-			s.state.Reset()
+			e.SID = doneSID // early exit: park until the flow ends
+			e.State.Reset()
 		}
 		return d
 	}
@@ -318,8 +401,8 @@ func (pl *Pipeline) Process(p pkt.Packet) *Digest {
 	// clears the feature and dependency-chain registers (§3.1.3).
 	pl.stats.ControlPackets++
 	pl.stats.RecircBytes += pkt.ControlPacketBytes
-	s.sid = uint16(rule.Next)
-	s.state.Reset()
+	e.SID = uint16(rule.Next)
+	e.State.Reset()
 	return nil
 }
 
@@ -347,68 +430,62 @@ func (pl *Pipeline) windowEnd(p pkt.Packet) bool {
 	return p.IsWindowEnd(pl.parts)
 }
 
-// Stats returns a copy of the counters.
-func (pl *Pipeline) Stats() Stats { return pl.stats }
+// Stats returns a copy of the counters, folding in the flow table's
+// placement counters (kicks, stash inserts) so they merge and delta like
+// every other pipeline counter.
+func (pl *Pipeline) Stats() Stats {
+	s := pl.stats
+	ts := pl.table.Stats()
+	s.Kicks = ts.Kicks
+	s.StashInserts = ts.StashInserts
+	return s
+}
 
-// ActiveFlows returns the number of occupied slots. The count is maintained
-// incrementally by Process, so reading it is O(1) — cheap enough for the
-// engine's per-burst live snapshots.
-func (pl *Pipeline) ActiveFlows() int { return pl.active }
+// TableStats returns the flow table's own counters — occupancy and stash
+// gauges included, which have no place in the monotone Stats counters.
+func (pl *Pipeline) TableStats() flowtable.Stats { return pl.table.Stats() }
+
+// ActiveFlows returns the number of occupied flow-table entries. The count
+// is maintained incrementally by the store, so reading it is O(1) — cheap
+// enough for the engine's per-burst live snapshots.
+func (pl *Pipeline) ActiveFlows() int { return pl.table.Occupied() }
 
 // Sweep advances the flow-table ageing engine by one stripe: it examines
-// the next cfg.SweepStripe register slots (wrapping around the array) and
-// frees every occupied slot whose last touch is at least IdleTimeout before
-// now — live slots of flows that went quiet as well as parked early-exit
-// slots whose tail was dropped upstream and would otherwise leak forever.
-// now is packet time (the caller's monotone view of the traffic clock, e.g.
-// the newest timestamp a shard worker has processed), never wall clock, so
+// the next cfg.SweepStripe flow-table cells (wrapping around the table) and
+// frees every occupied entry whose last touch is at least IdleTimeout
+// before now — live entries of flows that went quiet as well as parked
+// early-exit entries whose tail was dropped upstream and would otherwise
+// leak forever (stash lines included, under the cuckoo scheme). now is
+// packet time (the caller's monotone view of the traffic clock, e.g. the
+// newest timestamp a shard worker has processed), never wall clock, so
 // sweeping is deterministic for a given packet sequence and sweep schedule.
-// It returns how many slots it reclaimed and counts them in
+// It returns how many entries it reclaimed and counts them in
 // Stats.Evictions. With IdleTimeout zero, ageing is disabled and Sweep does
-// nothing. Sweep never allocates; a full pass over the array costs
-// ceil(FlowSlots/SweepStripe) calls, which callers amortise to O(1) work
-// per packet by sweeping once per burst, like hardware sweep engines that
+// nothing. Sweep never allocates; a full pass over the table costs
+// ceil(Cap/SweepStripe) calls, which callers amortise to O(1) work per
+// packet by sweeping once per burst, like hardware sweep engines that
 // steal idle pipeline cycles.
 func (pl *Pipeline) Sweep(now time.Duration) int {
 	if pl.cfg.IdleTimeout <= 0 {
 		return 0
 	}
-	stripe := pl.cfg.SweepStripe
-	if stripe > len(pl.slots) {
-		stripe = len(pl.slots)
-	}
-	evicted := 0
-	for i := 0; i < stripe; i++ {
-		s := &pl.slots[pl.sweepPos]
-		pl.sweepPos++
-		if pl.sweepPos == len(pl.slots) {
-			pl.sweepPos = 0
-		}
-		if s.sid != 0 && now-s.touched >= pl.cfg.IdleTimeout {
-			*s = slot{}
-			pl.active--
-			pl.stats.Evictions++
-			evicted++
-		}
-	}
-	return evicted
+	n := pl.table.Sweep(now, pl.cfg.IdleTimeout, pl.cfg.SweepStripe)
+	pl.stats.Evictions += n
+	return n
 }
 
-// Evict frees the flow's register slot immediately if the flow currently
-// owns it, returning whether a slot was reclaimed. This is the
+// Evict frees the flow's table entry immediately if the flow currently
+// owns one, returning whether a reclaim happened. This is the
 // controller-initiated ageing path: when policy blocks a flow whose tail
-// will be dropped upstream, the slot would otherwise stay parked until an
+// will be dropped upstream, the entry would otherwise stay parked until an
 // idle-timeout sweep finds it. Evict works with ageing disabled, and it is
-// a no-op when the slot is empty or owned by a colliding flow (the slot is
-// that flow's state now — evicting it would punish an innocent bystander).
+// a no-op when the flow holds no entry — including the direct-scheme case
+// of a slot held by a colliding flow (the slot is that flow's state now;
+// evicting it would punish an innocent bystander).
 func (pl *Pipeline) Evict(k flow.Key) bool {
-	ck := k.Canonical()
-	s := &pl.slots[int(k.SymHash()%uint32(len(pl.slots)))]
-	if s.sid == 0 || s.owner != ck {
+	if !pl.table.Evict(k.Canonical()) {
 		return false
 	}
-	*s = slot{}
-	pl.active--
 	pl.stats.Evictions++
 	return true
 }
@@ -420,17 +497,13 @@ func (pl *Pipeline) Clock() time.Duration { return pl.clock }
 // AgeingEnabled reports whether the deployment configured an idle timeout.
 func (pl *Pipeline) AgeingEnabled() bool { return pl.cfg.IdleTimeout > 0 }
 
-// countActiveSlots scans the register array; tests use it to cross-check
-// the incremental ActiveFlows counter.
-func (pl *Pipeline) countActiveSlots() int {
-	n := 0
-	for i := range pl.slots {
-		if pl.slots[i].sid != 0 {
-			n++
-		}
-	}
-	return n
-}
+// TableCap returns the flow table's total cell count (slot-array length
+// for direct; bucket cells plus stash for cuckoo).
+func (pl *Pipeline) TableCap() int { return pl.table.Cap() }
+
+// countActiveSlots rescans the flow table; tests use it to cross-check the
+// incremental ActiveFlows counter.
+func (pl *Pipeline) countActiveSlots() int { return pl.table.ScanOccupied() }
 
 // Replay interleaves labelled flows (flow i shifted by i × spacing), runs
 // every packet through the pipeline in timestamp order, and returns the

@@ -325,7 +325,7 @@ func TestNewShards(t *testing.T) {
 		t.Fatalf("got %d shards, want 4", len(shards))
 	}
 	for i, s := range shards {
-		if got := len(s.slots); got != 1<<14 {
+		if got := s.TableCap(); got != 1<<14 {
 			t.Fatalf("shard %d has %d slots, want %d (even split)", i, got, 1<<14)
 		}
 	}

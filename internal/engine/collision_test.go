@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"splidt/internal/dataplane"
+	"splidt/internal/pkt"
+	"splidt/internal/trace"
+)
+
+// TestHighCollisionCuckooMatchesOracle is the flow-table subsystem's
+// headline engine pin: on a workload engineered to contend for two direct-
+// table indices of a 96-slot table at load factor ≥ 0.5, the cuckoo scheme
+// run through the sharded engine — at 1 and at 4 shards, under -race in CI
+// — produces exactly the digest multiset and inference counters of an
+// exact-oracle pipeline (unbounded map), while the direct scheme on the
+// same packets demonstrably diverges. Exactness no longer ends at the
+// collision-free regime.
+//
+// The table size is a multiple of every shard count under test, so the
+// engineered collisions survive the per-shard table split (see
+// trace.Colliding).
+func TestHighCollisionCuckooMatchesOracle(t *testing.T) {
+	const slots, groups = 96, 2
+	cfg := deployCfg(t, slots)
+	flows := trace.Colliding(trace.D3, 56, 9, slots, groups)
+	pkts := trace.Interleave(flows, 50*time.Microsecond)
+
+	// Ground truth: one unbounded exact pipeline over the same packets.
+	ocfg := cfg
+	ocfg.Table = dataplane.TableOracle
+	opl, err := dataplane.New(ocfg)
+	if err != nil {
+		t.Fatalf("New(oracle): %v", err)
+	}
+	var oracleDigests []dataplane.Digest
+	peak := 0
+	for _, p := range pkts {
+		if d := opl.Process(p); d != nil {
+			oracleDigests = append(oracleDigests, *d)
+		}
+		if a := opl.ActiveFlows(); a > peak {
+			peak = a
+		}
+	}
+	if peak*2 < slots {
+		t.Fatalf("workload too sparse: peak %d concurrent flows on %d slots (LF < 0.5)", peak, slots)
+	}
+	oracleStats := opl.Stats()
+	wantCounts := digestCounts(oracleDigests)
+
+	for _, shards := range []int{1, 4} {
+		// Cuckoo leg: exact under collisions, per shard.
+		ccfg := cfg
+		ccfg.Table = dataplane.TableCuckoo
+		e, err := New(Config{Deploy: ccfg, Shards: shards, Burst: 16, Queue: 4})
+		if err != nil {
+			t.Fatalf("New cuckoo engine (%d shards): %v", shards, err)
+		}
+		res, err := e.Run(&SliceSource{Pkts: pkts})
+		if err != nil {
+			t.Fatalf("Run cuckoo (%d shards): %v", shards, err)
+		}
+		if res.Stats.Collisions != 0 {
+			t.Fatalf("%d shards: cuckoo rejected flows (%d collision packets, stats %+v)",
+				shards, res.Stats.Collisions, res.Stats)
+		}
+		gotCounts := digestCounts(res.Digests)
+		if len(gotCounts) != len(wantCounts) || len(res.Digests) != len(oracleDigests) {
+			t.Fatalf("%d shards: cuckoo %d digests (%d distinct), oracle %d (%d distinct)",
+				shards, len(res.Digests), len(gotCounts), len(oracleDigests), len(wantCounts))
+		}
+		for d, n := range wantCounts {
+			if gotCounts[d] != n {
+				t.Fatalf("%d shards: digest %+v count %d, want %d", shards, d, gotCounts[d], n)
+			}
+		}
+		if res.Stats.Packets != oracleStats.Packets ||
+			res.Stats.ControlPackets != oracleStats.ControlPackets ||
+			res.Stats.Digests != oracleStats.Digests ||
+			res.Stats.RecircBytes != oracleStats.RecircBytes {
+			t.Fatalf("%d shards: cuckoo inference stats diverge from oracle:\n%+v\n%+v",
+				shards, res.Stats, oracleStats)
+		}
+
+		// Direct leg: the same packets through the same-size direct table
+		// must diverge — the regression proof that the workload actually
+		// collides and that the cuckoo result above is not vacuous.
+		de, err := New(Config{Deploy: cfg, Shards: shards, Burst: 16, Queue: 4})
+		if err != nil {
+			t.Fatalf("New direct engine (%d shards): %v", shards, err)
+		}
+		dres, err := de.Run(&SliceSource{Pkts: pkts})
+		if err != nil {
+			t.Fatalf("Run direct (%d shards): %v", shards, err)
+		}
+		if dres.Stats.Collisions == 0 {
+			t.Fatalf("%d shards: direct scheme saw no collisions on the engineered workload", shards)
+		}
+		dCounts := digestCounts(dres.Digests)
+		same := len(dCounts) == len(wantCounts)
+		if same {
+			for d, n := range wantCounts {
+				if dCounts[d] != n {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%d shards: direct scheme matched the oracle under collisions", shards)
+		}
+	}
+}
+
+// TestBlockedStashFlowNotResurrected pins the Block/Evict/straggler
+// contract on a stash-resident entry: blocking a flow that lives in the
+// cuckoo stash must free its stash line (not leak it), and tail packets of
+// that flow already queued in the shard ring must not re-activate the
+// entry. The single stash line makes the pin sharp: a leaked line would
+// surface as a rejected (collision-counted) insert for the next flow.
+func TestBlockedStashFlowNotResurrected(t *testing.T) {
+	cfg := deployCfg(t, 1) // one bucket cell, so the second flow must stash
+	cfg.Table = dataplane.TableCuckoo
+	cfg.Ways = 1
+	cfg.Stash = 1
+	e, err := New(Config{Deploy: cfg, Shards: 1, Burst: 32, Queue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan struct{}, 8)
+	e.shards[0].hold = hold
+	s, err := e.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flows := trace.Generate(trace.D3, 3, eqSeed)
+	a, b, c := flows[0], flows[1], flows[2]
+
+	// Burst 1: first packets of A (bucket cell) and B (stash line).
+	if _, err := s.Feed([]pkt.Packet{a.Packets[0], b.Packets[0]}); err != nil {
+		t.Fatal(err)
+	}
+	hold <- struct{}{}
+	waitFor(t, func() bool { return s.Snapshot().Stats.Packets == 2 })
+	snap := s.Snapshot()
+	if snap.Stats.StashInserts != 1 || snap.ActiveFlows != 2 {
+		t.Fatalf("setup: stashInserts=%d active=%d, want 1/2 (B in the stash)",
+			snap.Stats.StashInserts, snap.ActiveFlows)
+	}
+
+	// Burst 2: B's tail, queued while the worker is gated...
+	if _, err := s.Feed([]pkt.Packet{b.Packets[1], b.Packets[2]}); err != nil {
+		t.Fatal(err)
+	}
+	// ...then the verdict: filter entry first, eviction mailbox second.
+	s.Block(b.Key)
+	hold <- struct{}{}
+	waitFor(t, func() bool { return s.Snapshot().Dropped == 2 })
+	snap = s.Snapshot()
+	if snap.Stats.Evictions != 1 {
+		t.Fatalf("blocking the stash resident evicted %d entries, want 1", snap.Stats.Evictions)
+	}
+	if snap.ActiveFlows != 1 {
+		t.Fatalf("ActiveFlows = %d after block, want 1 (stragglers resurrected the stash entry)",
+			snap.ActiveFlows)
+	}
+	if snap.Stats.Packets != 2 {
+		t.Fatalf("stragglers reached the pipeline: %d packets processed", snap.Stats.Packets)
+	}
+
+	// The freed stash line must be reusable: flow C overflows into it. A
+	// leaked line would reject C — visible as a collision-counted packet.
+	if _, err := s.Feed([]pkt.Packet{c.Packets[0]}); err != nil {
+		t.Fatal(err)
+	}
+	hold <- struct{}{}
+	waitFor(t, func() bool { return s.Snapshot().Stats.Packets == 3 })
+	snap = s.Snapshot()
+	if snap.Stats.Collisions != 0 {
+		t.Fatalf("freed stash line not reused: flow C rejected (%d collisions)", snap.Stats.Collisions)
+	}
+	if snap.Stats.StashInserts != 2 || snap.ActiveFlows != 2 {
+		t.Fatalf("stash reuse: stashInserts=%d active=%d, want 2/2",
+			snap.Stats.StashInserts, snap.ActiveFlows)
+	}
+
+	close(hold)
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -436,6 +436,8 @@ func subStats(now, prev dataplane.Stats) dataplane.Stats {
 		Collisions:     now.Collisions - prev.Collisions,
 		RecircBytes:    now.RecircBytes - prev.RecircBytes,
 		Evictions:      now.Evictions - prev.Evictions,
+		Kicks:          now.Kicks - prev.Kicks,
+		StashInserts:   now.StashInserts - prev.StashInserts,
 	}
 }
 

@@ -141,9 +141,12 @@ func (k Key) SymHash() uint32 {
 	return c.Hash()
 }
 
-// mix64 is the splitmix64 finalizer — a fast invertible scrambler that
-// decorrelates the low bits of its output from those of its input.
-func mix64(x uint64) uint64 {
+// Mix64 is the splitmix64 finalizer — a fast invertible scrambler that
+// decorrelates the low bits of its output from those of its input. It is
+// the scrambler behind ShardHash, exported so derived hash consumers (the
+// cuckoo flow table's second bucket hash) share one implementation instead
+// of drifting copies.
+func Mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
@@ -160,7 +163,7 @@ func mix64(x uint64) uint64 {
 // sources precompute it once per flow and carry it on pkt.Packet so the
 // engine's serial dispatch stage does no hashing at all.
 func (k Key) ShardHash() uint64 {
-	return mix64(uint64(k.SymHash()))
+	return Mix64(uint64(k.SymHash()))
 }
 
 // Shard maps the flow onto one of n shards (RSS-style dispatch for the

@@ -1,0 +1,152 @@
+// Package flowtable is the associative flow-state store of the data plane:
+// the register structure that maps a flow's 5-tuple onto its per-flow
+// inference state (subtree ID, packet count, window feature registers).
+//
+// Three schemes implement one Store contract:
+//
+//   - Direct is the classic direct-mapped register array SpliDT's paper
+//     deploys on Tofino: one slot per CRC32 hash index, no key verification
+//     beyond ownership tracking, so colliding flows silently share state
+//     (the hardware semantics the PR 1–4 equivalence tests pin).
+//   - Cuckoo is a d-way set-associative table with cuckoo-style displacement
+//     and a small bounded stash — the shape production flow tables take
+//     (NDN-DPDK's PCCT, hardware cuckoo match engines). Every entry carries
+//     its full key and lookups verify it, so flows never couple; inserts
+//     displace resident entries along a bounded breadth-first eviction path
+//     and overflow into the stash before giving up. Exactness extends from
+//     the collision-free regime to high load factors.
+//   - Oracle is an unbounded exact map — no real switch can build it, but it
+//     is the ground truth the equivalence tests compare the bounded schemes
+//     against.
+//
+// All schemes are single-writer by design, like the pipeline that owns them:
+// one shard worker mutates one store. Steady-state operations (Acquire of a
+// resident flow, Release, Evict, Sweep) never allocate; only Oracle
+// allocates on first-packet insert, which is why it is the test oracle and
+// not a deployment scheme.
+//
+// Contract: Acquire claims an Entry for a canonical flow key. A fresh entry
+// is returned zeroed with its key recorded; the caller must set SID non-zero
+// immediately (SID == 0 is the store's "free cell" marker, exactly as a
+// zero subtree ID marks a free register slot on hardware). Release, Evict,
+// and Sweep clear entries back to zero.
+package flowtable
+
+import (
+	"time"
+
+	"splidt/internal/features"
+	"splidt/internal/flow"
+)
+
+// Entry is one flow's register state. Field layout mirrors the register
+// arrays of the simulated pipeline: the subtree ID and packet count the
+// model tables key on, the window feature state, and the ageing touch
+// stamp. The owning key is store-managed (set at Acquire, verified on
+// lookup) and read through Key.
+type Entry struct {
+	SID      uint16
+	PktCount uint32
+	Started  time.Duration
+	Touched  time.Duration
+	State    features.FlowState
+
+	key flow.Key
+	// hb1/hb2 cache the entry's candidate bucket pair (cuckoo scheme only,
+	// set at claim time) so displacement searches never rehash residents.
+	hb1, hb2 int32
+}
+
+// Key returns the flow that owns the entry.
+func (e *Entry) Key() flow.Key { return e.key }
+
+// Status reports how Acquire satisfied a lookup.
+type Status int
+
+const (
+	// StatusOwner: the flow already owns the entry (verified key match for
+	// associative schemes; hash-slot ownership for Direct).
+	StatusOwner Status = iota
+	// StatusFresh: the entry was just claimed for the flow; the caller must
+	// activate it (set SID non-zero).
+	StatusFresh
+	// StatusShared: Direct only — the slot is owned by a different flow and
+	// the two now share its registers, the hardware collision semantics.
+	StatusShared
+	// StatusFull: associative schemes only — no bucket way, no displacement
+	// path, and no stash line could take the flow. Acquire returned nil; the
+	// packet passes through with no flow state.
+	StatusFull
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOwner:
+		return "owner"
+	case StatusFresh:
+		return "fresh"
+	case StatusShared:
+		return "shared"
+	case StatusFull:
+		return "full"
+	default:
+		return "status(?)"
+	}
+}
+
+// Stats are the store's first-class occupancy and placement counters.
+// Occupied and Stashed are gauges; the rest are monotone counters, so
+// per-session deltas and per-shard sums compose the way pipeline counters
+// do.
+type Stats struct {
+	// Occupied is the number of live entries (gauge).
+	Occupied int
+	// Stashed is the number of entries currently resident in the overflow
+	// stash (gauge; zero for Direct and Oracle).
+	Stashed int
+	// Kicks counts cuckoo displacements: one per entry moved to its
+	// alternate bucket while clearing an insertion path.
+	Kicks int
+	// StashInserts counts inserts that found no bucket way or displacement
+	// path and landed in the stash.
+	StashInserts int
+	// Rejects counts inserts refused outright: kick budget exhausted and
+	// stash full. The rejected flow gets no state; the pipeline counts its
+	// packets as collisions.
+	Rejects int
+}
+
+// Store is the flow-state table contract the pipeline programs against.
+// Implementations are not safe for concurrent use; each pipeline replica
+// owns one store, mutated only by its shard worker.
+type Store interface {
+	// Acquire locates or claims the entry for a canonical flow key. It
+	// returns the entry and how it was satisfied; on StatusFull the entry is
+	// nil. Keys must be canonical (direction-normalised) — the pipeline
+	// canonicalises once per packet.
+	Acquire(k flow.Key) (*Entry, Status)
+	// Release frees an entry obtained from Acquire (flow end). The pointer
+	// must be one this store returned.
+	Release(e *Entry)
+	// Evict frees the entry owned by the flow, if any, reporting whether a
+	// reclaim happened. For Direct this is a no-op when the slot is held by
+	// a colliding flow (the slot is that flow's state now).
+	Evict(k flow.Key) bool
+	// Sweep examines up to stripe cells (advancing a wrapping cursor) and
+	// frees every entry whose Touched stamp is at least timeout before now,
+	// returning how many it reclaimed. Oracle scans its whole map per call;
+	// its stripe parameter is ignored.
+	Sweep(now, timeout time.Duration, stripe int) int
+	// Occupied returns the live-entry count, maintained incrementally (O(1)).
+	Occupied() int
+	// Cap returns the store's total cell count (buckets × ways + stash for
+	// Cuckoo, the slot-array length for Direct). Oracle reports the current
+	// entry count — it has no fixed capacity.
+	Cap() int
+	// ScanOccupied recounts live entries by full scan; tests cross-check it
+	// against Occupied.
+	ScanOccupied() int
+	// Stats returns a copy of the store's counters.
+	Stats() Stats
+}

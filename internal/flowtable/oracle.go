@@ -1,0 +1,90 @@
+package flowtable
+
+import (
+	"time"
+
+	"splidt/internal/flow"
+)
+
+// Oracle is the unbounded exact store: every flow gets a private entry, no
+// collisions, no displacement, no capacity. It is physically unbuildable —
+// registers on a switch are finite — which is exactly why it exists: the
+// high-collision equivalence tests run the bounded schemes against it as
+// ground truth. Unlike Direct and Cuckoo it allocates on first-packet
+// insert (map growth plus one entry), so it is a test instrument, not a
+// deployment scheme.
+type Oracle struct {
+	flows map[flow.Key]*Entry
+	stats Stats
+}
+
+// NewOracle builds an unbounded exact store.
+func NewOracle() *Oracle {
+	return &Oracle{flows: make(map[flow.Key]*Entry)}
+}
+
+// Acquire implements Store: always Owner or Fresh, never Shared or Full.
+func (o *Oracle) Acquire(k flow.Key) (*Entry, Status) {
+	if e, ok := o.flows[k]; ok {
+		return e, StatusOwner
+	}
+	e := &Entry{key: k}
+	o.flows[k] = e
+	return e, StatusFresh
+}
+
+// Release implements Store.
+func (o *Oracle) Release(e *Entry) {
+	delete(o.flows, e.key)
+	*e = Entry{}
+}
+
+// Evict implements Store.
+func (o *Oracle) Evict(k flow.Key) bool {
+	e, ok := o.flows[k]
+	if !ok || e.SID == 0 {
+		return false
+	}
+	o.Release(e)
+	return true
+}
+
+// Sweep implements Store. The oracle has no cell array to stripe over; each
+// call scans the whole map (stripe is ignored) and frees every idle entry —
+// the same reclaim set an exact table of infinite stripe would produce.
+// Iteration order is irrelevant because eviction is a per-entry predicate.
+func (o *Oracle) Sweep(now, timeout time.Duration, _ int) int {
+	evicted := 0
+	for _, e := range o.flows {
+		if e.SID != 0 && now-e.Touched >= timeout {
+			o.Release(e)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// Occupied implements Store.
+func (o *Oracle) Occupied() int { return len(o.flows) }
+
+// Cap implements Store: the oracle is unbounded, so its capacity is
+// whatever it currently holds.
+func (o *Oracle) Cap() int { return len(o.flows) }
+
+// ScanOccupied implements Store.
+func (o *Oracle) ScanOccupied() int {
+	n := 0
+	for _, e := range o.flows {
+		if e.SID != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats implements Store.
+func (o *Oracle) Stats() Stats {
+	s := o.stats
+	s.Occupied = len(o.flows)
+	return s
+}

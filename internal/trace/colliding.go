@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"splidt/internal/flow"
+)
+
+// collSalt decorrelates the key-resampling RNG from the flow-content RNG,
+// so Colliding(id, n, seed, …) reuses exactly Generate(id, n, seed)'s flow
+// bodies while drawing fresh 5-tuples.
+const collSalt = 0x5bd1e995
+
+// Colliding synthesises n labelled flows engineered to collide in a
+// direct-mapped flow table of tableSize slots: every flow's
+// direction-symmetric register hash (flow.Key.SymHash, the index function
+// of the dataplane's direct table scheme) lands on one of the first
+// `groups` table indices, so the whole workload contends for at most
+// `groups` slots. With groups far below the concurrent flow count this is
+// the adversarial regime where a direct-mapped table couples flows and
+// diverges from exact inference, while an associative scheme (cuckoo +
+// stash) keeps every flow's state private — the regime the high-collision
+// equivalence tests pin.
+//
+// Flow contents — packet sizes, timing, flags, labels — are exactly
+// Generate(id, n, seed)'s; only the 5-tuples are resampled (rejection
+// sampling over the generator's address and port pools) until they hit the
+// target index set, stay canonical, and stay pairwise distinct. Each
+// packet's direction and precomputed dispatch hash are rewritten for its
+// flow's new key.
+//
+// The collision property survives splitting the table across m shards
+// (dataplane.NewShards gives each shard a tableSize/m-slot table) whenever
+// m divides tableSize and groups ≤ tableSize/m: with r = SymHash%tableSize
+// < groups, (tableSize/m) divides tableSize, so SymHash%(tableSize/m) =
+// r%(tableSize/m) = r — every engineered flow keeps its low index inside
+// whichever shard's table it lands in. Pick tableSize as a multiple of the
+// shard counts under test.
+//
+// Panics on non-positive n or tableSize, or groups outside [1, tableSize].
+func Colliding(id DatasetID, n int, seed int64, tableSize, groups int) []LabeledFlow {
+	if n <= 0 {
+		panic("trace: non-positive colliding flow count")
+	}
+	if tableSize <= 0 {
+		panic("trace: non-positive table size")
+	}
+	if groups < 1 || groups > tableSize {
+		panic(fmt.Sprintf("trace: colliding groups %d outside [1, %d]", groups, tableSize))
+	}
+	flows := Generate(id, n, seed)
+	rng := rand.New(rand.NewSource(seed ^ collSalt ^ (int64(id) << 32)))
+	used := make(map[flow.Key]bool, n)
+	for i := range flows {
+		f := &flows[i]
+		old := f.Key
+		k := old
+		for tries := 0; ; tries++ {
+			if tries > 1<<22 {
+				panic("trace: colliding key resampling did not converge")
+			}
+			// Resample within the generator's pools: client 10.1/16 below
+			// server 172.16/12, so the key stays canonical as built.
+			k.SrcIP = flow.AddrFrom4(10, 1, byte(rng.Intn(250)), byte(1+rng.Intn(250)))
+			k.SrcPort = uint16(1024 + rng.Intn(60000))
+			if int(k.SymHash()%uint32(tableSize)) < groups && !used[k] {
+				break
+			}
+		}
+		used[k] = true
+		f.Key = k
+		hash := k.ShardHash()
+		rev := k.Reverse()
+		for j := range f.Packets {
+			p := &f.Packets[j]
+			if p.Key == old {
+				p.Key = k
+			} else {
+				p.Key = rev
+			}
+			p.ShardHash = hash
+		}
+	}
+	return flows
+}

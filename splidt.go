@@ -45,6 +45,15 @@
 //     tails the dispatcher dropped — and Session.Block evicts the blocked
 //     flow's slot immediately, so long-lived sessions keep ActiveFlows
 //     bounded (evictions are counted in Stats.Evictions).
+//   - Associative flow tables: DeployConfig.Table selects the flow-state
+//     store. The default TableDirect is the paper's direct-mapped register
+//     array, where hash collisions couple flows; TableCuckoo deploys a
+//     d-way set-associative table (Ways) with cuckoo displacement and a
+//     bounded stash (Stash) whose full-key verification keeps every flow's
+//     state private — inference stays exact at load factors where the
+//     direct array demonstrably diverges (GenerateColliding builds the
+//     adversarial workload; displacement kicks and stash inserts surface
+//     in PipelineStats).
 //
 // See examples/quickstart for the end-to-end path, cmd/splidt-engine (and
 // its -live mode) for sharded execution, and examples/livecontrol for the
@@ -62,6 +71,7 @@ import (
 	"splidt/internal/engine"
 	"splidt/internal/experiments"
 	"splidt/internal/flow"
+	"splidt/internal/flowtable"
 	"splidt/internal/metrics"
 	"splidt/internal/p4gen"
 	"splidt/internal/pkt"
@@ -110,6 +120,15 @@ func Split(samples []Sample, trainFrac float64) (train, test []Sample) {
 	return trace.Split(samples, trainFrac)
 }
 
+// GenerateColliding synthesises n labelled flows whose 5-tuples are
+// engineered to contend for the first `groups` indices of a direct-mapped
+// flow table of tableSize slots — the adversarial workload for the
+// high-collision regime (flow bodies are exactly Generate's; only the keys
+// are resampled). See trace.Colliding for the sharding divisibility rule.
+func GenerateColliding(d Dataset, n int, seed int64, tableSize, groups int) []LabeledFlow {
+	return trace.Colliding(d, n, seed, tableSize, groups)
+}
+
 // Workload models a datacenter environment's flow-size and lifetime
 // distributions.
 type Workload = trace.Workload
@@ -149,6 +168,36 @@ var (
 
 // Pipeline is a simulated RMT switch pipeline with a deployed model.
 type Pipeline = dataplane.Pipeline
+
+// TableScheme selects the flow-state store a deployment uses
+// (DeployConfig.Table): TableDirect is the paper's direct-mapped register
+// array (colliding flows share state), TableCuckoo is the d-way
+// set-associative store with cuckoo displacement and a bounded stash
+// (full-key verification, exact at high load factors), and TableOracle is
+// the unbounded exact map the equivalence tests use as ground truth.
+type TableScheme = dataplane.TableScheme
+
+// The flow-table schemes.
+const (
+	TableDirect = dataplane.TableDirect
+	TableCuckoo = dataplane.TableCuckoo
+	TableOracle = dataplane.TableOracle
+)
+
+// ParseTableScheme validates a scheme name ("" selects TableDirect).
+func ParseTableScheme(s string) (TableScheme, error) { return dataplane.ParseTableScheme(s) }
+
+// Cuckoo-scheme geometry defaults, applied when DeployConfig leaves
+// Ways/Stash zero (a negative Stash disables the stash entirely).
+const (
+	DefaultTableWays  = flowtable.DefaultWays
+	DefaultTableStash = flowtable.DefaultStash
+)
+
+// TableStashLines resolves a DeployConfig.Stash value to the stash line
+// count a cuckoo deployment actually builds (0 selects the default,
+// negative disables the stash).
+func TableStashLines(configured int) int { return flowtable.StashLines(configured) }
 
 // Digest is a classification record emitted by the pipeline.
 type Digest = dataplane.Digest
