@@ -22,10 +22,12 @@ bench:
 
 # Engine scaling smoke: pkts/sec at 1/2/4/8 shards, the streaming session
 # Feed path, parallel dispatch at 1/2/4 feeders, the flow-table ageing
-# sweep stripe, the high-load-factor direct-vs-cuckoo trajectory, and the
-# flow-table store micro-benchmarks (lookup/insert per scheme).
+# sweep stripe, the timer-wheel advance hot path, the sweep-vs-wheel
+# expiry churn trajectory, the high-load-factor direct-vs-cuckoo
+# trajectory, and the flow-table store micro-benchmarks (lookup/insert
+# per scheme).
 bench-engine:
-	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|ParallelFeed|Sweep|EngineHighLoad' -benchtime 1x .
+	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|ParallelFeed|Sweep|EngineHighLoad|WheelAdvance|EngineChurn' -benchtime 1x .
 	$(GO) test -run xxx -bench FlowTable -benchtime 1000x ./internal/flowtable
 
 # Engine benchmark trajectory, recorded: the same suite with enough
@@ -36,7 +38,7 @@ bench-engine:
 # flow-table micro-benchmarks append with an iteration-count benchtime of
 # their own (2 iterations would be noise at nanosecond scale).
 bench-json:
-	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|ParallelFeed|Sweep|EngineHighLoad' \
+	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|ParallelFeed|Sweep|EngineHighLoad|WheelAdvance|EngineChurn' \
 		-benchtime 2x -count 3 . > BENCH_engine.json
 	$(GO) test -run xxx -bench FlowTable -benchtime 50000x -count 3 \
 		./internal/flowtable >> BENCH_engine.json

@@ -20,6 +20,7 @@ import (
 	"splidt/internal/pkt"
 	"splidt/internal/rangemark"
 	"splidt/internal/resources"
+	"splidt/internal/timerwheel"
 	"splidt/internal/trace"
 )
 
@@ -479,6 +480,92 @@ func BenchmarkSweep(b *testing.B) {
 		b.Fatalf("full sweep coverage reclaimed %d of %d occupied slots", evicted, occupied)
 	}
 }
+
+// BenchmarkWheelAdvance measures the timer-wheel hot path a shard worker
+// pays under wheel expiry: re-arming a working set of timers and advancing
+// the wheel across their deadlines. Every op schedules 1024 timers over a
+// 512-tick window and advances through it, so the measured cost covers
+// placement, cascading, and firing; the whole path must stay
+// allocation-free (0 allocs/op).
+func BenchmarkWheelAdvance(b *testing.B) {
+	const timers = 1024
+	expired := 0
+	w := timerwheel.New(timerwheel.Config{OnExpire: func(*timerwheel.Node) { expired++ }})
+	nodes := make([]timerwheel.Node, timers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var now time.Duration
+	for i := 0; i < b.N; i++ {
+		for j := range nodes {
+			w.Schedule(&nodes[j], now+time.Duration(1+j%512)*timerwheel.DefaultTick)
+		}
+		now += 512 * timerwheel.DefaultTick
+		w.Advance(now)
+	}
+	b.StopTimer()
+	if expired != timers*b.N {
+		b.Fatalf("fired %d timers, want %d", expired, timers*b.N)
+	}
+	b.ReportMetric(timers, "timers/op")
+}
+
+// engineChurnState holds the heavy-tailed churn workload, generated once.
+var engineChurnState struct {
+	once sync.Once
+	pkts []pkt.Packet
+}
+
+// engineChurnFixture builds the expiry-churn deployment: the engine
+// benchmark model over a heavy-tailed workload (30% keepalive flows with
+// 0.6–2s gaps) on a cuckoo table squeezed to 4Ki cells, with a 100ms idle
+// timeout. Keepalives hold entries across long gaps while chatty flows
+// churn through, so the expiry engine — striped sweep or timer wheel — is
+// continuously reclaiming under load.
+func engineChurnFixture(b *testing.B) (dataplane.Config, []pkt.Packet) {
+	cfg, _ := engineBenchFixture(b)
+	st := &engineChurnState
+	st.once.Do(func() {
+		flows := trace.GenerateWith(trace.D3, 3000, 7, trace.GenConfig{LongIATFraction: 0.3})
+		st.pkts = trace.Interleave(flows, 100*time.Microsecond)
+	})
+	cfg.FlowSlots = 1 << 12
+	cfg.Table = dataplane.TableCuckoo
+	cfg.IdleTimeout = 100 * time.Millisecond
+	cfg.SweepStripe = 1 << 12 // full pass per burst: match the wheel's exact reclaim
+	return cfg, st.pkts
+}
+
+// benchmarkEngineChurn measures end-to-end engine throughput with flow-table
+// churn under the given expiry scheme, reporting pkts/s and the reclaim
+// volume. The two trajectories must stay within a few percent of each
+// other: the wheel's O(expired) advances buy exact per-entry deadlines
+// without costing burst throughput against the amortised striped sweep.
+func benchmarkEngineChurn(b *testing.B, expiry dataplane.ExpiryScheme) {
+	cfg, pkts := engineChurnFixture(b)
+	cfg.Expiry = expiry
+	e, err := engine.New(engine.Config{Deploy: cfg, Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rate, evictions float64
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(&engine.SliceSource{Pkts: pkts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Packets != len(pkts) {
+			b.Fatalf("processed %d packets, want %d", res.Stats.Packets, len(pkts))
+		}
+		rate += res.Throughput.PktsPerSec()
+		evictions += float64(res.Stats.Evictions)
+	}
+	b.ReportMetric(rate/float64(b.N), "pkts/s")
+	b.ReportMetric(evictions/float64(b.N), "evictions/op")
+}
+
+func BenchmarkEngineChurnSweep(b *testing.B) { benchmarkEngineChurn(b, dataplane.ExpirySweep) }
+func BenchmarkEngineChurnWheel(b *testing.B) { benchmarkEngineChurn(b, dataplane.ExpiryWheel) }
 
 // BenchmarkSessionFeed measures the streaming path end to end — Start, a
 // Feed loop spinning through backpressure, Close — over the same workload

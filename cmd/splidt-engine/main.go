@@ -15,13 +15,17 @@
 // repeat offenders hitting an already-populated blocklist. -idle-timeout
 // arms flow-table ageing: per-shard sweeps driven by packet time reclaim
 // register slots of flows that went quiet (blocked early-exited flows
-// included), keeping ActiveFlows bounded over multi-wave runs.
+// included), keeping ActiveFlows bounded over multi-wave runs. -expiry wheel
+// swaps the striped sweep for the hierarchical timer wheel with per-class
+// adaptive lifetimes (trained from each leaf's IAT statistics;
+// -lifetime-class pins specific classes by policy).
 //
 // Usage:
 //
 //	splidt-engine -dataset 3 -flows 2000 -shards 8 -burst 32
 //	splidt-engine -dataset 3 -flows 2000 -shards 4 -feeders 4
 //	splidt-engine -dataset 3 -flows 2000 -live -block 0,1,2 -waves 2 -idle-timeout 20ms
+//	splidt-engine -dataset 3 -flows 2000 -expiry wheel -idle-timeout 100ms -lifetime-class 3=5s
 package main
 
 import (
@@ -59,6 +63,8 @@ func main() {
 		stash      = flag.Int("stash", splidt.DefaultTableStash, "cuckoo overflow stash entries (-table cuckoo; 0 = library default, negative = no stash)")
 		idleTO     = flag.Duration("idle-timeout", 0, "flow-table ageing idle timeout in packet time (0 = off)")
 		stripe     = flag.Int("sweep-stripe", 0, "register slots examined per ageing sweep (0 = default)")
+		expiry     = flag.String("expiry", "sweep", "flow-expiry mechanism: sweep (striped scan, global -idle-timeout) or wheel (hierarchical timer wheel, per-class lifetimes trained from leaf IAT statistics; requires -idle-timeout)")
+		ltClass    = flag.String("lifetime-class", "", "comma-separated class=duration lifetime overrides, e.g. 3=5s,7=250ms (pins those classes' leaf lifetimes instead of deriving them)")
 		spacingUS  = flag.Int("spacing-us", 200, "flow start spacing (µs)")
 		live       = flag.Bool("live", false, "streaming session with a live controller loop")
 		block      = flag.String("block", "", "comma-separated classes the controller blocks (live mode)")
@@ -73,6 +79,14 @@ func main() {
 	if err != nil {
 		usageError("-table: %v", err)
 	}
+	expiryScheme, err := splidt.ParseExpiryScheme(*expiry)
+	if err != nil {
+		usageError("-expiry: %v", err)
+	}
+	if expiryScheme == splidt.ExpiryWheel && *idleTO <= 0 {
+		usageError("-expiry wheel needs -idle-timeout > 0 (the base flow lifetime)")
+	}
+	classLifetimes := parseClassLifetimes(*ltClass)
 	if *shards < 0 {
 		usageError("-shards must be >= 1 (or 0 for GOMAXPROCS), got %d", *shards)
 	}
@@ -101,6 +115,11 @@ func main() {
 	train, _ := splidt.Split(samples, 0.7)
 	m, err := splidt.Train(train, splidt.Config{
 		Partitions: parts, FeaturesPerSubtree: *k, NumClasses: classes,
+		// Wheel expiry runs on per-class adaptive lifetimes: derive them
+		// from the training samples' per-leaf IAT statistics, with
+		// -lifetime-class pinning specific classes by policy.
+		Lifetimes:      expiryScheme == splidt.ExpiryWheel,
+		ClassLifetimes: classLifetimes,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -116,6 +135,7 @@ func main() {
 			FlowSlots: *slots, Workload: splidt.Webserver,
 			Table: scheme, Ways: *ways, Stash: *stash,
 			IdleTimeout: *idleTO, SweepStripe: *stripe,
+			Expiry: expiryScheme,
 		},
 		Shards: *shards, Burst: *burst, Queue: *queue,
 	})
@@ -133,7 +153,12 @@ func main() {
 		fmt.Printf("flow table     %s\n", scheme)
 	}
 	if *idleTO > 0 {
-		fmt.Printf("ageing         idle-timeout %v, per-shard sweeps driven by packet time\n", *idleTO)
+		if expiryScheme == splidt.ExpiryWheel {
+			fmt.Printf("ageing         timer wheel, per-class lifetimes (base %v, max leaf %v), driven by packet time\n",
+				*idleTO, c.MaxLifetime())
+		} else {
+			fmt.Printf("ageing         idle-timeout %v, per-shard sweeps driven by packet time\n", *idleTO)
+		}
 	}
 
 	spacing := time.Duration(*spacingUS) * time.Microsecond
@@ -327,6 +352,31 @@ func usageError(format string, args ...any) {
 	fmt.Fprintf(flag.CommandLine.Output(), "splidt-engine: "+format+"\n", args...)
 	flag.Usage()
 	os.Exit(2)
+}
+
+// parseClassLifetimes parses the -lifetime-class value: comma-separated
+// class=duration pairs.
+func parseClassLifetimes(s string) map[int]time.Duration {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	out := make(map[int]time.Duration)
+	for _, tok := range strings.Split(s, ",") {
+		cls, dur, ok := strings.Cut(strings.TrimSpace(tok), "=")
+		if !ok {
+			log.Fatalf("bad -lifetime-class entry %q (want class=duration)", tok)
+		}
+		c, err := strconv.Atoi(strings.TrimSpace(cls))
+		if err != nil || c < 0 {
+			log.Fatalf("bad -lifetime-class class %q", cls)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(dur))
+		if err != nil || d <= 0 {
+			log.Fatalf("bad -lifetime-class duration %q", dur)
+		}
+		out[c] = d
+	}
+	return out
 }
 
 func parseInts(s, what string, min int) []int {

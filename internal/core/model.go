@@ -13,11 +13,23 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"splidt/internal/dt"
 	"splidt/internal/features"
 	"splidt/internal/pkt"
 	"splidt/internal/trace"
+)
+
+// Lifetime-derivation defaults. A leaf's lifetime is the largest maximum
+// inter-arrival time observed among the training samples routed to it,
+// scaled by the headroom factor so a flow sitting right at its class's worst
+// observed gap is not evicted mid-gap, then clamped into
+// [MinLeafLifetime, MaxLeafLifetime].
+const (
+	DefaultLifetimeHeadroom = 4.0
+	MinLeafLifetime         = 10 * time.Millisecond
+	MaxLeafLifetime         = 10 * time.Minute
 )
 
 // Config describes a partitioned-tree architecture — the hyperparameters the
@@ -46,6 +58,21 @@ type Config struct {
 	// one per partition, ending at 1. Training samples must have been built
 	// with the same bounds (trace.BuildSamplesBounds). Nil means uniform.
 	WindowBounds pkt.Bounds
+	// Lifetimes derives a per-leaf idle flow lifetime from the MaxIAT
+	// statistics of the training samples routed to each leaf (see the
+	// lifetime-derivation constants). Compiled models thread the lifetimes
+	// into the model table; the data plane's wheel-expiry mode re-arms each
+	// flow's deadline with its current leaf's lifetime, so chatty classes
+	// reclaim fast while long-IAT keepalive classes survive their gaps.
+	Lifetimes bool
+	// LifetimeHeadroom scales derived lifetimes (0 means
+	// DefaultLifetimeHeadroom). Larger values trade table occupancy for
+	// tolerance of IAT gaps beyond the training maximum.
+	LifetimeHeadroom float64
+	// ClassLifetimes pins the lifetime of every leaf whose majority class
+	// matches, overriding derivation — the operator policy escape hatch.
+	// Entries apply even when Lifetimes is false.
+	ClassLifetimes map[int]time.Duration
 }
 
 // Depth returns the total tree depth D = Σ partition sizes.
@@ -202,16 +229,23 @@ func (m *Model) trainSubtree(samples []trace.Sample, idx []int, p int) int {
 	st := &Subtree{SID: len(m.Subtrees) + 1, Partition: p, Tree: tree, Next: map[int]int{}}
 	m.Subtrees = append(m.Subtrees, st)
 
-	if p+1 >= len(m.Cfg.Partitions) {
-		return st.SID // final partition: all leaves exit
-	}
-
-	// Route surviving samples to leaves; recurse per impure leaf.
+	// Route surviving samples to leaves: transition training (non-final
+	// partitions) and lifetime derivation both consume the per-leaf sample
+	// sets. Routing uses the same (possibly quantised) rows the tree trained
+	// on, matching how the data plane will classify.
 	byLeaf := make(map[int][]int)
 	for j, i := range alive {
 		leaf := tree.Leaf(X[j])
 		byLeaf[leaf.LeafID] = append(byLeaf[leaf.LeafID], i)
 	}
+	if m.Cfg.Lifetimes || len(m.Cfg.ClassLifetimes) > 0 {
+		m.assignLifetimes(samples, tree, byLeaf, p)
+	}
+
+	if p+1 >= len(m.Cfg.Partitions) {
+		return st.SID // final partition: all leaves exit
+	}
+
 	// Deterministic order over leaves.
 	leafIDs := make([]int, 0, len(byLeaf))
 	for id := range byLeaf {
@@ -228,6 +262,50 @@ func (m *Model) trainSubtree(samples []trace.Sample, idx []int, p int) int {
 		}
 	}
 	return st.SID
+}
+
+// assignLifetimes stamps each leaf of a freshly trained subtree with its
+// per-class idle lifetime. ClassLifetimes entries win outright; otherwise
+// the lifetime is derived from the raw (unquantised) MaxIAT feature of the
+// window-p rows of the samples routed to the leaf — the worst idle gap the
+// class exhibited in training, padded by the headroom factor. Leaves with no
+// usable IAT signal keep Lifetime 0 and fall back to the deployment's base
+// timeout.
+func (m *Model) assignLifetimes(samples []trace.Sample, tree *dt.Tree, byLeaf map[int][]int, p int) {
+	headroom := m.Cfg.LifetimeHeadroom
+	if headroom <= 0 {
+		headroom = DefaultLifetimeHeadroom
+	}
+	for _, leaf := range tree.Leaves() {
+		if d, ok := m.Cfg.ClassLifetimes[leaf.Class]; ok {
+			leaf.Lifetime = d
+			continue
+		}
+		if !m.Cfg.Lifetimes {
+			continue
+		}
+		maxIAT := 0.0
+		for _, i := range byLeaf[leaf.LeafID] {
+			w := samples[i].Windows
+			if p >= len(w) {
+				continue
+			}
+			if v := w[p][features.MaxIAT]; v > maxIAT {
+				maxIAT = v
+			}
+		}
+		if maxIAT <= 0 {
+			continue
+		}
+		lt := time.Duration(headroom * maxIAT * float64(time.Microsecond))
+		if lt < MinLeafLifetime {
+			lt = MinLeafLifetime
+		}
+		if lt > MaxLeafLifetime {
+			lt = MaxLeafLifetime
+		}
+		leaf.Lifetime = lt
+	}
 }
 
 func pureLabels(samples []trace.Sample, idx []int) bool {

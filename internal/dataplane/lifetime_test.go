@@ -1,0 +1,104 @@
+package dataplane
+
+import (
+	"testing"
+	"time"
+
+	"splidt/internal/core"
+	"splidt/internal/rangemark"
+	"splidt/internal/resources"
+	"splidt/internal/trace"
+)
+
+// lifetimeDeploy trains a per-class-lifetime model on a heavy-tailed
+// workload (LongIATFraction of the flows rewritten into keepalive patterns
+// with 0.6–2s gaps) and returns a deployment config plus the packet stream.
+// Training sees the same heavy-tailed flows, so the leaves their windows
+// route to learn multi-second idle budgets.
+func lifetimeDeploy(t *testing.T) (Config, []trace.LabeledFlow) {
+	t.Helper()
+	flows := trace.GenerateWith(trace.D3, 120, 33, trace.GenConfig{LongIATFraction: 0.3})
+	samples := trace.BuildSamples(flows, 2)
+	m, err := core.Train(samples, core.Config{
+		Partitions: []int{3, 2}, FeaturesPerSubtree: 4, NumClasses: 13,
+		Lifetimes: true,
+	})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	c, err := rangemark.Compile(m)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if c.MaxLifetime() <= 0 {
+		t.Fatal("trained model carries no leaf lifetimes")
+	}
+	return Config{
+		Profile: resources.Tofino1(), Model: m, Compiled: c, FlowSlots: 1 << 16,
+	}, flows
+}
+
+// runExpiry replays the interleaved stream through one pipeline, driving
+// expiry from packet time once per 16-packet burst — the engine's schedule.
+func runExpiry(t *testing.T, cfg Config, flows []trace.LabeledFlow) Stats {
+	t.Helper()
+	pl, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i, p := range trace.Interleave(flows, time.Millisecond) {
+		pl.Process(p)
+		if i%16 == 15 {
+			pl.Sweep(pl.Clock())
+		}
+	}
+	return pl.Stats()
+}
+
+// TestSweepEvictsKeepalivesWheelKeeps is the per-class-lifetime headline
+// pin. Every flow in the workload runs to completion, so its final packet
+// releases its entry — any expiry eviction reclaims a LIVE flow. Under a
+// global idle timeout tuned for the chatty traffic (300ms, well over its
+// IATs), the striped sweep demonstrably evicts the heavy-tailed keepalive
+// flows mid-gap (their idle periods are 0.6–2s by construction). The timer
+// wheel on the same timeout, armed with the per-leaf lifetimes trained from
+// those same gaps, keeps every flow alive to its natural end — and emits
+// exactly the digest stream of an expiry-free pipeline.
+func TestSweepEvictsKeepalivesWheelKeeps(t *testing.T) {
+	cfg, flows := lifetimeDeploy(t)
+	const timeout = 300 * time.Millisecond
+
+	// Baseline: no expiry at all — the digest stream ageing must not alter.
+	base := runExpiry(t, cfg, flows)
+	if base.Evictions != 0 {
+		t.Fatalf("baseline evicted %d entries with expiry disabled", base.Evictions)
+	}
+
+	scfg := cfg
+	scfg.Expiry = ExpirySweep
+	scfg.IdleTimeout = timeout
+	scfg.SweepStripe = 1 << 16 // full pass per packet: laziness is not the pin
+	sweep := runExpiry(t, scfg, flows)
+	if sweep.Evictions == 0 {
+		t.Fatal("global-timeout sweep evicted nothing; the keepalive workload is not exercising expiry")
+	}
+
+	wcfg := cfg
+	wcfg.Expiry = ExpiryWheel
+	wcfg.IdleTimeout = timeout
+	wheel := runExpiry(t, wcfg, flows)
+	if wheel.Evictions != 0 || wheel.WheelExpiries != 0 {
+		t.Fatalf("wheel evicted %d live flows (%d expiries) despite per-class lifetimes",
+			wheel.Evictions, wheel.WheelExpiries)
+	}
+	if wheel.Digests != base.Digests || wheel.Packets != base.Packets ||
+		wheel.ControlPackets != base.ControlPackets {
+		t.Fatalf("wheel expiry perturbed inference:\nbase  %+v\nwheel %+v", base, wheel)
+	}
+	// The sweep's mid-gap evictions are visible in the digest stream: each
+	// evicted keepalive restarts at the root subtree and classifies again.
+	if sweep.Digests <= base.Digests {
+		t.Fatalf("sweep digests %d <= baseline %d: evictions did not hit live flows",
+			sweep.Digests, base.Digests)
+	}
+}

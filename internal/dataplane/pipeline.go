@@ -22,6 +22,14 @@
 // amortised O(1) per packet), and Evict reclaims a specific flow's entry on
 // a controller verdict. Reclaims are counted in Stats.Evictions.
 //
+// Expiry has a scheme knob of its own (Config.Expiry): the striped sweep
+// above (the default), or a hierarchical timer wheel (internal/timerwheel)
+// that arms a per-entry deadline re-armed on every touch with the flow's
+// per-class lifetime — the idle budget its current decision-tree leaf
+// learned from training IAT statistics — so chatty classes reclaim fast
+// while long-IAT keepalive classes survive gaps a global timeout would
+// evict them over.
+//
 // Resource budgets are enforced at construction through the same
 // resources.Profile model the design search uses, so a pipeline that
 // constructs is a pipeline that fits the target.
@@ -37,6 +45,7 @@ import (
 	"splidt/internal/pkt"
 	"splidt/internal/rangemark"
 	"splidt/internal/resources"
+	"splidt/internal/timerwheel"
 	"splidt/internal/trace"
 )
 
@@ -73,6 +82,42 @@ func ParseTableScheme(s string) (TableScheme, error) {
 	default:
 		return "", fmt.Errorf("unknown table scheme %q (valid: %s, %s, %s)",
 			s, TableDirect, TableCuckoo, TableOracle)
+	}
+}
+
+// ExpiryScheme selects the flow-expiry mechanism — how idle entries are
+// found and reclaimed.
+type ExpiryScheme string
+
+// The expiry schemes.
+const (
+	// ExpirySweep is the striped scan: Sweep examines SweepStripe cells per
+	// call with a wrapping cursor and reclaims entries idle past IdleTimeout.
+	// The zero value of Config.Expiry selects it, so existing deployments
+	// behave exactly as before the timer-wheel subsystem existed. Reclaim is
+	// lazy — an idle entry survives until the cursor next visits its cell —
+	// and the timeout is global: every flow gets the same idle budget.
+	ExpirySweep ExpiryScheme = "sweep"
+	// ExpiryWheel is the hierarchical timer wheel: every live entry carries
+	// an armed deadline, touches re-arm it with the flow's per-class
+	// lifetime (the current leaf's trained lifetime once classified onto
+	// one, the deployment base lifetime before that), and Sweep advances the
+	// wheel to the caller's packet time, firing exactly the entries whose
+	// deadlines elapsed — O(expired) per advance rather than O(stripe) per
+	// call. Requires IdleTimeout > 0 (the base lifetime).
+	ExpiryWheel ExpiryScheme = "wheel"
+)
+
+// ParseExpiryScheme validates a scheme name ("" selects ExpirySweep).
+func ParseExpiryScheme(s string) (ExpiryScheme, error) {
+	switch ExpiryScheme(s) {
+	case "", ExpirySweep:
+		return ExpirySweep, nil
+	case ExpiryWheel:
+		return ExpiryWheel, nil
+	default:
+		return "", fmt.Errorf("unknown expiry scheme %q (valid: %s, %s)",
+			s, ExpirySweep, ExpiryWheel)
 	}
 }
 
@@ -115,6 +160,14 @@ type Config struct {
 	// the way hardware flow-table sweep engines share the pipeline with
 	// traffic.
 	SweepStripe int
+	// Expiry selects the flow-expiry mechanism; the zero value is
+	// ExpirySweep, preserving the pre-timerwheel pipeline exactly.
+	// ExpiryWheel requires IdleTimeout > 0: the timeout becomes the base
+	// lifetime armed on flows not yet classified onto a leaf with a trained
+	// per-class lifetime (though a compiled model whose largest leaf
+	// lifetime exceeds it raises the base to that, so no class is evicted
+	// faster than its own training data says it idles).
+	Expiry ExpiryScheme
 }
 
 // defaultSweepStripe is the SweepStripe applied when the config leaves it
@@ -153,6 +206,16 @@ type Stats struct {
 	// StashInserts counts cuckoo inserts that overflowed into the bounded
 	// stash (zero for other schemes).
 	StashInserts int
+	// WheelExpiries counts entries reclaimed by the timer wheel's expiry
+	// callback (wheel expiry only; each is also counted in Evictions, which
+	// stays the scheme-neutral reclaim total).
+	WheelExpiries int
+	// WheelCascades[l-1] counts wheel nodes re-filed downward out of level l
+	// when that level's window wrapped (wheel expiry only). High counts in
+	// the upper indices mean deadlines routinely land far beyond the lower
+	// levels' spans — a signal the tick or slot count is mis-sized for the
+	// deployment's lifetimes.
+	WheelCascades [timerwheel.DefaultLevels - 1]int
 }
 
 // Add folds another pipeline's counters into s. Every Stats field is a
@@ -167,6 +230,10 @@ func (s *Stats) Add(o Stats) {
 	s.Evictions += o.Evictions
 	s.Kicks += o.Kicks
 	s.StashInserts += o.StashInserts
+	s.WheelExpiries += o.WheelExpiries
+	for i := range s.WheelCascades {
+		s.WheelCascades[i] += o.WheelCascades[i]
+	}
 }
 
 // MergeStats sums per-shard counters into one aggregate.
@@ -190,6 +257,15 @@ type Pipeline struct {
 	table flowtable.Store
 	stats Stats
 	marks []uint32 // per-window scratch, reused so Process never allocates
+	// wheel is the hierarchical expiry timer (nil under sweep expiry — the
+	// guard every wheel touch point branches on, keeping the sweep hot path
+	// identical to the pre-timerwheel pipeline).
+	wheel *timerwheel.Wheel
+	// baseLifetime is the deadline armed on flows not yet classified onto a
+	// leaf with a trained lifetime: max(IdleTimeout, largest compiled leaf
+	// lifetime) — conservative before classification, refined per-leaf at
+	// window boundaries.
+	baseLifetime time.Duration
 	// clock is the highest packet timestamp Process has seen. Entries are
 	// touch-stamped with it (not the raw packet TS) so ageing stays
 	// monotone even when a source replays a trace from time zero — the
@@ -212,6 +288,13 @@ func validate(cfg Config) error {
 	}
 	if cfg.Ways < 0 {
 		return fmt.Errorf("dataplane: negative table ways")
+	}
+	expiry, err := ParseExpiryScheme(string(cfg.Expiry))
+	if err != nil {
+		return fmt.Errorf("dataplane: %w", err)
+	}
+	if expiry == ExpiryWheel && cfg.IdleTimeout <= 0 {
+		return fmt.Errorf("dataplane: wheel expiry requires a positive IdleTimeout (the base flow lifetime)")
 	}
 	w := cfg.Workload
 	if w.Name == "" {
@@ -243,12 +326,31 @@ func newStore(cfg Config) flowtable.Store {
 
 // newPipeline assembles a pipeline over an already-validated config.
 func newPipeline(cfg Config) *Pipeline {
-	return &Pipeline{
+	pl := &Pipeline{
 		cfg:   cfg,
 		parts: cfg.Model.NumPartitions(),
 		table: newStore(cfg),
 		marks: make([]uint32, cfg.Compiled.K),
 	}
+	if cfg.Expiry == ExpiryWheel {
+		pl.baseLifetime = cfg.IdleTimeout
+		if ml := cfg.Compiled.MaxLifetime(); ml > pl.baseLifetime {
+			pl.baseLifetime = ml
+		}
+		pl.wheel = timerwheel.New(timerwheel.Config{OnExpire: pl.expire})
+	}
+	return pl
+}
+
+// expire is the wheel's expiry callback: an armed entry's deadline elapsed
+// without a touch re-arming it, so its flow has been idle for at least its
+// (per-class) lifetime. The wheel has already unlinked the node; recover the
+// entry through the back-pointer and free its cell.
+func (pl *Pipeline) expire(n *timerwheel.Node) {
+	e := n.Data.(*flowtable.Entry)
+	pl.table.Release(e)
+	pl.stats.Evictions++
+	pl.stats.WheelExpiries++
 }
 
 // New validates the deployment against the hardware profile and builds the
@@ -312,11 +414,16 @@ func (pl *Pipeline) Process(p pkt.Packet) *Digest {
 	e, st := pl.table.Acquire(ck)
 	switch st {
 	case flowtable.StatusFresh:
-		// Fresh entry: activate the root subtree.
+		// Fresh entry: activate the root subtree. Under wheel expiry the
+		// flow starts on the base lifetime — the most conservative trained
+		// lifetime — until a window boundary classifies it onto a leaf.
 		e.SID = 1
 		e.Started = p.TS
 		e.State.Reset()
 		e.PktCount = 0
+		if pl.wheel != nil {
+			e.Lifetime = pl.baseLifetime
+		}
 	case flowtable.StatusShared:
 		// Direct-scheme hash collision: on register hardware the flows
 		// silently share state. Count it and proceed with shared registers.
@@ -349,6 +456,8 @@ func (pl *Pipeline) Process(p pkt.Packet) *Digest {
 			e.Touched = pl.clock
 			if p.Seq >= p.FlowSize {
 				pl.table.Release(e)
+			} else if pl.wheel != nil {
+				pl.wheel.Schedule(e.Timer(), pl.clock+e.Lifetime)
 			}
 		}
 		return nil
@@ -359,6 +468,11 @@ func (pl *Pipeline) Process(p pkt.Packet) *Digest {
 	// long as anything hits it, like the hardware timestamp register
 	// written on access.
 	e.Touched = pl.clock
+	if pl.wheel != nil {
+		// Re-arm the deadline one lifetime out. O(1): unlink from the old
+		// slot, relink into the new one.
+		pl.wheel.Schedule(e.Timer(), pl.clock+e.Lifetime)
+	}
 
 	// Feature collection and engineering: fold the packet into the window
 	// registers (simple accumulators, dependency chain, k feature slots).
@@ -393,6 +507,15 @@ func (pl *Pipeline) Process(p pkt.Packet) *Digest {
 		} else {
 			e.SID = doneSID // early exit: park until the flow ends
 			e.State.Reset()
+			if pl.wheel != nil {
+				// The flow is now classified: park it on its leaf's trained
+				// lifetime so a dead tail frees the cell on the class's own
+				// idle budget, not the global one.
+				if rule.Lifetime > 0 {
+					e.Lifetime = rule.Lifetime
+				}
+				pl.wheel.Schedule(e.Timer(), pl.clock+e.Lifetime)
+			}
 		}
 		return d
 	}
@@ -403,6 +526,14 @@ func (pl *Pipeline) Process(p pkt.Packet) *Digest {
 	pl.stats.RecircBytes += pkt.ControlPacketBytes
 	e.SID = uint16(rule.Next)
 	e.State.Reset()
+	if pl.wheel != nil {
+		// Window boundary: adopt the leaf's per-class lifetime (if trained)
+		// and re-arm — the packet's earlier touch armed the old lifetime.
+		if rule.Lifetime > 0 {
+			e.Lifetime = rule.Lifetime
+		}
+		pl.wheel.Schedule(e.Timer(), pl.clock+e.Lifetime)
+	}
 	return nil
 }
 
@@ -438,6 +569,12 @@ func (pl *Pipeline) Stats() Stats {
 	ts := pl.table.Stats()
 	s.Kicks = ts.Kicks
 	s.StashInserts = ts.StashInserts
+	if pl.wheel != nil {
+		ws := pl.wheel.Stats()
+		for i := 0; i < len(s.WheelCascades) && i < len(ws.Cascades); i++ {
+			s.WheelCascades[i] = ws.Cascades[i]
+		}
+	}
 	return s
 }
 
@@ -465,7 +602,16 @@ func (pl *Pipeline) ActiveFlows() int { return pl.table.Occupied() }
 // ceil(Cap/SweepStripe) calls, which callers amortise to O(1) work per
 // packet by sweeping once per burst, like hardware sweep engines that
 // steal idle pipeline cycles.
+//
+// Under wheel expiry, Sweep is the same "drive expiry from packet time"
+// entry point but delegates to the wheel: it advances the wheel to now,
+// firing exactly the entries whose armed deadlines elapsed — O(expired) plus
+// O(ticks crossed) bookkeeping, instead of a stripe scan. Reclaims are
+// counted by the expiry callback (Stats.Evictions and Stats.WheelExpiries).
 func (pl *Pipeline) Sweep(now time.Duration) int {
+	if pl.wheel != nil {
+		return pl.wheel.Advance(now)
+	}
 	if pl.cfg.IdleTimeout <= 0 {
 		return 0
 	}
@@ -495,7 +641,16 @@ func (pl *Pipeline) Evict(k flow.Key) bool {
 func (pl *Pipeline) Clock() time.Duration { return pl.clock }
 
 // AgeingEnabled reports whether the deployment configured an idle timeout.
+// Wheel-expiry deployments always age (they require one).
 func (pl *Pipeline) AgeingEnabled() bool { return pl.cfg.IdleTimeout > 0 }
+
+// Expiry returns the deployment's expiry scheme, normalised.
+func (pl *Pipeline) Expiry() ExpiryScheme {
+	if pl.wheel != nil {
+		return ExpiryWheel
+	}
+	return ExpirySweep
+}
 
 // TableCap returns the flow table's total cell count (slot-array length
 // for direct; bucket cells plus stash for cuckoo).

@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Config controls tree growth.
@@ -50,6 +51,12 @@ type Node struct {
 	Class  int
 	Counts []int // training class histogram at this node
 	LeafID int   // dense leaf index, assigned after growth
+	// Lifetime is the leaf's per-class idle flow lifetime (leaves only;
+	// 0 = none assigned). The partitioned trainer derives it from the IAT
+	// statistics of the training samples routed to the leaf, and the
+	// compiler threads it into the model table so wheel-mode expiry can
+	// give each decision region its own deadline.
+	Lifetime time.Duration
 }
 
 // Tree is a trained classifier.

@@ -429,7 +429,7 @@ func (s *shardState) publish() {
 
 // subStats returns now − prev field-wise (one session's deltas).
 func subStats(now, prev dataplane.Stats) dataplane.Stats {
-	return dataplane.Stats{
+	d := dataplane.Stats{
 		Packets:        now.Packets - prev.Packets,
 		ControlPackets: now.ControlPackets - prev.ControlPackets,
 		Digests:        now.Digests - prev.Digests,
@@ -438,7 +438,12 @@ func subStats(now, prev dataplane.Stats) dataplane.Stats {
 		Evictions:      now.Evictions - prev.Evictions,
 		Kicks:          now.Kicks - prev.Kicks,
 		StashInserts:   now.StashInserts - prev.StashInserts,
+		WheelExpiries:  now.WheelExpiries - prev.WheelExpiries,
 	}
+	for i := range d.WheelCascades {
+		d.WheelCascades[i] = now.WheelCascades[i] - prev.WheelCascades[i]
+	}
+	return d
 }
 
 // sortDigests fixes a deterministic total order on the merged stream:

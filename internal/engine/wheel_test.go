@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"splidt/internal/dataplane"
+	"splidt/internal/pkt"
+	"splidt/internal/trace"
+)
+
+// wheelEqWorkload builds the expiry-equivalence packet stream: a normal
+// interleaved workload where every third flow is truncated (its tail never
+// arrives, so its entry can only leave the table through expiry), followed
+// by a late cohort of complete flows shifted well past the idle timeout.
+// The late cohort advances every shard's packet-time clock far beyond the
+// truncated flows' last touches and supplies the bursts that drive the
+// expiry engines, so both schemes reclaim every leaked entry before the
+// stream ends. It returns the packets and the number of truncated flows.
+func wheelEqWorkload(timeout time.Duration) ([]pkt.Packet, int) {
+	flows := trace.Generate(trace.D3, 120, 9)
+	truncated := 0
+	for i := range flows {
+		if i%3 != 0 {
+			continue
+		}
+		keep := len(flows[i].Packets) * 6 / 10
+		if keep < 2 {
+			keep = 2
+		}
+		if keep == len(flows[i].Packets) {
+			continue
+		}
+		flows[i].Packets = flows[i].Packets[:keep]
+		truncated++
+	}
+	pkts := trace.Interleave(flows, time.Millisecond)
+	var maxTS time.Duration
+	for _, p := range pkts {
+		if p.TS > maxTS {
+			maxTS = p.TS
+		}
+	}
+	late := trace.Generate(trace.D3, 8, 77)
+	shift := maxTS + timeout + time.Second
+	for i := range late {
+		for j := range late[i].Packets {
+			late[i].Packets[j].TS += shift
+		}
+	}
+	pkts = append(pkts, trace.Interleave(late, time.Millisecond)...)
+	return pkts, truncated
+}
+
+// TestWheelMatchesSweep is the expiry subsystem's equivalence pin: with a
+// uniform lifetime class (no trained per-leaf lifetimes, so the wheel arms
+// every flow with the same base lifetime the sweep uses as its global
+// timeout), the wheel-expiry engine must produce exactly the digest
+// multiset, inference counters, and eviction totals of the sweep-expiry
+// engine — across both table schemes and at 1 and 4 shards, under -race in
+// CI. The timeout exceeds every intra-flow gap, so neither mechanism may
+// reclaim a live flow; the truncated flows guarantee the eviction totals
+// are non-trivial.
+func TestWheelMatchesSweep(t *testing.T) {
+	const timeout = 2 * time.Second
+	pkts, truncated := wheelEqWorkload(timeout)
+	if truncated == 0 {
+		t.Fatal("workload has no truncated flows; the eviction comparison would be vacuous")
+	}
+
+	base := deployCfg(t, 1<<12)
+	base.IdleTimeout = timeout
+	base.SweepStripe = 1 << 12 // full-table sweep pass per burst
+
+	// Burst 1 pins the expiry schedule: workers drive Sweep/Advance once per
+	// burst, and burst grouping depends on scheduling — with larger bursts,
+	// whether a leaked entry is reclaimed at a burst boundary before a late
+	// packet collides onto its slot varies run to run (in BOTH schemes,
+	// identically distributed). One packet per burst means expiry runs after
+	// every packet in either engine, so the comparison is exact.
+	for _, scheme := range []dataplane.TableScheme{dataplane.TableDirect, dataplane.TableCuckoo} {
+		for _, shards := range []int{1, 4} {
+			scfg := base
+			scfg.Table = scheme
+			scfg.Expiry = dataplane.ExpirySweep
+			se, err := New(Config{Deploy: scfg, Shards: shards, Burst: 1, Queue: 64})
+			if err != nil {
+				t.Fatalf("%s/%d: New(sweep): %v", scheme, shards, err)
+			}
+			sres, err := se.Run(&SliceSource{Pkts: pkts})
+			if err != nil {
+				t.Fatalf("%s/%d: Run(sweep): %v", scheme, shards, err)
+			}
+
+			wcfg := base
+			wcfg.Table = scheme
+			wcfg.Expiry = dataplane.ExpiryWheel
+			we, err := New(Config{Deploy: wcfg, Shards: shards, Burst: 1, Queue: 64})
+			if err != nil {
+				t.Fatalf("%s/%d: New(wheel): %v", scheme, shards, err)
+			}
+			wres, err := we.Run(&SliceSource{Pkts: pkts})
+			if err != nil {
+				t.Fatalf("%s/%d: Run(wheel): %v", scheme, shards, err)
+			}
+
+			// Most truncated flows must reclaim through expiry. Not all:
+			// a shard whose late-cohort share is empty stops advancing its
+			// clock, and a direct-scheme collider completing on a truncated
+			// flow's slot releases it — both identically in either scheme.
+			if sres.Stats.Evictions < truncated/2 {
+				t.Fatalf("%s/%d: sweep reclaimed %d entries, want >= %d (half the truncated flows)",
+					scheme, shards, sres.Stats.Evictions, truncated/2)
+			}
+			if wres.Stats.Evictions != sres.Stats.Evictions {
+				t.Fatalf("%s/%d: wheel evicted %d entries, sweep %d",
+					scheme, shards, wres.Stats.Evictions, sres.Stats.Evictions)
+			}
+			if wres.Stats.WheelExpiries != wres.Stats.Evictions {
+				t.Fatalf("%s/%d: wheel expiries %d != evictions %d (no Block ran, so every reclaim is an expiry)",
+					scheme, shards, wres.Stats.WheelExpiries, wres.Stats.Evictions)
+			}
+			if sres.Stats.WheelExpiries != 0 {
+				t.Fatalf("%s/%d: sweep leg counted %d wheel expiries", scheme, shards, sres.Stats.WheelExpiries)
+			}
+			if sres.Stats.Packets != wres.Stats.Packets ||
+				sres.Stats.ControlPackets != wres.Stats.ControlPackets ||
+				sres.Stats.Digests != wres.Stats.Digests ||
+				sres.Stats.Collisions != wres.Stats.Collisions ||
+				sres.Stats.RecircBytes != wres.Stats.RecircBytes {
+				t.Fatalf("%s/%d: inference counters diverge:\nsweep %+v\nwheel %+v",
+					scheme, shards, sres.Stats, wres.Stats)
+			}
+			want := digestCounts(sres.Digests)
+			got := digestCounts(wres.Digests)
+			if len(got) != len(want) || len(wres.Digests) != len(sres.Digests) {
+				t.Fatalf("%s/%d: wheel %d digests (%d distinct), sweep %d (%d distinct)",
+					scheme, shards, len(wres.Digests), len(got), len(sres.Digests), len(want))
+			}
+			for d, n := range want {
+				if got[d] != n {
+					t.Fatalf("%s/%d: digest %+v count %d, want %d", scheme, shards, d, got[d], n)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedWheelFlowNotResurrected mirrors TestBlockedStashFlowNotResurrected
+// under wheel expiry: blocking a stash-resident flow must disarm its timer
+// node along with freeing the line. The pinned hazard is a stale deadline —
+// if Evict freed the cell without unlinking the node, the next flow to
+// claim the line would inherit a timer due at the blocked flow's old
+// deadline, and the wheel would expire the live successor the moment the
+// clock passed it.
+func TestBlockedWheelFlowNotResurrected(t *testing.T) {
+	const timeout = time.Second
+	cfg := deployCfg(t, 1) // one bucket cell, so the second flow must stash
+	cfg.Table = dataplane.TableCuckoo
+	cfg.Ways = 1
+	cfg.Stash = 1
+	cfg.IdleTimeout = timeout
+	cfg.Expiry = dataplane.ExpiryWheel
+	e, err := New(Config{Deploy: cfg, Shards: 1, Burst: 32, Queue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan struct{}, 8)
+	e.shards[0].hold = hold
+	s, err := e.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flows := trace.Generate(trace.D3, 3, eqSeed)
+	a, b, c := flows[0], flows[1], flows[2]
+
+	// Burst 1: A claims the bucket cell, B the stash line; both arm timers.
+	if _, err := s.Feed([]pkt.Packet{a.Packets[0], b.Packets[0]}); err != nil {
+		t.Fatal(err)
+	}
+	hold <- struct{}{}
+	waitFor(t, func() bool { return s.Snapshot().Stats.Packets == 2 })
+	snap := s.Snapshot()
+	if snap.Stats.StashInserts != 1 || snap.ActiveFlows != 2 {
+		t.Fatalf("setup: stashInserts=%d active=%d, want 1/2 (B in the stash)",
+			snap.Stats.StashInserts, snap.ActiveFlows)
+	}
+
+	// Block B while its timer is armed, then feed C in the next burst: the
+	// worker drains the eviction (which must disarm B's node) right before
+	// processing C, so C claims the freed stash line. C is stamped just
+	// past B's first packet, leaving B's stale deadline (had it survived)
+	// ahead of the clock for now.
+	s.Block(b.Key)
+	c0 := c.Packets[0]
+	c0.TS = b.Packets[0].TS + 100*time.Millisecond
+	if _, err := s.Feed([]pkt.Packet{c0}); err != nil {
+		t.Fatal(err)
+	}
+	hold <- struct{}{}
+	waitFor(t, func() bool {
+		sn := s.Snapshot()
+		return sn.Stats.Packets == 3 && sn.Stats.Evictions == 1
+	})
+	snap = s.Snapshot()
+	if snap.Stats.Collisions != 0 || snap.Stats.StashInserts != 2 || snap.ActiveFlows != 2 {
+		t.Fatalf("stash reuse: collisions=%d stashInserts=%d active=%d, want 0/2/2",
+			snap.Stats.Collisions, snap.Stats.StashInserts, snap.ActiveFlows)
+	}
+
+	// Drive the wheel past B's stale deadline (and A's — A legitimately
+	// expires, proving the advance actually crossed the window) with a
+	// late C packet. C itself was touched at c0.TS and re-arms here, so
+	// with B's node disarmed exactly one expiry may fire.
+	c1 := c.Packets[1]
+	c1.TS = c0.TS + timeout + 200*time.Millisecond
+	if _, err := s.Feed([]pkt.Packet{c1}); err != nil {
+		t.Fatal(err)
+	}
+	hold <- struct{}{}
+	waitFor(t, func() bool { return s.Snapshot().Stats.Packets == 4 })
+	snap = s.Snapshot()
+	if snap.Stats.WheelExpiries != 1 {
+		t.Fatalf("wheel fired %d expiries, want 1 (A only — a second firing means B's stale deadline reclaimed C's line)",
+			snap.Stats.WheelExpiries)
+	}
+	if snap.ActiveFlows != 1 {
+		t.Fatalf("ActiveFlows = %d after advance, want 1 (C alive in the reused stash line)", snap.ActiveFlows)
+	}
+
+	// C must still own its entry: another packet is an owner hit, not a
+	// fresh insert.
+	c2 := c.Packets[2]
+	c2.TS = c1.TS + time.Millisecond
+	if _, err := s.Feed([]pkt.Packet{c2}); err != nil {
+		t.Fatal(err)
+	}
+	hold <- struct{}{}
+	waitFor(t, func() bool { return s.Snapshot().Stats.Packets == 5 })
+	snap = s.Snapshot()
+	if snap.Stats.Collisions != 0 || snap.Stats.StashInserts != 2 {
+		t.Fatalf("C lost its entry: collisions=%d stashInserts=%d, want 0/2",
+			snap.Stats.Collisions, snap.Stats.StashInserts)
+	}
+
+	close(hold)
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

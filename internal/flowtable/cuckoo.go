@@ -214,6 +214,7 @@ func (t *Cuckoo) insert(k flow.Key, b1, b2 int) *Entry {
 	}
 	e.key = k
 	e.hb1, e.hb2 = int32(b1), int32(b2)
+	e.timer.Data = e
 	return e
 }
 
@@ -261,6 +262,13 @@ search:
 		for {
 			src := q[cur]
 			t.entries[dst] = t.entries[src]
+			// The copy carries the entry's armed timer node; repoint the
+			// node's back-pointer and its list neighbours at the new cell
+			// before the stale source is zeroed (plain zero, never Unlink —
+			// the links now belong to the copy).
+			moved := &t.entries[dst]
+			moved.timer.Data = moved
+			moved.timer.Relink()
 			t.entries[src] = Entry{}
 			t.stats.Kicks++
 			dst = src
@@ -308,7 +316,7 @@ func (t *Cuckoo) Release(e *Entry) {
 	if t.inStash(e) {
 		t.stashed--
 	}
-	*e = Entry{}
+	e.free()
 	t.occupied--
 }
 
@@ -349,7 +357,7 @@ func (t *Cuckoo) Sweep(now, timeout time.Duration, stripe int) int {
 			if stashLine {
 				t.stashed--
 			}
-			*e = Entry{}
+			e.free()
 			t.occupied--
 			evicted++
 		}

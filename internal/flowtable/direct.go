@@ -40,6 +40,7 @@ func (d *Direct) Acquire(k flow.Key) (*Entry, Status) {
 	e := d.slotOf(k)
 	if e.SID == 0 {
 		e.key = k
+		e.timer.Data = e
 		d.occupied++
 		return e, StatusFresh
 	}
@@ -51,7 +52,7 @@ func (d *Direct) Acquire(k flow.Key) (*Entry, Status) {
 
 // Release implements Store.
 func (d *Direct) Release(e *Entry) {
-	*e = Entry{}
+	e.free()
 	d.occupied--
 }
 

@@ -29,7 +29,9 @@
 // is returned zeroed with its key recorded; the caller must set SID non-zero
 // immediately (SID == 0 is the store's "free cell" marker, exactly as a
 // zero subtree ID marks a free register slot on hardware). Release, Evict,
-// and Sweep clear entries back to zero.
+// and Sweep clear entries back to zero, disarming the entry's embedded
+// timer node first — a cell is never recycled with a stale wheel deadline
+// still linked to it.
 package flowtable
 
 import (
@@ -37,19 +39,32 @@ import (
 
 	"splidt/internal/features"
 	"splidt/internal/flow"
+	"splidt/internal/timerwheel"
 )
 
 // Entry is one flow's register state. Field layout mirrors the register
 // arrays of the simulated pipeline: the subtree ID and packet count the
-// model tables key on, the window feature state, and the ageing touch
-// stamp. The owning key is store-managed (set at Acquire, verified on
-// lookup) and read through Key.
+// model tables key on, the window feature state, the ageing touch stamp,
+// and — under wheel expiry — the embedded timer node and the per-class
+// idle lifetime the pipeline last armed it with. The owning key is
+// store-managed (set at Acquire, verified on lookup) and read through Key.
 type Entry struct {
 	SID      uint16
 	PktCount uint32
 	Started  time.Duration
 	Touched  time.Duration
+	// Lifetime is the idle lifetime the entry's deadline is re-armed with
+	// on every touch under wheel expiry: the flow's current leaf's
+	// per-class lifetime once classified onto one, the deployment's base
+	// lifetime before that. Zero under sweep expiry.
+	Lifetime time.Duration
 	State    features.FlowState
+
+	// timer is the entry's intrusive wheel node. The stores own its
+	// lifecycle edges — claim sets its back-pointer, every free path
+	// disarms it, cuckoo displacement relinks it — while the pipeline owns
+	// arming (Wheel.Schedule with the entry's deadline).
+	timer timerwheel.Node
 
 	key flow.Key
 	// hb1/hb2 cache the entry's candidate bucket pair (cuckoo scheme only,
@@ -59,6 +74,22 @@ type Entry struct {
 
 // Key returns the flow that owns the entry.
 func (e *Entry) Key() flow.Key { return e.key }
+
+// Timer returns the entry's intrusive wheel node, for the pipeline to arm
+// (timerwheel.Wheel.Schedule). The node's Data back-pointer is maintained
+// by the store; an expiry callback recovers the entry with
+// n.Data.(*flowtable.Entry).
+func (e *Entry) Timer() *timerwheel.Node { return &e.timer }
+
+// free disarms the entry's timer and zeroes it — the one free path every
+// store reclaim (Release, Evict, Sweep, wheel expiry) must go through:
+// zeroing an armed entry without unlinking would leave its slot-list
+// neighbours pointing at a recycled cell, and a stale deadline could then
+// expire whatever flow claims the cell next.
+func (e *Entry) free() {
+	e.timer.Unlink()
+	*e = Entry{}
+}
 
 // Status reports how Acquire satisfied a lookup.
 type Status int

@@ -29,6 +29,7 @@ func (o *Oracle) Acquire(k flow.Key) (*Entry, Status) {
 		return e, StatusOwner
 	}
 	e := &Entry{key: k}
+	e.timer.Data = e
 	o.flows[k] = e
 	return e, StatusFresh
 }
@@ -36,7 +37,7 @@ func (o *Oracle) Acquire(k flow.Key) (*Entry, Status) {
 // Release implements Store.
 func (o *Oracle) Release(e *Entry) {
 	delete(o.flows, e.key)
-	*e = Entry{}
+	e.free()
 }
 
 // Evict implements Store.

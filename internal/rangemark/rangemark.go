@@ -9,6 +9,7 @@ package rangemark
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"splidt/internal/core"
 	"splidt/internal/dt"
@@ -65,6 +66,10 @@ type ModelRule struct {
 	// flow ends before the next partition completes.
 	Class int
 	Next  int // next SID when !Exit
+	// Lifetime is the leaf's per-class idle flow lifetime (0 = none): the
+	// deadline the wheel-expiry data plane re-arms a flow with once it is
+	// classified onto this leaf. Carried verbatim from dt.Node.Lifetime.
+	Lifetime time.Duration
 }
 
 // Compile lowers a trained model to tables. valueBits selects feature
@@ -157,10 +162,11 @@ func Compile(m *core.Model) (*Compiled, error) {
 		walk = func(n *dt.Node, lo, hi []uint32) {
 			if n.Leaf {
 				rule := ModelRule{
-					SID:   st.SID,
-					Lo:    append([]uint32(nil), lo...),
-					Hi:    append([]uint32(nil), hi...),
-					Class: n.Class,
+					SID:      st.SID,
+					Lo:       append([]uint32(nil), lo...),
+					Hi:       append([]uint32(nil), hi...),
+					Class:    n.Class,
+					Lifetime: n.Lifetime,
 				}
 				if next, ok := st.Next[n.LeafID]; ok {
 					rule.Next = next
@@ -320,6 +326,20 @@ func (c *Compiled) Lookup(sid int, marks []uint32) (ModelRule, bool) {
 
 // ModelRules exposes the model-table rules.
 func (c *Compiled) ModelRules() []ModelRule { return c.modelRules }
+
+// MaxLifetime returns the largest per-leaf lifetime across the model table,
+// or 0 when the model carries none. Wheel-expiry deployments use it as the
+// base lifetime for flows not yet classified onto a leaf — conservative by
+// construction, since no leaf would keep the flow longer.
+func (c *Compiled) MaxLifetime() time.Duration {
+	var max time.Duration
+	for _, r := range c.modelRules {
+		if r.Lifetime > max {
+			max = r.Lifetime
+		}
+	}
+	return max
+}
 
 // FeatureEntries returns the total entry count across feature tables.
 func (c *Compiled) FeatureEntries() int {

@@ -35,6 +35,71 @@ func Generate(id DatasetID, n int, seed int64) []LabeledFlow {
 	return out
 }
 
+// GenConfig tunes optional deviations from the dataset's generative model.
+// The zero value reproduces Generate exactly, byte for byte.
+type GenConfig struct {
+	// LongIATFraction selects this fraction of generated flows (uniformly,
+	// class-independent) and rewrites their timelines into heavy-tailed
+	// keepalive patterns: every inter-arrival gap is floored at a long idle
+	// period (0.6–2s, drawn per gap). Such flows are alive for their whole
+	// packet sequence but idle far past any global timeout tuned for chatty
+	// traffic — the workload that separates per-class adaptive lifetimes
+	// (trained on the same heavy-tailed samples, so their leaves learn
+	// multi-second budgets) from a one-size-fits-all IdleTimeout, which
+	// evicts them mid-flow. 0 disables the rewrite.
+	LongIATFraction float64
+}
+
+// Keepalive gap bounds for GenConfig.LongIATFraction: each stretched gap is
+// drawn uniformly from [longGapMin, longGapMin+longGapSpan).
+const (
+	longGapMin  = 600 * time.Millisecond
+	longGapSpan = 1400 * time.Millisecond
+)
+
+// longIATSalt decorrelates the keepalive selection stream from flow-level
+// randomness, so enabling the rewrite never perturbs which base flows are
+// generated or how.
+const longIATSalt = 0x5eefca11
+
+// GenerateWith is Generate plus the GenConfig deviations, applied as a
+// deterministic post-pass over the base flow sequence: GenerateWith(id, n,
+// seed, GenConfig{}) is identical to Generate(id, n, seed), and the same
+// non-zero config always rewrites the same flows the same way.
+func GenerateWith(id DatasetID, n int, seed int64, cfg GenConfig) []LabeledFlow {
+	flows := Generate(id, n, seed)
+	if cfg.LongIATFraction <= 0 {
+		return flows
+	}
+	aux := rand.New(rand.NewSource(seed ^ (int64(id) << 32) ^ longIATSalt))
+	for i := range flows {
+		if aux.Float64() >= cfg.LongIATFraction {
+			continue
+		}
+		stretchIATs(aux, flows[i].Packets)
+	}
+	return flows
+}
+
+// stretchIATs rewrites a flow's timeline into a keepalive pattern: every
+// inter-arrival gap shorter than a freshly drawn long idle period is
+// stretched to it, and all later timestamps shift by the accumulated
+// stretch, preserving arrival order.
+func stretchIATs(rng *rand.Rand, packets []pkt.Packet) {
+	var shift time.Duration
+	prev := packets[0].TS // original (unshifted) predecessor timestamp
+	for j := 1; j < len(packets); j++ {
+		orig := packets[j].TS
+		gap := orig - prev
+		floor := longGapMin + time.Duration(rng.Float64()*float64(longGapSpan))
+		if gap < floor {
+			shift += floor - gap
+		}
+		packets[j].TS = orig + shift
+		prev = orig
+	}
+}
+
 // genRNG is the flow-level randomness source of a (dataset, seed) pair.
 // Generate and NewStream share it so eager and lazy generation yield the
 // same flow sequence.

@@ -1,0 +1,62 @@
+package trace
+
+import "testing"
+
+// A zero GenConfig must reproduce Generate byte for byte — GenerateWith is a
+// post-pass, never a fork of the generative model.
+func TestGenerateWithZeroConfigIdentical(t *testing.T) {
+	a := Generate(D2, 30, 11)
+	b := GenerateWith(D2, 30, 11, GenConfig{})
+	if len(a) != len(b) {
+		t.Fatalf("lengths %d/%d differ", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Label != b[i].Label || len(a[i].Packets) != len(b[i].Packets) {
+			t.Fatalf("flow %d differs under zero GenConfig", i)
+		}
+		for j := range a[i].Packets {
+			if a[i].Packets[j] != b[i].Packets[j] {
+				t.Fatalf("flow %d packet %d differs under zero GenConfig", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateWithLongIAT(t *testing.T) {
+	base := Generate(D2, 40, 11)
+	heavy := GenerateWith(D2, 40, 11, GenConfig{LongIATFraction: 0.5})
+	again := GenerateWith(D2, 40, 11, GenConfig{LongIATFraction: 0.5})
+
+	stretched, untouched := 0, 0
+	for i := range heavy {
+		// The rewrite never changes identity, labels, or packet counts.
+		if heavy[i].Key != base[i].Key || heavy[i].Label != base[i].Label ||
+			len(heavy[i].Packets) != len(base[i].Packets) {
+			t.Fatalf("flow %d: rewrite changed non-timestamp state", i)
+		}
+		// Deterministic: same config, same flows, same timelines.
+		for j := range heavy[i].Packets {
+			if heavy[i].Packets[j] != again[i].Packets[j] {
+				t.Fatalf("flow %d packet %d differs across identical configs", i, j)
+			}
+		}
+		ps := heavy[i].Packets
+		if ps[len(ps)-1].TS == base[i].Packets[len(ps)-1].TS {
+			untouched++
+			continue
+		}
+		stretched++
+		for j := 1; j < len(ps); j++ {
+			if gap := ps[j].TS - ps[j-1].TS; gap < longGapMin {
+				t.Fatalf("flow %d gap %d is %v, want >= %v after stretch", i, j, gap, longGapMin)
+			}
+		}
+	}
+	if stretched == 0 || untouched == 0 {
+		t.Fatalf("want a mix of stretched and untouched flows, got %d/%d", stretched, untouched)
+	}
+	// Roughly the requested fraction (binomial, n=40, p=0.5 — 6σ bounds).
+	if stretched < 5 || stretched > 35 {
+		t.Fatalf("stretched %d of 40 flows, far from LongIATFraction 0.5", stretched)
+	}
+}

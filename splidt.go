@@ -54,6 +54,16 @@
 //     direct array demonstrably diverges (GenerateColliding builds the
 //     adversarial workload; displacement kicks and stash inserts surface
 //     in PipelineStats).
+//   - Timer-wheel expiry with per-class lifetimes: DeployConfig.Expiry
+//     selects the expiry mechanism. ExpiryWheel replaces the striped sweep
+//     with a hierarchical timing wheel that arms every flow entry with a
+//     deadline re-armed on each touch, reclaiming idle entries in
+//     O(expired) as packet time advances; with Config.Lifetimes, training
+//     derives a per-leaf idle lifetime from each leaf's IAT statistics, so
+//     chatty classes expire fast while keepalive classes (GenerateWith's
+//     LongIATFraction builds such workloads) survive gaps a global
+//     IdleTimeout would evict them over (expiries surface in
+//     PipelineStats.WheelExpiries).
 //
 // See examples/quickstart for the end-to-end path, cmd/splidt-engine (and
 // its -live mode) for sharded execution, and examples/livecontrol for the
@@ -110,6 +120,19 @@ type Sample = trace.Sample
 // Generate synthesises n labelled flows from a dataset's generative model
 // (deterministic in seed).
 func Generate(d Dataset, n int, seed int64) []LabeledFlow { return trace.Generate(d, n, seed) }
+
+// GenConfig tunes optional workload deviations for GenerateWith; its zero
+// value reproduces Generate exactly. GenConfig.LongIATFraction rewrites that
+// fraction of flows into heavy-tailed keepalive patterns (0.6–2s gaps) —
+// flows a global idle timeout tuned for chatty traffic would evict mid-gap,
+// the workload that motivates per-class adaptive lifetimes.
+type GenConfig = trace.GenConfig
+
+// GenerateWith is Generate plus GenConfig deviations, applied as a
+// deterministic post-pass over the base flow sequence.
+func GenerateWith(d Dataset, n int, seed int64, cfg GenConfig) []LabeledFlow {
+	return trace.GenerateWith(d, n, seed, cfg)
+}
 
 // BuildSamples windows labelled flows into training samples for the given
 // partition count.
@@ -186,6 +209,23 @@ const (
 
 // ParseTableScheme validates a scheme name ("" selects TableDirect).
 func ParseTableScheme(s string) (TableScheme, error) { return dataplane.ParseTableScheme(s) }
+
+// ExpiryScheme selects how a deployment reclaims idle flow entries
+// (DeployConfig.Expiry): ExpirySweep is the striped scan over the table
+// with the global IdleTimeout, ExpiryWheel the hierarchical timer wheel
+// that arms every flow with a per-class adaptive lifetime (trained per
+// decision-tree leaf when Config.Lifetimes is set) and reclaims in
+// O(expired) as packet time advances.
+type ExpiryScheme = dataplane.ExpiryScheme
+
+// The expiry schemes.
+const (
+	ExpirySweep = dataplane.ExpirySweep
+	ExpiryWheel = dataplane.ExpiryWheel
+)
+
+// ParseExpiryScheme validates a scheme name ("" selects ExpirySweep).
+func ParseExpiryScheme(s string) (ExpiryScheme, error) { return dataplane.ParseExpiryScheme(s) }
 
 // Cuckoo-scheme geometry defaults, applied when DeployConfig leaves
 // Ways/Stash zero (a negative Stash disables the stash entirely).
