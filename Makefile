@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine bench-json examples ci
+.PHONY: all build vet test race bench bench-engine bench-json bench-1m loadgen-smoke examples ci
 
 all: build vet test
 
@@ -29,6 +29,7 @@ bench:
 bench-engine:
 	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|ParallelFeed|Sweep|EngineHighLoad|WheelAdvance|EngineChurn' -benchtime 1x .
 	$(GO) test -run xxx -bench FlowTable -benchtime 1000x ./internal/flowtable
+	$(GO) test -run xxx -bench 'ChurnNext|WireNext|HarnessSteady' -benchtime 100000x ./internal/loadgen
 
 # Engine benchmark trajectory, recorded: the same suite with enough
 # repetitions for benchstat, written to BENCH_engine.json in the standard
@@ -42,11 +43,30 @@ bench-json:
 		-benchtime 2x -count 3 . > BENCH_engine.json
 	$(GO) test -run xxx -bench FlowTable -benchtime 50000x -count 3 \
 		./internal/flowtable >> BENCH_engine.json
+	$(GO) test -run xxx -bench 'ChurnNext|WireNext|HarnessSteady' -benchtime 200000x -count 3 \
+		./internal/loadgen >> BENCH_engine.json
 	@cat BENCH_engine.json
+
+# Million-flow scale run, appended to the benchmark trajectory: a 1.2M-flow
+# churning population over a 2^21-slot cuckoo deployment (8 shards), driven
+# through steady / collision-storm / block-storm phases. Slow (~30s) and
+# memory-hungry, so not part of bench-json; run it when the numbers matter.
+bench-1m:
+	SPLIDT_LOADGEN_1M=1 $(GO) test -run MillionFlowValidation -timeout 30m -v \
+		./internal/loadgen | grep '^Benchmark' >> BENCH_engine.json
+	@tail -4 BENCH_engine.json
+
+# Load-harness smoke: a 100K-flow churning population through all phase
+# types — steady, collision storm, block storm — under the race detector,
+# exercising the whole stack CLI-first (generator, feeders, engine, report).
+loadgen-smoke:
+	$(GO) run -race ./cmd/splidt-loadgen -flows 100000 -feeders 2 -shards 2 \
+		-slots 262144 -collision-groups 32 \
+		-phases "steady:200k storm:150k:coll=0.8 blockstorm:150k:block=500"
 
 # Build every example (livecontrol included) — they are the API's
 # executable documentation and must never rot.
 examples:
 	$(GO) build ./examples/...
 
-ci: build vet race bench-engine examples
+ci: build vet race loadgen-smoke bench-engine examples

@@ -20,12 +20,17 @@
 // adaptive lifetimes (trained from each leaf's IAT statistics;
 // -lifetime-class pins specific classes by policy).
 //
+// -record <file> instead dumps the generated workload as a wire-format
+// record stream (pkt record codec) and exits without running the engine;
+// replay it through the load harness with splidt-loadgen -wire <file>.
+//
 // Usage:
 //
 //	splidt-engine -dataset 3 -flows 2000 -shards 8 -burst 32
 //	splidt-engine -dataset 3 -flows 2000 -shards 4 -feeders 4
 //	splidt-engine -dataset 3 -flows 2000 -live -block 0,1,2 -waves 2 -idle-timeout 20ms
 //	splidt-engine -dataset 3 -flows 2000 -expiry wheel -idle-timeout 100ms -lifetime-class 3=5s
+//	splidt-engine -dataset 3 -flows 5000 -record ws.splt
 package main
 
 import (
@@ -40,6 +45,7 @@ import (
 	"time"
 
 	"splidt"
+	"splidt/internal/pkt"
 )
 
 func main() {
@@ -66,6 +72,7 @@ func main() {
 		expiry     = flag.String("expiry", "sweep", "flow-expiry mechanism: sweep (striped scan, global -idle-timeout) or wheel (hierarchical timer wheel, per-class lifetimes trained from leaf IAT statistics; requires -idle-timeout)")
 		ltClass    = flag.String("lifetime-class", "", "comma-separated class=duration lifetime overrides, e.g. 3=5s,7=250ms (pins those classes' leaf lifetimes instead of deriving them)")
 		spacingUS  = flag.Int("spacing-us", 200, "flow start spacing (µs)")
+		record     = flag.String("record", "", "write the generated workload as a wire-format record file and exit (replay with splidt-loadgen -wire)")
 		live       = flag.Bool("live", false, "streaming session with a live controller loop")
 		block      = flag.String("block", "", "comma-separated classes the controller blocks (live mode)")
 		waves      = flag.Int("waves", 1, "times to replay the workload through one session (live mode)")
@@ -108,6 +115,12 @@ func main() {
 		log.Fatalf("dataset %d out of range 1-%d", *dataset, len(splidt.Datasets()))
 	}
 	classes := splidt.NumClasses(id)
+
+	if *record != "" {
+		recordWorkload(*record, id, *nFlows, *seed,
+			time.Duration(*spacingUS)*time.Microsecond)
+		return
+	}
 
 	// Train and compile once; every shard replicates the same program.
 	flows := splidt.Generate(id, *trainFlows, *seed+1)
@@ -344,6 +357,36 @@ func waitSettled(sess *splidt.EngineSession) splidt.EngineSnapshot {
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// recordWorkload streams the generated workload into a wire-format record
+// file — the capture the load harness replays with zero-copy ingest.
+func recordWorkload(path string, id splidt.Dataset, n int, seed int64, spacing time.Duration) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := pkt.NewRecordWriter(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := splidt.NewStream(id, n, seed, spacing)
+	for {
+		p, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.WritePacket(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded       %s: %d flows, %d packets -> %s\n", id, n, w.Records(), path)
 }
 
 // usageError reports a bad flag value the way flag parsing itself would: a

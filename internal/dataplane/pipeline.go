@@ -379,7 +379,19 @@ func NewShards(cfg Config, n int) ([]*Pipeline, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("dataplane: non-positive shard count %d", n)
 	}
-	if err := validate(cfg); err != nil {
+	// Feasibility is per shard: each replica is its own pipeline with its
+	// own register budget, so what must fit the profile is the largest
+	// shard's slice of the slot budget, not the total — that is the whole
+	// point of scaling flow capacity out across pipes.
+	shardMax := cfg
+	shardMax.FlowSlots = cfg.FlowSlots / n
+	if cfg.FlowSlots%n != 0 {
+		shardMax.FlowSlots++
+	}
+	if shardMax.FlowSlots < 1 {
+		shardMax.FlowSlots = 1
+	}
+	if err := validate(shardMax); err != nil {
 		return nil, err
 	}
 	if cfg.SweepStripe <= 0 {

@@ -148,8 +148,9 @@ type Result struct {
 // active-flow reads are safe — and coherent per shard — while the run is in
 // flight.
 type shardPub struct {
-	stats  dataplane.Stats
-	active int
+	stats   dataplane.Stats
+	active  int
+	stashed int // flows currently parked in the flow table's stash
 }
 
 type shardState struct {
@@ -180,6 +181,13 @@ type shardState struct {
 	// Worker-private; reset by Start for each session's fresh filter.
 	filterEpoch uint64
 	filterCheck bool
+
+	// latHist, when non-nil, is this session's digest-latency histogram for
+	// the shard (WithDigestLatency): the worker records feeder-handoff →
+	// digest-emission wall time for every digest it emits. Worker-writes,
+	// observer-reads — Hist.Record is a lone atomic add, so live quantile
+	// reads need no coordination. Set by Start, nil when latency is off.
+	latHist *metrics.Hist
 
 	// hold, when non-nil, gates the worker before each burst — a test hook
 	// that makes backpressure deterministic. Always nil in production.
@@ -278,6 +286,16 @@ func (e *Engine) ActiveFlows() int {
 	n := 0
 	for _, s := range e.shards {
 		n += s.pub.Load().active
+	}
+	return n
+}
+
+// TableCap sums the shards' flow-table capacities — the denominator for
+// occupancy gauges (ActiveFlows / TableCap).
+func (e *Engine) TableCap() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.pl.TableCap()
 	}
 	return n
 }
@@ -389,12 +407,18 @@ func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest,
 					continue
 				}
 				if d := s.pl.Process(b.pkts[i]); d != nil {
+					if s.latHist != nil {
+						s.latHist.RecordDur(time.Since(b.fedAt))
+					}
 					sink <- *d
 				}
 			}
 		} else {
 			for i := range b.pkts {
 				if d := s.pl.Process(b.pkts[i]); d != nil {
+					if s.latHist != nil {
+						s.latHist.RecordDur(time.Since(b.fedAt))
+					}
 					sink <- *d
 				}
 			}
@@ -421,10 +445,14 @@ const (
 	idleSleep = 100 * time.Microsecond
 )
 
-// publish refreshes the shard's observable snapshot; both fields are O(1)
+// publish refreshes the shard's observable snapshot; all fields are O(1)
 // reads off the pipeline.
 func (s *shardState) publish() {
-	s.pub.Store(&shardPub{stats: s.pl.Stats(), active: s.pl.ActiveFlows()})
+	s.pub.Store(&shardPub{
+		stats:   s.pl.Stats(),
+		active:  s.pl.ActiveFlows(),
+		stashed: s.pl.TableStats().Stashed,
+	})
 }
 
 // subStats returns now − prev field-wise (one session's deltas).

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"splidt/internal/pkt"
 )
@@ -122,6 +123,9 @@ func (f *Feeder) Feed(pkts []pkt.Packet) (int, error) {
 		si := p.Shard(n)
 		cur := f.cur[si]
 		if cur != nil && len(cur.pkts) == burstCap {
+			if s.latHists != nil {
+				cur.fedAt = time.Now()
+			}
 			if !s.e.shards[si].in.tryPush(cur) {
 				s.backpressure.Add(1)
 				f.flushStaged()
@@ -161,13 +165,20 @@ func (f *Feeder) flushStaged() {
 	if f.rot >= n {
 		f.rot = 0
 	}
+	var now time.Time // one clock read per flush, only when latency is on
+	if f.s.latHists != nil {
+		now = time.Now()
+	}
 	for k := 0; k < n; k++ {
 		i := start + k
 		if i >= n {
 			i -= n
 		}
-		if b := f.cur[i]; b != nil && len(b.pkts) > 0 && f.s.e.shards[i].in.tryPush(b) {
-			f.cur[i] = nil
+		if b := f.cur[i]; b != nil && len(b.pkts) > 0 {
+			b.fedAt = now
+			if f.s.e.shards[i].in.tryPush(b) {
+				f.cur[i] = nil
+			}
 		}
 	}
 }
@@ -251,6 +262,9 @@ func (f *Feeder) Close() {
 	f.closed = true
 	for i, b := range f.cur {
 		if b != nil {
+			if f.s.latHists != nil {
+				b.fedAt = time.Now()
+			}
 			f.s.e.shards[i].in.push(b)
 			f.cur[i] = nil
 		}
@@ -277,6 +291,9 @@ func (f *Feeder) closeForShutdown(flush bool) {
 		if b != nil {
 			if !flush {
 				b.pkts = b.pkts[:0]
+			}
+			if f.s.latHists != nil {
+				b.fedAt = time.Now()
 			}
 			f.s.e.shards[i].in.push(b) // a zero-length burst just recycles
 			f.cur[i] = nil

@@ -3,6 +3,7 @@ package engine
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"splidt/internal/pkt"
 )
@@ -13,6 +14,11 @@ import (
 // ring (home), so the steady-state hot path performs no allocation.
 type burst struct {
 	pkts []pkt.Packet // len == n valid packets, cap == engine burst size
+	// fedAt is the wall-clock instant the feeder handed this burst to a
+	// shard ring — the start of the digest-latency clock. Stamped only for
+	// sessions started WithDigestLatency; stale otherwise (bursts recycle),
+	// which is fine because the worker reads it only when latency is on.
+	fedAt time.Time
 	// home is the free ring this burst recycles through: the SPSC ring of
 	// the (feeder, shard) pair that owns it. The shard's worker is its only
 	// producer and the owning feeder its only consumer.

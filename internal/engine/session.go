@@ -51,6 +51,12 @@ type Snapshot struct {
 	Backpressure int64
 	// BlockedFlows is the current size of the drop filter.
 	BlockedFlows int
+	// StashedFlows is the number of flows currently parked in the flow
+	// tables' stashes across shards (cuckoo scheme only; 0 otherwise). A
+	// persistently non-zero value under churn means the table is operating
+	// in its overflow regime — the occupancy headroom gauge the load
+	// harness watches during collision storms.
+	StashedFlows int
 }
 
 // Session is a long-lived streaming run of an Engine: packets go in through
@@ -105,6 +111,9 @@ type Session struct {
 	pumpOnce    sync.Once
 	bounded     bool // drop digests once delivered (WithBoundedDigests)
 
+	latency  bool            // record digest latency (WithDigestLatency)
+	latHists []*metrics.Hist // per-shard digest-latency hists; nil when off
+
 	prev []dataplane.Stats // per-shard counters at Start, owned by this session
 
 	wg        sync.WaitGroup // shard workers
@@ -128,6 +137,16 @@ type SessionOption func(*Session)
 // mode.
 func WithBoundedDigests() SessionOption {
 	return func(s *Session) { s.bounded = true }
+}
+
+// WithDigestLatency turns on digest-latency attribution: feeders stamp each
+// burst with its wall-clock handoff time, shard workers record handoff →
+// digest-emission latency into per-shard histograms, and DigestLatency()
+// exposes the merged distribution (p50/p99/p999) live while the session
+// runs. Off by default: the stamped clock read (one per burst) and the
+// per-digest record are skipped entirely, so existing sessions pay nothing.
+func WithDigestLatency() SessionOption {
+	return func(s *Session) { s.latency = true }
 }
 
 // Start begins a streaming session: one worker goroutine per shard plus a
@@ -156,10 +175,22 @@ func (e *Engine) Start(ctx context.Context, opts ...SessionOption) (*Session, er
 		opt(s)
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if s.latency {
+		s.latHists = make([]*metrics.Hist, len(e.shards))
+		for i := range s.latHists {
+			s.latHists[i] = &metrics.Hist{}
+		}
+	}
 	s.prev = make([]dataplane.Stats, len(e.shards))
 	for i, sh := range e.shards {
 		sh.done.Store(false)
 		s.prev[i] = sh.pl.Stats()
+		// Fresh per-session latency hist (nil when latency is off — the
+		// worker's nil check is what keeps the default path free).
+		sh.latHist = nil
+		if s.latHists != nil {
+			sh.latHist = s.latHists[i]
+		}
 		// Evictions enqueued after the previous session's workers exited
 		// belong to that session's filter state; drop them.
 		sh.evictMu.Lock()
@@ -170,7 +201,11 @@ func (e *Engine) Start(ctx context.Context, opts ...SessionOption) (*Session, er
 		// worker's cached per-burst view to match.
 		sh.filterEpoch = 0
 		sh.filterCheck = false
-		sh.pub.Store(&shardPub{stats: s.prev[i], active: sh.pl.ActiveFlows()})
+		sh.pub.Store(&shardPub{
+			stats:   s.prev[i],
+			active:  sh.pl.ActiveFlows(),
+			stashed: sh.pl.TableStats().Stashed,
+		})
 	}
 	if e.defFree == nil {
 		e.defFree = newBurstPool(len(e.shards), e.cfg)
@@ -309,8 +344,26 @@ func (s *Session) Snapshot() Snapshot {
 		snap.PerShard[i] = subStats(pub.stats, s.prev[i])
 		snap.Stats.Add(snap.PerShard[i])
 		snap.ActiveFlows += pub.active
+		snap.StashedFlows += pub.stashed
 	}
 	return snap
+}
+
+// DigestLatency returns the merged feeder-handoff → digest-emission latency
+// distribution for sessions started WithDigestLatency, nil otherwise. Safe
+// to call live: it merges the per-shard histograms into a fresh snapshot
+// (workers keep recording into their own), so successive calls give
+// monotonically growing counts and a caller can Sub an earlier snapshot for
+// a phase delta.
+func (s *Session) DigestLatency() *metrics.Hist {
+	if s.latHists == nil {
+		return nil
+	}
+	m := &metrics.Hist{}
+	for _, h := range s.latHists {
+		m.Merge(h)
+	}
+	return m
 }
 
 // Block installs a drop verdict for the flow (both directions): subsequent

@@ -1,0 +1,399 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"splidt/internal/flow"
+	"splidt/internal/pkt"
+	"splidt/internal/trace"
+)
+
+// ChurnGen is an endless packet source over a fixed-size population of
+// concurrently live flows: every flow that emits its last packet is reborn
+// in place under a fresh 5-tuple, so the concurrent flow count stays at the
+// configured population while flow identities churn continuously — the
+// steady-state regime a flow table actually faces, as opposed to a replayed
+// finite trace whose population only ramps up and drains.
+//
+// Scheduling is a single-level timing wheel over a virtual clock: each live
+// flow is filed under its next packet's due tick, Next pops the earliest
+// due flow, emits its packet, and re-files it one inter-arrival gap later.
+// Far-future deadlines (heavy-tailed keepalive gaps) park in their due
+// tick's bucket modulo the wheel span and are re-filed on each lap until
+// their lap arrives — the park-and-recheck discipline that keeps the wheel
+// single-level. The steady-state Next path allocates nothing: flow state
+// lives in one flat array, wheel buckets recycle their backing arrays, and
+// packets are returned by value.
+//
+// Flow shapes come from the paper's datacenter workload models
+// (trace.Workload): lognormal flow sizes and lifetimes, a per-flow base
+// inter-arrival gap derived from the two, uniform per-packet jitter, and an
+// optional heavy-tailed keepalive fraction whose gaps are floored at long
+// idle periods (the regime trace.GenConfig.LongIATFraction models).
+//
+// Adversarial churn: a precomputed pool of colliding keys — rejection-
+// sampled at construction so storms cost nothing at emission time — lets a
+// phase direct a fraction of rebirths into few flow-table buckets
+// (SetCollisionFrac), the trace.Colliding regime under churn.
+//
+// A ChurnGen is single-goroutine, like every engine.Source; partition a
+// population across parallel feeders by building one generator per feeder
+// (PerFeeder), which also keeps each flow confined to one feeder as the
+// engine's ordering contract requires.
+type ChurnGen struct {
+	cfg   ChurnConfig
+	rng   *rand.Rand
+	flows []churnFlow
+
+	wheel [][]int32 // bucket b holds indices of flows due at ticks ≡ b
+	ready []int32   // flows due exactly at cur, pending emission
+	cur   uint64    // current virtual tick
+
+	pool     []flow.Key // precomputed colliding keys (storm rebirths)
+	poolNext int
+	collFrac float64
+
+	births  int64 // rebirths (population turnover; initial births excluded)
+	emitted int64
+}
+
+// churnFlow is one live flow's compact generator state (~48 B; a
+// million-flow population costs tens of MB, not GB).
+type churnFlow struct {
+	key       flow.Key
+	shardHash uint64
+	due       uint64  // absolute tick of the next packet
+	size      int32   // total packets this incarnation will emit
+	seq       int32   // packets emitted so far
+	iat       float32 // mean inter-arrival gap, in ticks
+	long      bool    // keepalive flow: gaps floored at long idle periods
+}
+
+// Wheel geometry. One tick of virtual time is tickDur; the wheel spans
+// wheelSize ticks (≈6.6 s) before far deadlines must park-and-recheck.
+const (
+	tickDur   = 100 * time.Microsecond
+	wheelBits = 16
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+// Keepalive gap bounds for ChurnConfig.LongIATFraction, matching
+// trace.GenConfig's regime: each long gap is uniform in [600ms, 2s) of
+// virtual time (before TimeScale compression).
+const (
+	longGapMin  = 600 * time.Millisecond
+	longGapSpan = 1400 * time.Millisecond
+)
+
+// ChurnConfig sizes a ChurnGen.
+type ChurnConfig struct {
+	// Flows is the steady concurrent flow population. Required.
+	Flows int
+	// Seed drives all generator randomness; equal configs are replayable.
+	Seed int64
+	// Workload supplies the flow-size and lifetime distributions. Zero
+	// value: trace.Webserver.
+	Workload trace.Workload
+	// LongIATFraction of flows are heavy-tailed keepalives: every gap is
+	// floored at a long idle period, so they sit live-but-quiet far past
+	// chatty-traffic timeouts.
+	LongIATFraction float64
+	// TimeScale compresses virtual time: lifetimes and gaps are divided by
+	// it, so a harness run covers TimeScale× more flow churn per emitted
+	// packet. Default 1.
+	TimeScale float64
+	// RebirthDelay is the mean virtual-time gap between a flow's death and
+	// its rebirth — the population's birth-rate knob (births/sec ≈
+	// Flows/(lifetime+RebirthDelay)). Default 1ms.
+	RebirthDelay time.Duration
+	// CollisionTable enables the adversarial key pool: pool keys satisfy
+	// SymHash % CollisionTable < CollisionGroups, concentrating them into
+	// few flow-table buckets (pass the deployment's total flow-slot count;
+	// see trace.Colliding for how the property survives sharding). 0
+	// disables storms.
+	CollisionTable int
+	// CollisionGroups is the number of target buckets. Default 256 —
+	// rejection sampling costs CollisionTable/CollisionGroups tries per
+	// pool key, so very small groups against a large table make
+	// construction slow.
+	CollisionGroups int
+	// PoolSize is how many colliding keys to precompute. Default 1024;
+	// rebirths cycle through the pool.
+	PoolSize int
+}
+
+func (c *ChurnConfig) defaults() error {
+	if c.Flows <= 0 {
+		return fmt.Errorf("loadgen: non-positive flow population %d", c.Flows)
+	}
+	if c.Workload.MeanFlowPkts == 0 {
+		c.Workload = trace.Webserver
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	if c.RebirthDelay <= 0 {
+		c.RebirthDelay = time.Millisecond
+	}
+	if c.CollisionTable > 0 {
+		if c.CollisionGroups <= 0 {
+			c.CollisionGroups = 256
+		}
+		if c.CollisionGroups > c.CollisionTable {
+			c.CollisionGroups = c.CollisionTable
+		}
+		if c.PoolSize <= 0 {
+			c.PoolSize = 1024
+		}
+	}
+	return nil
+}
+
+// NewChurn builds a generator with its full population live: each flow's
+// first packet is spread uniformly over a couple of mean inter-arrival gaps
+// — the due-time mix a population in steady state actually shows — so the
+// opening regime is neither a thundering herd at tick zero nor a ramp that
+// scales with the wheel span (which would cost a million-flow run billions
+// of warm-up packets).
+func NewChurn(cfg ChurnConfig) (*ChurnGen, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	g := &ChurnGen{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		flows: make([]churnFlow, cfg.Flows),
+		wheel: make([][]int32, wheelSize),
+	}
+	if cfg.CollisionTable > 0 {
+		g.pool = collidingPool(g.rng, cfg.PoolSize, cfg.CollisionTable, cfg.CollisionGroups)
+	}
+	meanIAT := cfg.Workload.MeanDuration.Seconds() / cfg.TimeScale /
+		cfg.Workload.MeanFlowPkts / tickDur.Seconds()
+	window := int(2 * meanIAT)
+	if window < 2 {
+		window = 2
+	}
+	if window > wheelSize/2 {
+		window = wheelSize / 2
+	}
+	for i := range g.flows {
+		g.birth(int32(i), false)
+		g.flows[i].due = uint64(g.rng.Intn(window))
+		g.file(int32(i))
+	}
+	return g, nil
+}
+
+// PerFeeder splits a population config into n per-feeder configs: the flow
+// count divides (remainder to the first) and seeds decorrelate, so parallel
+// feeders drive disjoint flow sets — the engine's per-flow ordering
+// contract.
+func PerFeeder(cfg ChurnConfig, n int) []ChurnConfig {
+	out := make([]ChurnConfig, n)
+	per := cfg.Flows / n
+	for i := range out {
+		out[i] = cfg
+		out[i].Flows = per
+		out[i].Seed = cfg.Seed + int64(i)*0x6a09e667f3bcc909
+	}
+	out[0].Flows += cfg.Flows - per*n
+	return out
+}
+
+// collidingPool rejection-samples keys whose direction-symmetric register
+// hash lands in the first `groups` of `table` indices — the trace.Colliding
+// property, paid once at construction so storm rebirths are O(1).
+func collidingPool(rng *rand.Rand, size, table, groups int) []flow.Key {
+	pool := make([]flow.Key, 0, size)
+	k := flow.Key{DstPort: 443, Proto: flow.ProtoTCP}
+	for len(pool) < size {
+		k.SrcIP = flow.AddrFrom4(10, 1, byte(rng.Intn(250)), byte(1+rng.Intn(250)))
+		k.DstIP = flow.AddrFrom4(172, 16, byte(rng.Intn(250)), byte(1+rng.Intn(250)))
+		k.SrcPort = uint16(1024 + rng.Intn(60000))
+		if int(k.SymHash()%uint32(table)) < groups {
+			pool = append(pool, k)
+		}
+	}
+	return pool
+}
+
+// SetCollisionFrac directs this fraction of subsequent rebirths to draw
+// their key from the colliding pool (no-op without a pool). A phase knob:
+// call between phases from the goroutine that drives Next.
+func (g *ChurnGen) SetCollisionFrac(f float64) {
+	if g.pool == nil {
+		f = 0
+	}
+	g.collFrac = f
+}
+
+// birth (re)initialises flow slot i with a fresh identity and shape. reuse
+// marks rebirths (counted as churn) versus initial population fill.
+func (g *ChurnGen) birth(i int32, reuse bool) {
+	f := &g.flows[i]
+	if reuse && g.collFrac > 0 && g.rng.Float64() < g.collFrac {
+		f.key = g.pool[g.poolNext]
+		g.poolNext++
+		if g.poolNext == len(g.pool) {
+			g.poolNext = 0
+		}
+	} else {
+		f.key = flow.Key{
+			SrcIP:   flow.AddrFrom4(10, 1, byte(g.rng.Intn(250)), byte(1+g.rng.Intn(250))),
+			DstIP:   flow.AddrFrom4(172, 16, byte(g.rng.Intn(250)), byte(1+g.rng.Intn(250))),
+			SrcPort: uint16(1024 + g.rng.Intn(60000)),
+			DstPort: wellKnownPorts[g.rng.Intn(len(wellKnownPorts))],
+			Proto:   flow.ProtoTCP,
+		}
+	}
+	f.shardHash = f.key.ShardHash()
+	size := g.cfg.Workload.SampleFlowSize(g.rng)
+	f.size = int32(size)
+	f.seq = 0
+	life := float64(g.cfg.Workload.SampleDuration(g.rng)) / g.cfg.TimeScale
+	f.iat = float32(life / float64(size) / float64(tickDur))
+	if f.iat < 1 {
+		f.iat = 1
+	}
+	f.long = g.cfg.LongIATFraction > 0 && g.rng.Float64() < g.cfg.LongIATFraction
+	if reuse {
+		g.births++
+	}
+}
+
+// wellKnownPorts mirrors the trace generator's server-port pool.
+var wellKnownPorts = []uint16{53, 80, 123, 443, 1883, 5222, 8080, 8443}
+
+// file places flow i into the wheel bucket of its due tick. Deadlines past
+// the wheel span land in their bucket modulo the span and are re-filed on
+// each lap (see sift).
+func (g *ChurnGen) file(i int32) {
+	f := &g.flows[i]
+	if f.due <= g.cur {
+		// Due now: straight to the ready list, skipping the wheel.
+		g.ready = append(g.ready, i)
+		f.due = g.cur
+		return
+	}
+	b := f.due & wheelMask
+	g.wheel[b] = append(g.wheel[b], i)
+}
+
+// Next returns the next packet in virtual-arrival order. It never exhausts
+// (ok is always true): the harness bounds a run by packet budget, not by
+// source length.
+func (g *ChurnGen) Next() (pkt.Packet, bool) {
+	for len(g.ready) == 0 {
+		g.cur++
+		g.sift()
+	}
+	i := g.ready[len(g.ready)-1]
+	g.ready = g.ready[:len(g.ready)-1]
+	return g.emit(i), true
+}
+
+// sift splits the current tick's wheel bucket into due-now flows (moved to
+// ready) and parked future laps (re-filed). The in-place re-append is safe:
+// when element j is being read, at most j earlier elements have been
+// re-appended to this bucket, so writes never pass the read cursor.
+func (g *ChurnGen) sift() {
+	b := g.cur & wheelMask
+	bucket := g.wheel[b]
+	g.wheel[b] = bucket[:0]
+	for _, i := range bucket {
+		if g.flows[i].due == g.cur {
+			g.ready = append(g.ready, i)
+		} else {
+			// A later lap of this bucket (or a re-filed long deadline):
+			// park again; its lap will come around.
+			g.wheel[g.flows[i].due&wheelMask] = append(g.wheel[g.flows[i].due&wheelMask], i)
+		}
+	}
+}
+
+// emit produces flow i's next packet and schedules its successor — or its
+// rebirth, when this incarnation just finished.
+func (g *ChurnGen) emit(i int32) pkt.Packet {
+	f := &g.flows[i]
+	f.seq++
+	g.emitted++
+	p := pkt.Packet{
+		Key:       f.key,
+		TS:        time.Duration(g.cur) * tickDur,
+		Seq:       int(f.seq),
+		FlowSize:  int(f.size),
+		ShardHash: f.shardHash,
+	}
+	// Direction and length: a cheap sketch of the trace generator's mixes —
+	// reverse ~30% of non-initial packets, tri-modal lengths.
+	r := g.rng.Float64()
+	if f.seq > 1 && r < 0.3 {
+		p.Key = f.key.Reverse()
+	}
+	switch {
+	case r < 0.45:
+		p.Len = 40 + g.rng.Intn(88)
+	case r < 0.6:
+		p.Len = 1001 + g.rng.Intn(499)
+	default:
+		p.Len = 200 + g.rng.Intn(800)
+	}
+	switch {
+	case f.seq == 1:
+		p.Flags = pkt.FlagSYN
+	case f.seq == f.size:
+		p.Flags = pkt.FlagFIN | pkt.FlagACK
+	default:
+		p.Flags = pkt.FlagACK
+		if r > 0.8 {
+			p.Flags |= pkt.FlagPSH
+		}
+	}
+
+	if f.seq == f.size {
+		// Incarnation complete: rebirth in place after the configured mean
+		// delay (exponential jitter keeps births unsynchronised).
+		g.birth(i, true)
+		delay := g.rng.ExpFloat64() * float64(g.cfg.RebirthDelay) / g.cfg.TimeScale
+		f.due = g.cur + 1 + uint64(delay/float64(tickDur))
+	} else {
+		gap := float64(f.iat) * (0.5 + g.rng.Float64()) // ±50% jitter
+		if f.long {
+			floor := (float64(longGapMin) + g.rng.Float64()*float64(longGapSpan)) /
+				g.cfg.TimeScale / float64(tickDur)
+			if gap < floor {
+				gap = floor
+			}
+		}
+		if gap < 1 {
+			gap = 1
+		}
+		f.due = g.cur + uint64(gap)
+	}
+	g.file(i)
+	return p
+}
+
+// SampleActive returns the key of a uniformly random live flow — the
+// block-storm target sampler. Same-goroutine as Next, like every method.
+func (g *ChurnGen) SampleActive() flow.Key {
+	return g.flows[g.rng.Intn(len(g.flows))].key
+}
+
+// Births returns how many flows have been reborn (population turnover).
+func (g *ChurnGen) Births() int64 { return g.births }
+
+// Emitted returns how many packets Next has produced.
+func (g *ChurnGen) Emitted() int64 { return g.emitted }
+
+// Flows returns the concurrent flow population.
+func (g *ChurnGen) Flows() int { return len(g.flows) }
+
+// VirtualTime returns the generator's current virtual clock.
+func (g *ChurnGen) VirtualTime() time.Duration {
+	return time.Duration(g.cur) * tickDur
+}

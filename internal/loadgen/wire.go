@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"io"
+
+	"splidt/internal/pkt"
+)
+
+// WireSource adapts a recorded wire-format stream (pkt.RecordReader) to the
+// engine's Source interface: packets are decoded in place off one reusable
+// frame buffer — the zero-copy ingest path — with non-data frames skipped,
+// so driving the engine from a recorded file costs one parse per packet and
+// no allocation. Record a workload with `splidt-engine -record` (or
+// pkt.RecordWriter) and replay it here.
+type WireSource struct {
+	r   *pkt.RecordReader
+	err error
+}
+
+// NewWireSource validates the stream header and returns a source positioned
+// at the first record.
+func NewWireSource(r io.Reader) (*WireSource, error) {
+	rr, err := pkt.NewRecordReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &WireSource{r: rr}, nil
+}
+
+// Next yields the next data packet, or ok=false at end of stream — clean or
+// not; Err distinguishes.
+func (s *WireSource) Next() (pkt.Packet, bool) {
+	if s.err != nil {
+		return pkt.Packet{}, false
+	}
+	p, err := s.r.Next()
+	if err != nil {
+		if err != io.EOF {
+			s.err = err
+		}
+		return pkt.Packet{}, false
+	}
+	return p, true
+}
+
+// Err returns the decode error that ended the stream, nil on clean EOF.
+func (s *WireSource) Err() error { return s.err }
+
+// Packets returns the number of data packets yielded so far.
+func (s *WireSource) Packets() int64 { return s.r.Packets() }
+
+// Skipped returns the number of non-data records skipped so far.
+func (s *WireSource) Skipped() int64 { return s.r.Skipped() }

@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a fixed-size log-linear latency histogram in the HdrHistogram
+// mould: values (nanoseconds, or any non-negative int64 unit) land in
+// buckets whose width doubles every octave, subdivided into 2^histSubBits
+// linear sub-buckets, so the relative quantile error is bounded by
+// 2^-histSubBits (≈3.1%) across the whole int64 range. Record is
+// allocation-free and uses a single uncontended atomic add, so a shard
+// worker can record into its own Hist on the hot path while an observer
+// reads quantiles live — reads see a slightly stale but internally
+// consistent-enough view, and a quiesced histogram (workers stopped) reads
+// exactly.
+//
+// The zero value is ready to use.
+type Hist struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Sub-bucket resolution: 2^histSubBits linear sub-buckets per octave.
+const (
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits
+	histSubMask  = histSubCount - 1
+	// The first histSubCount values map identity; every further octave
+	// (63 - histSubBits of them) contributes histSubCount sub-buckets.
+	histBuckets = histSubCount * (64 - histSubBits)
+)
+
+// histIndex maps a non-negative value to its bucket.
+func histIndex(v int64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	msb := 63 - bits.LeadingZeros64(uint64(v))
+	shift := msb - histSubBits
+	return (shift+1)<<histSubBits + int((v>>shift)&histSubMask)
+}
+
+// histUpper returns the largest value mapping to bucket i — the
+// conservative (upper-bound) representative Quantile reports.
+func histUpper(i int) int64 {
+	if i < histSubCount {
+		return int64(i)
+	}
+	shift := i>>histSubBits - 1
+	sub := int64(i&histSubMask) | histSubCount
+	return (sub+1)<<shift - 1
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// RecordDur records a duration in nanoseconds.
+func (h *Hist) RecordDur(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Mean returns the arithmetic mean of recorded values (exact, not
+// bucket-quantised), or 0 when empty.
+func (h *Hist) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-th quantile (q in [0,1]) with
+// relative error at most 2^-histSubBits. The rank convention matches
+// ECDF.Quantile: rank floor(q·n) in the sorted order (0-based), so golden
+// tests can compare the two on identical samples. Returns 0 when empty.
+func (h *Hist) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			return histUpper(i)
+		}
+	}
+	// Racing writers can leave count ahead of the bucket sum momentarily;
+	// fall back to the largest occupied bucket.
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.counts[i].Load() > 0 {
+			return histUpper(i)
+		}
+	}
+	return 0
+}
+
+// QuantileDur is Quantile for nanosecond-valued histograms.
+func (h *Hist) QuantileDur(q float64) time.Duration { return time.Duration(h.Quantile(q)) }
+
+// Max returns an upper bound for the largest recorded value (0 when empty).
+func (h *Hist) Max() int64 { return h.Quantile(1) }
+
+// Merge folds o's observations into h. Merging is associative and
+// commutative: per-shard histograms merged in any grouping equal one global
+// histogram over the union of the samples.
+func (h *Hist) Merge(o *Hist) {
+	for i := 0; i < histBuckets; i++ {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+}
+
+// Sub subtracts o's observations from h, bucket-wise — the phase-delta
+// operation: snapshot a cumulative histogram at a phase boundary and Sub
+// the previous snapshot to get the phase's own distribution. o must be an
+// earlier snapshot of the same stream (every bucket ≤ h's).
+func (h *Hist) Sub(o *Hist) {
+	for i := 0; i < histBuckets; i++ {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(-c)
+		}
+	}
+	h.count.Add(-o.count.Load())
+	h.sum.Add(-o.sum.Load())
+}
+
+// Clone returns an independent copy of the histogram's current state.
+func (h *Hist) Clone() *Hist {
+	c := &Hist{}
+	for i := 0; i < histBuckets; i++ {
+		if v := h.counts[i].Load(); v != 0 {
+			c.counts[i].Store(v)
+		}
+	}
+	c.count.Store(h.count.Load())
+	c.sum.Store(h.sum.Load())
+	return c
+}
+
+// Reset clears the histogram.
+func (h *Hist) Reset() {
+	for i := 0; i < histBuckets; i++ {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// String renders the canonical latency summary line.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d p50=%v p99=%v p999=%v max=%v",
+		h.Count(), h.QuantileDur(0.50), h.QuantileDur(0.99),
+		h.QuantileDur(0.999), time.Duration(h.Max()))
+}

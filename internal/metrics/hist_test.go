@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// histRelErr is the histogram's guaranteed quantile resolution: values in
+// one bucket differ by at most a factor 1+2^-histSubBits, and Quantile
+// reports the bucket's upper bound.
+const histRelErr = 1.0 / histSubCount
+
+func TestHistIndexUpperConsistent(t *testing.T) {
+	// Every probed value must land in a bucket whose upper bound is >= the
+	// value and within the guaranteed relative error.
+	probe := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 12345,
+		1_000_000, 123_456_789, int64(time.Hour), math.MaxInt64 / 2}
+	for _, v := range probe {
+		i := histIndex(v)
+		up := histUpper(i)
+		if up < v {
+			t.Fatalf("histUpper(%d)=%d < value %d", i, up, v)
+		}
+		if v > 0 && float64(up-v) > histRelErr*float64(v)+1 {
+			t.Fatalf("value %d bucket upper %d exceeds relative error", v, up)
+		}
+		if i > 0 && histUpper(i-1) >= v {
+			t.Fatalf("value %d also covered by previous bucket (upper %d)", v, histUpper(i-1))
+		}
+	}
+}
+
+// TestHistQuantileGoldenECDF pins the histogram's percentile report against
+// the exact ECDF on identical samples: same rank convention, bucket-bounded
+// error — the contract the load harness's p50/p99/p999 report rests on.
+func TestHistQuantileGoldenECDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dist := range []struct {
+		name string
+		draw func() int64
+	}{
+		{"uniform", func() int64 { return int64(rng.Intn(1_000_000)) }},
+		{"lognormal", func() int64 { return int64(math.Exp(10 + 2*rng.NormFloat64())) }},
+		{"bimodal", func() int64 {
+			if rng.Intn(10) == 0 {
+				return int64(5_000_000 + rng.Intn(1_000_000))
+			}
+			return int64(1000 + rng.Intn(100))
+		}},
+	} {
+		t.Run(dist.name, func(t *testing.T) {
+			h := &Hist{}
+			obs := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				v := dist.draw()
+				h.Record(v)
+				obs = append(obs, float64(v))
+			}
+			e := NewECDF(obs)
+			for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+				exact := e.Quantile(q)
+				got := float64(h.Quantile(q))
+				if got < exact {
+					t.Fatalf("q=%v: hist %v below exact %v (must be an upper bound)", q, got, exact)
+				}
+				if got > exact*(1+histRelErr)+1 {
+					t.Fatalf("q=%v: hist %v exceeds exact %v by more than %.1f%%",
+						q, got, exact, histRelErr*100)
+				}
+			}
+		})
+	}
+}
+
+// TestHistMergeAssociative pins the per-shard merge contract: shard
+// histograms merged in any grouping equal one global histogram over the
+// union of the samples, quantile for quantile and bucket for bucket.
+func TestHistMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	global := &Hist{}
+	shards := make([]*Hist, 4)
+	for i := range shards {
+		shards[i] = &Hist{}
+	}
+	for i := 0; i < 40000; i++ {
+		v := int64(math.Exp(8 + 3*rng.NormFloat64()))
+		global.Record(v)
+		shards[rng.Intn(len(shards))].Record(v)
+	}
+
+	// Left-fold merge.
+	left := &Hist{}
+	for _, s := range shards {
+		left.Merge(s)
+	}
+	// Pairwise (tree) merge.
+	ab, cd := &Hist{}, &Hist{}
+	ab.Merge(shards[0])
+	ab.Merge(shards[1])
+	cd.Merge(shards[2])
+	cd.Merge(shards[3])
+	tree := &Hist{}
+	tree.Merge(ab)
+	tree.Merge(cd)
+
+	for _, m := range []*Hist{left, tree} {
+		if m.Count() != global.Count() {
+			t.Fatalf("merged count %d != global %d", m.Count(), global.Count())
+		}
+		for i := 0; i < histBuckets; i++ {
+			if m.counts[i].Load() != global.counts[i].Load() {
+				t.Fatalf("bucket %d: merged %d != global %d", i, m.counts[i].Load(), global.counts[i].Load())
+			}
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			if m.Quantile(q) != global.Quantile(q) {
+				t.Fatalf("q=%v: merged %d != global %d", q, m.Quantile(q), global.Quantile(q))
+			}
+		}
+	}
+}
+
+func TestHistSubIsPhaseDelta(t *testing.T) {
+	h := &Hist{}
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	snap := h.Clone()
+	for i := int64(1_000_000); i <= 1_001_000; i++ {
+		h.Record(i)
+	}
+	phase := h.Clone()
+	phase.Sub(snap)
+	if phase.Count() != 1001 {
+		t.Fatalf("phase count = %d, want 1001", phase.Count())
+	}
+	if q := phase.Quantile(0.5); q < 1_000_000 {
+		t.Fatalf("phase median %d should sit in the second burst", q)
+	}
+	if h.Count() != 2001 {
+		t.Fatalf("source histogram perturbed: count %d", h.Count())
+	}
+}
+
+func TestHistEmptyAndClamp(t *testing.T) {
+	h := &Hist{}
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+	h.Record(-5) // clamps to zero
+	if h.Quantile(1) != 0 || h.Count() != 1 {
+		t.Fatalf("negative record should clamp: q1=%d n=%d", h.Quantile(1), h.Count())
+	}
+}
+
+func TestHistRecordAllocationFree(t *testing.T) {
+	h := &Hist{}
+	n := testing.AllocsPerRun(1000, func() { h.Record(123456) })
+	if n != 0 {
+		t.Fatalf("Record allocates %v per op, want 0", n)
+	}
+}
+
+func BenchmarkHistRecord(b *testing.B) {
+	h := &Hist{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) * 37)
+	}
+}

@@ -2,6 +2,7 @@ package pkt
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
@@ -29,6 +30,37 @@ const (
 	ctrlMagic = 0x88B5 // local experimental EtherType
 	dataMagic = 0x0800 // IPv4
 )
+
+// ErrNotData reports a frame whose EtherType is not the data-packet
+// EtherType — a control packet, or a foreign frame in a recorded stream.
+// It is a sentinel so hot ingest paths can test it with errors.Is and
+// skip the frame without allocating: Unmarshal returns pre-boxed wrapped
+// instances for the EtherTypes a recorded stream actually carries.
+var ErrNotData = errors.New("pkt: not a data packet")
+
+// ErrTruncated reports a frame shorter than the wire header layout.
+var ErrTruncated = errors.New("pkt: truncated frame")
+
+// notDataError wraps ErrNotData with the offending EtherType. The value is
+// the EtherType itself, so the two instances the hot path sees (control
+// frames, and the zero value for degenerate frames) are boxed once below
+// and returning them never allocates.
+type notDataError uint16
+
+func (e notDataError) Error() string {
+	return fmt.Sprintf("pkt: not a data packet (ethertype %#04x)", uint16(e))
+}
+
+// Is makes errors.Is(err, ErrNotData) true for every notDataError.
+func (e notDataError) Is(target error) bool { return target == ErrNotData }
+
+// EtherType returns the frame's EtherType field.
+func (e notDataError) EtherType() uint16 { return uint16(e) }
+
+// errCtrlNotData is the pre-boxed rejection for control frames — the one
+// non-data EtherType a recorded stream interleaves at rate. Keeping it
+// boxed makes the reject path allocation-free.
+var errCtrlNotData error = notDataError(ctrlMagic)
 
 // Marshal serialises the packet's headers into buf, returning the slice
 // written (length HeaderWireBytes). buf may be nil.
@@ -72,10 +104,23 @@ func Marshal(p Packet, buf []byte) []byte {
 // timestamp (timestamps are capture metadata, not wire bytes).
 func Unmarshal(buf []byte, ts time.Duration) (Packet, error) {
 	if len(buf) < HeaderWireBytes {
-		return Packet{}, fmt.Errorf("pkt: short packet: %d bytes", len(buf))
+		if len(buf) >= 14 {
+			// Long enough to read the EtherType: classify the reject so a
+			// streaming decoder can skip control frames allocation-free.
+			if et := binary.BigEndian.Uint16(buf[12:14]); et != dataMagic {
+				if et == ctrlMagic {
+					return Packet{}, errCtrlNotData
+				}
+				return Packet{}, notDataError(et)
+			}
+		}
+		return Packet{}, ErrTruncated
 	}
 	if et := binary.BigEndian.Uint16(buf[12:14]); et != dataMagic {
-		return Packet{}, fmt.Errorf("pkt: not a data packet (ethertype %#x)", et)
+		if et == ctrlMagic {
+			return Packet{}, errCtrlNotData
+		}
+		return Packet{}, notDataError(et)
 	}
 	ip := buf[ethBytes:]
 	if ip[0]>>4 != 4 {
