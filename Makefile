@@ -1,14 +1,39 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine bench-json bench-1m loadgen-smoke examples ci
+.PHONY: all build vet staticcheck fuzz-smoke test race bench bench-engine bench-json bench-1m loadgen-smoke examples ci
 
 all: build vet test
 
 build:
 	$(GO) build ./...
 
+# vet runs the stock toolchain vet plus splidt-vet, the repo's own
+# go/analysis suite: hotpath (zero-alloc/lock-free transitivity),
+# wallclock (no wall-clock or global rand in packet-time code),
+# statsmerge (counter-struct field exhaustiveness), atomicmix
+# (atomic/plain access mixing). See README "Static analysis".
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/splidt-vet ./...
+
+# staticcheck is optional locally (the offline container doesn't carry
+# it); CI installs a pinned version and fails on findings. Config in
+# staticcheck.conf.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
+
+# 10-second smoke of every seeded fuzzer: wire-format decode, record
+# streams, and TCAM range expansion. Catches corpus regressions without
+# the cost of a real fuzzing campaign.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz 'FuzzUnmarshal$$' -fuzztime 10s ./internal/pkt
+	$(GO) test -run xxx -fuzz 'FuzzUnmarshalControl$$' -fuzztime 10s ./internal/pkt
+	$(GO) test -run xxx -fuzz 'FuzzRecordStream$$' -fuzztime 10s ./internal/pkt
+	$(GO) test -run xxx -fuzz 'FuzzExpandRange$$' -fuzztime 10s ./internal/tcam
 
 test:
 	$(GO) test ./...
@@ -69,4 +94,4 @@ loadgen-smoke:
 examples:
 	$(GO) build ./examples/...
 
-ci: build vet race loadgen-smoke bench-engine examples
+ci: build vet staticcheck race loadgen-smoke bench-engine examples

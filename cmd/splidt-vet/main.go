@@ -1,0 +1,62 @@
+// Command splidt-vet runs the repo's custom static-analysis suite
+// (internal/analysis): hotpath, wallclock, statsmerge and atomicmix.
+//
+// It is a standalone driver rather than a `go vet -vettool` plugin because
+// the build environment has no golang.org/x/tools (offline); the analyzers
+// themselves are go/analysis-shaped, so porting is mechanical. Run it from
+// the module root:
+//
+//	go run ./cmd/splidt-vet ./...
+//
+// Exit status is 1 if any analyzer reports a finding, 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"splidt/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("annotated", false, "list //splidt:hotpath functions and exit")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	if *list {
+		world, err := analysis.ParseAnnotated()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splidt-vet:", err)
+			os.Exit(2)
+		}
+		for _, id := range world.FuncIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	fset, pkgs, world, err := analysis.LoadModule(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splidt-vet:", err)
+		os.Exit(2)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range analysis.Analyzers() {
+		for _, pkg := range pkgs {
+			analysis.RunPackage(a, fset, pkg, world, &diags)
+		}
+	}
+	analysis.SortDiagnostics(diags)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "splidt-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,350 @@
+// Package analysis is splidt's repo-specific static-analysis suite: a small
+// go/analysis-shaped framework plus four analyzers that prove the hot-path
+// invariants the runtime tests can only sample.
+//
+// The framework is deliberately stdlib-only (go/ast, go/types, go/importer):
+// the build environment is offline, so golang.org/x/tools is unavailable and
+// cmd/splidt-vet is a standalone driver rather than a `go vet -vettool`
+// plugin. The analyzer API mirrors go/analysis closely enough that porting to
+// x/tools later is mechanical.
+//
+// Source annotations (comment directives) drive every analyzer:
+//
+//	//splidt:hotpath
+//	    On a function/method declaration (or an interface method): the body
+//	    must be allocation-free and lock-free, and may only call other
+//	    annotated functions or a short allowlist of std packages.
+//	//splidt:packettime
+//	    Anywhere in a file: the file must not read the wall clock or use the
+//	    global math/rand state. The dataplane, timerwheel and flowtable
+//	    packages are packet-time in their entirety, pragma or not.
+//	//splidt:stats-complete TYPE
+//	    On a function declaration: every field of the named struct must be
+//	    referenced in the body (merge/add/snapshot exhaustiveness).
+//	//splidt:allow CATEGORY[,CATEGORY...] — reason
+//	    On the flagged line, or the line above it: suppress those diagnostic
+//	    categories. Every allow must carry a justification after the dash.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Category string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: [%s/%s] %s",
+		d.Pos.Filename, lineCol(d.Pos), d.Analyzer, d.Category, d.Message)
+}
+
+func lineCol(p token.Position) string { return fmt.Sprintf("%d:%d", p.Line, p.Column) }
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	World    *World
+
+	allow  map[string]map[int]map[string]bool // file → line → suppressed categories
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic unless an //splidt:allow comment on (or just
+// above) the position's line suppresses the category.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if lines, ok := p.allow[position.Filename]; ok {
+		if cats, ok := lines[position.Line]; ok && (cats[category] || cats["all"]) {
+			return
+		}
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// World is the cross-package directive index: the loader collects it over
+// every module package before any analyzer runs, so per-package passes can
+// answer "is that callee annotated?" for callees outside the current package.
+type World struct {
+	// Annotated is the set of //splidt:hotpath functions, keyed by FuncID.
+	Annotated map[string]bool
+	// Spans maps each annotated FuncID to its source extent (used by the
+	// escape-analysis harness to attribute compiler diagnostics).
+	Spans map[string]Span
+	// ModulePkgs is the set of in-module import paths. The hotpath analyzer
+	// needs it to tell module callees (must be annotated) from std callees
+	// (must be allowlisted) — the module path carries no dot, so the usual
+	// "first path segment has a dot" heuristic cannot.
+	ModulePkgs map[string]bool
+}
+
+// Span is the file extent of one annotated function declaration.
+type Span struct {
+	File      string // absolute path
+	Beg, End  int    // 1-based line range, inclusive
+	Pkg, Name string // package import path and bare declaration name
+}
+
+// FuncIDs returns the sorted annotated set.
+func (w *World) FuncIDs() []string {
+	ids := make([]string, 0, len(w.Annotated))
+	for id := range w.Annotated {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Directive spellings.
+const (
+	dirHotpath       = "//splidt:hotpath"
+	dirPacketTime    = "//splidt:packettime"
+	dirStatsComplete = "//splidt:stats-complete"
+	dirAllow         = "//splidt:allow"
+)
+
+// FuncID names a function the same way from either syntax or type
+// information: "pkgpath.Name" for package functions, "pkgpath.T.name" for
+// methods (receiver star stripped), and the same form for interface methods.
+func FuncID(pkgPath string, fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		switch t := t.(type) {
+		case *types.Named:
+			return pkgPath + "." + t.Obj().Name() + "." + fn.Name()
+		default:
+			// Interface methods reach here when the receiver is the
+			// interface type itself.
+			return pkgPath + "." + types.TypeString(t, nil) + "." + fn.Name()
+		}
+	}
+	return pkgPath + "." + fn.Name()
+}
+
+// funcDeclID derives the same FuncID from syntax alone (used by the
+// parse-only directive collector, where no type information exists).
+func funcDeclID(pkgPath string, d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return pkgPath + "." + d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+			continue
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = u.X
+			continue
+		}
+		break
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return pkgPath + "." + id.Name + "." + d.Name.Name
+	}
+	return pkgPath + "." + d.Name.Name
+}
+
+// hasDirective reports whether a doc comment group carries the directive.
+func hasDirective(doc *ast.CommentGroup, dir string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == dir || strings.HasPrefix(text, dir+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveArg returns the argument text after the directive, or "", false.
+func directiveArg(doc *ast.CommentGroup, dir string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if strings.HasPrefix(text, dir+" ") {
+			return strings.TrimSpace(strings.TrimPrefix(text, dir+" ")), true
+		}
+	}
+	return "", false
+}
+
+// fileHasPragma reports whether any comment in the file is the pragma.
+func fileHasPragma(f *ast.File, dir string) bool {
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			text := strings.TrimSpace(c.Text)
+			if text == dir || strings.HasPrefix(text, dir+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectAllow builds the suppression map for one file: an
+// "//splidt:allow cat1,cat2 — reason" comment suppresses those categories on
+// its own line (trailing comment) and on the following line (comment-above).
+func collectAllow(fset *token.FileSet, f *ast.File, into map[string]map[int]map[string]bool) {
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, dirAllow+" ") {
+				continue
+			}
+			rest := strings.TrimPrefix(text, dirAllow+" ")
+			// Categories end at the justification dash (or end of comment).
+			if i := strings.IndexAny(rest, "—-"); i >= 0 {
+				rest = rest[:i]
+			}
+			pos := fset.Position(c.Pos())
+			lines := into[pos.Filename]
+			if lines == nil {
+				lines = make(map[int]map[string]bool)
+				into[pos.Filename] = lines
+			}
+			for _, cat := range strings.Split(rest, ",") {
+				cat = strings.TrimSpace(cat)
+				if cat == "" {
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if lines[line] == nil {
+						lines[line] = make(map[string]bool)
+					}
+					lines[line][cat] = true
+				}
+			}
+		}
+	}
+}
+
+// CollectDirectives scans parsed files of one package (import path pkgPath)
+// and merges hotpath annotations into the world. It is parse-only so both the
+// full loader and the drift-guard tests can share it.
+func CollectDirectives(fset *token.FileSet, pkgPath string, files []*ast.File, w *World) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !hasDirective(d.Doc, dirHotpath) {
+					continue
+				}
+				id := funcDeclID(pkgPath, d)
+				w.Annotated[id] = true
+				beg := fset.Position(d.Pos())
+				end := fset.Position(d.End())
+				w.Spans[id] = Span{File: beg.Filename, Beg: beg.Line, End: end.Line, Pkg: pkgPath, Name: d.Name.Name}
+			case *ast.GenDecl:
+				// Interface methods can be annotated too: the annotation is a
+				// contract every implementation's hot path must honour, and it
+				// lets annotated callers dispatch through the interface.
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					it, ok := ts.Type.(*ast.InterfaceType)
+					if !ok || it.Methods == nil {
+						continue
+					}
+					for _, m := range it.Methods.List {
+						if len(m.Names) == 0 || !hasDirective(m.Doc, dirHotpath) {
+							continue
+						}
+						for _, name := range m.Names {
+							id := pkgPath + "." + ts.Name.Name + "." + name.Name
+							w.Annotated[id] = true
+							beg := fset.Position(m.Pos())
+							end := fset.Position(m.End())
+							w.Spans[id] = Span{File: beg.Filename, Beg: beg.Line, End: end.Line, Pkg: pkgPath, Name: name.Name}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// NewWorld returns an empty directive index.
+func NewWorld() *World {
+	return &World{
+		Annotated:  make(map[string]bool),
+		Spans:      make(map[string]Span),
+		ModulePkgs: make(map[string]bool),
+	}
+}
+
+// Analyzers is the full suite in the order the driver runs it.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{HotpathAnalyzer, WallclockAnalyzer, StatsMergeAnalyzer, AtomicMixAnalyzer}
+}
+
+// RunPackage runs one analyzer over one loaded package and appends findings.
+func RunPackage(a *Analyzer, fset *token.FileSet, pkg *Package, world *World, sink *[]Diagnostic) {
+	allow := make(map[string]map[int]map[string]bool)
+	for _, f := range pkg.Files {
+		collectAllow(fset, f, allow)
+	}
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		World:    world,
+		allow:    allow,
+		report:   func(d Diagnostic) { *sink = append(*sink, d) },
+	}
+	a.Run(pass)
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

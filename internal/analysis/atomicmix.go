@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMixAnalyzer flags variables accessed both through sync/atomic
+// functions and through plain loads/stores — the SPSC/MPSC ring and
+// epoch-filter bug class, where one racy plain access silently voids the
+// ordering the atomic calls were buying. Typed atomics (atomic.Int64 and
+// friends) are immune by construction and are what the repo uses; this
+// analyzer guards the legacy form should it reappear.
+//
+// A deliberate single-threaded plain access (e.g. initialisation before
+// goroutines exist) is suppressible with //splidt:allow atomicmix.
+//
+// Category: atomicmix.
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag variables mixing sync/atomic access with plain loads/stores",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: every `&x` argument to a sync/atomic call marks x's object as
+	// atomically accessed; the idents inside those arguments are exempt from
+	// pass 2.
+	atomicObjs := make(map[types.Object]token.Pos) // object → first atomic site
+	exempt := make(map[*ast.Ident]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig := callee.Type().(*types.Signature); sig.Recv() != nil {
+				return true // typed atomics: safe by construction
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				obj := addressedObj(pass.Info, un.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = call.Pos()
+				}
+				markIdents(un.X, exempt)
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Pass 2: any other use of those objects is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || exempt[id] {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, hot := atomicObjs[obj]; hot {
+				pass.Reportf(id.Pos(), "atomicmix",
+					"%s is accessed with sync/atomic elsewhere; this plain access races", id.Name)
+			}
+			return true
+		})
+	}
+}
+
+// addressedObj resolves &expr to the field or variable object being
+// addressed: x.f → the field f, x → the variable x.
+func addressedObj(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.IndexExpr:
+		return addressedObj(info, e.X)
+	}
+	return nil
+}
+
+// markIdents records every ident under expr as part of an atomic argument.
+func markIdents(expr ast.Expr, exempt map[*ast.Ident]bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			exempt[id] = true
+		}
+		return true
+	})
+}

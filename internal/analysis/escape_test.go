@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// escapeRE matches one compiler escape diagnostic:
+//
+//	internal/pkt/pkt.go:117:6: p escapes to heap
+var escapeRE = regexp.MustCompile(`^([^\s:]+\.go):(\d+):\d+: (.+ (?:escapes to heap|moved to heap).*)$`)
+
+// TestEscapeRegression is the escape-analysis regression harness: it runs
+// the compiler with -gcflags=-m over the whole module, keeps only the
+// "escapes to heap" / "moved to heap" diagnostics that land inside a
+// //splidt:hotpath function, and compares that set against the golden list
+// in testdata/escapes.golden.
+//
+// A new escape inside an annotated function fails the test — heap traffic
+// crept onto a path the suite pins to zero allocations. A golden entry that
+// no longer appears is only logged: deleting stale entries is routine
+// maintenance, not a regression. Regenerate with
+//
+//	SPLIDT_UPDATE_ESCAPES=1 go test ./internal/analysis -run TestEscapeRegression
+func TestEscapeRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped in -short")
+	}
+	world, err := ParseAnnotated()
+	if err != nil {
+		t.Fatalf("ParseAnnotated: %v", err)
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build -gcflags=-m ./...: %v\n%s", err, out)
+	}
+
+	// Invert Spans into per-file line tables so each diagnostic resolves to
+	// the annotated function containing it (if any).
+	type span struct {
+		beg, end int
+		id       string
+	}
+	byFile := make(map[string][]span)
+	for id, s := range world.Spans {
+		rel, err := filepath.Rel(root, s.File)
+		if err != nil {
+			t.Fatalf("span file %s outside module root: %v", s.File, err)
+		}
+		byFile[rel] = append(byFile[rel], span{beg: s.Beg, end: s.End, id: id})
+	}
+
+	got := make(map[string]bool)
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		m := escapeRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		line, _ := strconv.Atoi(m[2])
+		for _, s := range byFile[m[1]] {
+			if line >= s.beg && line <= s.end {
+				got[fmt.Sprintf("%s: %s", s.id, m[3])] = true
+				break
+			}
+		}
+	}
+
+	golden := filepath.Join("testdata", "escapes.golden")
+	if os.Getenv("SPLIDT_UPDATE_ESCAPES") != "" {
+		var lines []string
+		for e := range got {
+			lines = append(lines, e)
+		}
+		sort.Strings(lines)
+		body := "# Known heap escapes inside //splidt:hotpath functions, one per\n" +
+			"# line as \"funcID: compiler message\". Every entry needs a matching\n" +
+			"# //splidt:allow justification in the source; the consolidated\n" +
+			"# AllocsPerRun suite proves none of them fire on the steady-state\n" +
+			"# path. Regenerate: SPLIDT_UPDATE_ESCAPES=1 go test ./internal/analysis -run TestEscapeRegression\n"
+		if len(lines) > 0 {
+			body += strings.Join(lines, "\n") + "\n"
+		}
+		if err := os.WriteFile(golden, []byte(body), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		t.Logf("wrote %s (%d entries)", golden, len(lines))
+		return
+	}
+
+	want := make(map[string]bool)
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with SPLIDT_UPDATE_ESCAPES=1 to create): %v", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		want[line] = true
+	}
+
+	var unexpected []string
+	for e := range got {
+		if !want[e] {
+			unexpected = append(unexpected, e)
+		}
+	}
+	sort.Strings(unexpected)
+	for _, e := range unexpected {
+		t.Errorf("new heap escape in a //splidt:hotpath function:\n  %s", e)
+	}
+	var stale []string
+	for e := range want {
+		if !got[e] {
+			stale = append(stale, e)
+		}
+	}
+	sort.Strings(stale)
+	for _, e := range stale {
+		t.Logf("golden entry no longer reported (safe to delete): %s", e)
+	}
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fixture loading: the analysistest-style golden harness. A fixture is one
+// directory of Go files forming a single package; expectations are trailing
+//
+//	// want `regex` `regex...`
+//
+// comments on the lines where diagnostics must land. Each regex is matched
+// against the rendered finding "[analyzer/category] message"; every
+// diagnostic must be claimed by a want and every want must claim a
+// diagnostic, so fixtures pin positives and negatives symmetrically.
+
+// LoadFixture parses and type-checks the fixture package in dir under the
+// given import path. Imports are resolved through the gc export data the go
+// tool reports for the fixture's (std-only) import set, so fixtures
+// type-check offline exactly like module packages do.
+func LoadFixture(dir, importPath string) (*token.FileSet, *Package, *World, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("fixture %s: no Go files", dir)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(names))
+	importSet := make(map[string]bool)
+	for _, path := range names {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("%s: bad import %s", path, imp.Path.Value)
+			}
+			importSet[p] = true
+		}
+	}
+
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		root, err := ModuleRoot()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		patterns := make([]string, 0, len(importSet))
+		for p := range importSet {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		listed, err := goList(root, patterns)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	world := NewWorld()
+	CollectDirectives(fset, importPath, files, world)
+	world.ModulePkgs[importPath] = true
+
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", exportLookup(exports))}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("typecheck fixture %s: %w", dir, err)
+	}
+	return fset, &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, world, nil
+}
+
+// A Want is one expected diagnostic, parsed from a `// want` comment.
+type Want struct {
+	File    string
+	Line    int
+	RE      *regexp.Regexp
+	Matched bool
+}
+
+// ParseWants extracts the expectations from every comment of the fixture.
+// A comment's expectations anchor to the comment's own line (the trailing-
+// comment convention analysistest uses).
+func ParseWants(fset *token.FileSet, files []*ast.File) ([]*Want, error) {
+	var wants []*Want
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: unquote %s: %w", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regex %q: %w", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &Want{File: pos.Filename, Line: pos.Line, RE: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// Claim marks the first unmatched want on the diagnostic's line whose regex
+// matches the rendered finding, reporting whether one existed.
+func Claim(wants []*Want, d Diagnostic) bool {
+	rendered := fmt.Sprintf("[%s/%s] %s", d.Analyzer, d.Category, d.Message)
+	for _, w := range wants {
+		if w.Matched || w.File != d.Pos.Filename || w.Line != d.Pos.Line {
+			continue
+		}
+		if w.RE.MatchString(rendered) {
+			w.Matched = true
+			return true
+		}
+	}
+	return false
+}

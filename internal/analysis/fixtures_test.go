@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestAnalyzerFixtures runs the full suite over every fixture package under
+// testdata/src and cross-checks the findings against the fixtures' `// want`
+// expectations, both ways: an unclaimed diagnostic and an unmatched
+// expectation are equally fatal. This is the golden coverage for all four
+// analyzers — each fixture holds at least one failing (flagged) form and the
+// negative forms that must stay silent.
+func TestAnalyzerFixtures(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no fixture packages under testdata/src")
+	}
+	seen := make(map[string]bool)
+	for _, dir := range dirs {
+		name := filepath.Base(dir)
+		seen[name] = true
+		t.Run(name, func(t *testing.T) {
+			fset, pkg, world, err := LoadFixture(dir, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var diags []Diagnostic
+			for _, a := range Analyzers() {
+				RunPackage(a, fset, pkg, world, &diags)
+			}
+			SortDiagnostics(diags)
+			wants, err := ParseWants(fset, pkg.Files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(wants) == 0 {
+				t.Errorf("fixture %s has no want expectations; every fixture must pin at least one finding", name)
+			}
+			for _, d := range diags {
+				if !Claim(wants, d) {
+					t.Errorf("unexpected diagnostic:\n  %s\n  rendered: [%s/%s] %s",
+						d, d.Analyzer, d.Category, d.Message)
+				}
+			}
+			for _, w := range wants {
+				if !w.Matched {
+					t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.File, w.Line, w.RE)
+				}
+			}
+		})
+	}
+	// One fixture per analyzer, so a deleted fixture directory cannot silently
+	// drop an analyzer's golden coverage.
+	for _, a := range Analyzers() {
+		if !seen[a.Name] {
+			t.Errorf("no fixture package for analyzer %q under testdata/src", a.Name)
+		}
+	}
+}
+
+// TestDiagnosticString pins the rendering the driver prints and CI greps.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "hotpath", Category: "alloc", Message: "f: make allocates"}
+	d.Pos.Filename = "x.go"
+	d.Pos.Line, d.Pos.Column = 3, 7
+	got := d.String()
+	want := "x.go: 3:7: [hotpath/alloc] f: make allocates"
+	if got != want {
+		t.Fatalf("Diagnostic.String() = %q, want %q", got, want)
+	}
+}

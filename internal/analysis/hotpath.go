@@ -1,0 +1,425 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAnalyzer checks every //splidt:hotpath function for constructs that
+// allocate, block, or escape into unaudited code. Categories (each
+// independently suppressible with //splidt:allow):
+//
+//	alloc    make/new, &T{...}, slice/map literals, []byte(string)
+//	append   any append (growth is a runtime property; justify or hoist)
+//	map      map reads, writes, deletes and range
+//	string   string concatenation and string([]byte) conversions
+//	box      concrete non-pointer value converted to an interface
+//	closure  func literal that escapes its defining statement
+//	funcval  call through a func-typed field or package variable
+//	chan     channel send/receive/close/select
+//	go       goroutine launch
+//	lock     sync package call (Mutex, RWMutex, Once, WaitGroup, ...)
+//	fmt      any fmt call
+//	call     call into a function that is neither annotated nor allowlisted
+//
+// Transitivity comes from the call rule: a hot function may only call other
+// annotated functions (checked the same way) or a fixed allowlist of
+// non-allocating std packages.
+var HotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocation, locks and unaudited calls in //splidt:hotpath functions",
+	Run:  runHotpath,
+}
+
+// hotpathStdAllow lists std packages whose functions are callable from hot
+// code: pure arithmetic/encoding helpers plus the buffered-IO surface the
+// zero-copy record reader is built on. fmt is deliberately absent; sync is
+// absent so lock ops get their own category.
+var hotpathStdAllow = map[string]bool{
+	"encoding/binary": true,
+	"errors":          true,
+	"hash/crc32":      true,
+	"io":              true,
+	"bufio":           true,
+	"math":            true,
+	"math/bits":       true,
+	"math/rand":       true,
+	"sync/atomic":     true,
+	"time":            true, // Duration arithmetic; wallclock bans the clock reads
+}
+
+func runHotpath(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil || !hasDirective(d.Doc, dirHotpath) {
+				continue
+			}
+			w := &hotpathWalker{pass: pass, fn: d.Name.Name}
+			w.walk(d.Body)
+		}
+	}
+}
+
+type hotpathWalker struct {
+	pass *Pass
+	fn   string
+	// localFuncs tracks func-typed locals bound to a literal in this body:
+	// calling one is fine because its body is walked inline.
+	localFuncs map[types.Object]bool
+}
+
+func (w *hotpathWalker) walk(body *ast.BlockStmt) {
+	w.localFuncs = make(map[types.Object]bool)
+	// Pre-pass: find `name := func(...){...}` bindings so calls through them
+	// are recognised regardless of statement order.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if _, ok := rhs.(*ast.FuncLit); ok && i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := w.pass.Info.Defs[id]; obj != nil {
+							w.localFuncs[obj] = true
+						} else if obj := w.pass.Info.Uses[id]; obj != nil {
+							w.localFuncs[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, w.visit)
+}
+
+func (w *hotpathWalker) visit(n ast.Node) bool {
+	pass := w.pass
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		w.checkCall(n)
+	case *ast.UnaryExpr:
+		switch n.Op {
+		case token.ARROW:
+			pass.Reportf(n.Pos(), "chan", "%s: channel receive in hot path", w.fn)
+		case token.AND:
+			if cl, ok := n.X.(*ast.CompositeLit); ok {
+				pass.Reportf(n.Pos(), "alloc", "%s: &%s{...} allocates", w.fn, typeName(pass, cl))
+			}
+		}
+	case *ast.SendStmt:
+		pass.Reportf(n.Pos(), "chan", "%s: channel send in hot path", w.fn)
+	case *ast.SelectStmt:
+		pass.Reportf(n.Pos(), "chan", "%s: select in hot path", w.fn)
+	case *ast.GoStmt:
+		pass.Reportf(n.Pos(), "go", "%s: goroutine launch in hot path", w.fn)
+	case *ast.CompositeLit:
+		if t := pass.Info.Types[n].Type; t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "alloc", "%s: slice literal allocates", w.fn)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "alloc", "%s: map literal allocates", w.fn)
+			}
+		}
+	case *ast.IndexExpr:
+		if t := pass.Info.Types[n.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				pass.Reportf(n.Pos(), "map", "%s: map access in hot path", w.fn)
+			}
+		}
+	case *ast.RangeStmt:
+		if t := pass.Info.Types[n.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				pass.Reportf(n.Pos(), "map", "%s: map iteration in hot path", w.fn)
+			}
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isStringExpr(pass, n.X) {
+			pass.Reportf(n.Pos(), "string", "%s: string concatenation allocates", w.fn)
+		}
+	case *ast.AssignStmt:
+		if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pass, n.Lhs[0]) {
+			pass.Reportf(n.Pos(), "string", "%s: string += allocates", w.fn)
+		}
+		w.checkAssignBoxing(n)
+	case *ast.FuncLit:
+		w.checkFuncLitEscape(n)
+	case *ast.ReturnStmt:
+		// Boxing on return is checked against the enclosing signature only
+		// for the top-level function; keeping this pragmatic.
+	}
+	return true
+}
+
+// checkCall classifies one call expression.
+func (w *hotpathWalker) checkCall(call *ast.CallExpr) {
+	pass := w.pass
+
+	// Builtins and conversions first.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "alloc", "%s: make allocates", w.fn)
+			case "new":
+				pass.Reportf(call.Pos(), "alloc", "%s: new allocates", w.fn)
+			case "append":
+				pass.Reportf(call.Pos(), "append", "%s: append may grow its backing array", w.fn)
+			case "delete":
+				pass.Reportf(call.Pos(), "map", "%s: map delete in hot path", w.fn)
+			case "close":
+				pass.Reportf(call.Pos(), "chan", "%s: channel close in hot path", w.fn)
+			case "print", "println":
+				pass.Reportf(call.Pos(), "call", "%s: builtin %s in hot path", w.fn, b.Name())
+			}
+			return
+		}
+	}
+
+	// Conversion T(x)?
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		dst := tv.Type
+		if len(call.Args) == 1 {
+			src := pass.Info.Types[call.Args[0]].Type
+			if isString(dst) && (isByteSlice(src) || isRuneSlice(src)) {
+				pass.Reportf(call.Pos(), "string", "%s: string(%s) conversion allocates", w.fn, src)
+			} else if (isByteSlice(dst) || isRuneSlice(dst)) && isString(src) {
+				pass.Reportf(call.Pos(), "alloc", "%s: %s(string) conversion allocates", w.fn, dst)
+			}
+		}
+		return
+	}
+
+	callee := calleeFunc(pass.Info, call)
+	if callee == nil {
+		// Func value: field, package var, or local closure.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && w.localFuncs[obj] {
+				w.checkArgBoxing(call, nil)
+				return // local closure, body checked inline
+			}
+		}
+		pass.Reportf(call.Pos(), "funcval", "%s: call through func value (target unaudited)", w.fn)
+		return
+	}
+
+	pkg := callee.Pkg()
+	switch {
+	case pkg == nil:
+		// Universe-scope methods (error.Error). Dispatch target unknown.
+		pass.Reportf(call.Pos(), "call", "%s: call to %s (unaudited)", w.fn, callee.Name())
+	case pass.World.ModulePkgs[pkg.Path()] || pkg == pass.Pkg:
+		id := FuncID(pkg.Path(), callee)
+		if !pass.World.Annotated[id] {
+			pass.Reportf(call.Pos(), "call", "%s: call to %s, which is not //splidt:hotpath", w.fn, id)
+		}
+	default:
+		switch {
+		case pkg.Path() == "fmt":
+			pass.Reportf(call.Pos(), "fmt", "%s: fmt.%s allocates", w.fn, callee.Name())
+		case pkg.Path() == "sync":
+			pass.Reportf(call.Pos(), "lock", "%s: sync.%s in hot path", w.fn, lockName(callee))
+		case !hotpathStdAllow[pkg.Path()]:
+			pass.Reportf(call.Pos(), "call", "%s: call into %s (not allowlisted for hot paths)", w.fn, pkg.Path())
+		}
+	}
+	w.checkArgBoxing(call, callee)
+}
+
+// checkArgBoxing flags arguments whose concrete non-pointer value is
+// implicitly converted to an interface parameter. Constants, nil, pointers
+// and interface-to-interface conversions are exempt (no heap allocation), and
+// panic arguments are exempt (cold path by definition).
+func (w *hotpathWalker) checkArgBoxing(call *ast.CallExpr, callee *types.Func) {
+	pass := w.pass
+	sigTV, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		w.checkBoxed(arg, pt)
+	}
+}
+
+// checkAssignBoxing flags assignments of concrete values into
+// interface-typed variables or fields.
+func (w *hotpathWalker) checkAssignBoxing(n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i := range n.Lhs {
+		if lt := w.pass.Info.Types[n.Lhs[i]].Type; lt != nil {
+			w.checkBoxed(n.Rhs[i], lt)
+		}
+	}
+}
+
+func (w *hotpathWalker) checkBoxed(expr ast.Expr, dst types.Type) {
+	pass := w.pass
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value != nil || tv.IsNil() {
+		return // constant or nil: no runtime allocation
+	}
+	src := tv.Type
+	if src == nil || types.IsInterface(src) {
+		return
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: fits the iface data word
+	}
+	pass.Reportf(expr.Pos(), "box", "%s: %s value boxed into interface", w.fn, src)
+}
+
+// checkFuncLitEscape flags func literals that escape the statement binding
+// them. A literal bound to a local variable is fine (its body is walked as
+// part of this function); anything else — call argument, return value, field
+// store, collection element — escapes to the heap.
+func (w *hotpathWalker) checkFuncLitEscape(lit *ast.FuncLit) {
+	parent := w.parentOf(lit)
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if rhs == lit && i < len(p.Lhs) {
+				if _, ok := p.Lhs[i].(*ast.Ident); ok {
+					return // bound to a local; checked inline
+				}
+			}
+		}
+	case *ast.ValueSpec:
+		return
+	case *ast.GoStmt:
+		return // the go statement itself is already flagged
+	case *ast.DeferStmt:
+		return // open-coded defer of a literal does not allocate
+	}
+	w.pass.Reportf(lit.Pos(), "closure", "%s: func literal escapes its binding (allocates)", w.fn)
+}
+
+// parentOf finds the immediate parent of a node within the walked body. The
+// walker has no parent links, so this re-walks; bodies are small.
+func (w *hotpathWalker) parentOf(target ast.Node) ast.Node {
+	var parent ast.Node
+	var stack []ast.Node
+	for _, f := range w.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if n == target && len(stack) > 0 {
+				parent = stack[len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			return parent == nil
+		})
+		if parent != nil {
+			break
+		}
+	}
+	return parent
+}
+
+// calleeFunc resolves a call's static callee, or nil for func values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil // field selection: func-typed field
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified call
+		}
+	}
+	return nil
+}
+
+// lockName renders sync method calls as Type.Method for the message.
+func lockName(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Name()
+}
+
+func typeName(pass *Pass, cl *ast.CompositeLit) string {
+	if t := pass.Info.Types[cl].Type; t != nil {
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name()
+		}
+		return t.String()
+	}
+	return "T"
+}
+
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	return isString(pass.Info.Types[e].Type)
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Rune
+}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Offline package loading. golang.org/x/tools/go/packages is unavailable, so
+// the loader drives the go tool directly: `go list -deps -export -json`
+// compiles every dependency into the build cache and reports the gc
+// export-data file for each, and the stdlib gc importer reads those files via
+// a lookup function. Module packages are then parsed from source (with
+// comments, for the directives) and type-checked against that import graph.
+
+// A Package is one module package, parsed and type-checked.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPkg mirrors the `go list -json` fields the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Export     string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path, Dir string }
+}
+
+// ModuleRoot returns the directory containing go.mod for the current
+// working directory's module.
+func ModuleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// goList runs `go list -deps -export -json` in dir over the patterns and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Export,Dir,GoFiles,Standard,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return nil, fmt.Errorf("go list: decode: %w\n%s", err, stderr.String())
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts a map of export-data file paths to the gc importer's
+// lookup interface.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// LoadModule loads, parses and type-checks every module package matched by
+// the patterns (plus their in-module dependencies, which `go list -deps`
+// includes), and collects the cross-package directive world.
+func LoadModule(patterns ...string) (*token.FileSet, []*Package, *World, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	listed, err := goList(root, patterns)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	exports := make(map[string]string, len(listed))
+	var module []*listedPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			module = append(module, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	world := NewWorld()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+
+	var pkgs []*Package
+	for _, lp := range module {
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			path := filepath.Join(lp.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("parse %s: %w", path, err)
+			}
+			files = append(files, f)
+		}
+		CollectDirectives(fset, lp.ImportPath, files, world)
+		world.ModulePkgs[lp.ImportPath] = true
+
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return fset, pkgs, world, nil
+}
+
+// ParseAnnotated parses every module package (parse-only, no type checking)
+// and returns the directive world. The consolidated allocation test uses this
+// to guarantee its probe table covers exactly the annotated set, and the
+// escape harness uses the spans.
+func ParseAnnotated() (*World, error) {
+	root, err := ModuleRoot()
+	if err != nil {
+		return nil, err
+	}
+	listed, err := goListNoExport(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	world := NewWorld()
+	for _, lp := range listed {
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			path := filepath.Join(lp.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", path, err)
+			}
+			files = append(files, f)
+		}
+		CollectDirectives(fset, lp.ImportPath, files, world)
+		world.ModulePkgs[lp.ImportPath] = true
+	}
+	return world, nil
+}
+
+// goListNoExport lists module packages only, without compiling.
+func goListNoExport(dir string) ([]*listedPkg, error) {
+	cmd := exec.Command("go", "list", "-json=ImportPath,Dir,GoFiles,Standard", "./...")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		if !p.Standard {
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}

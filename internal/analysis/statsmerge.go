@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// StatsMergeAnalyzer enforces struct-field exhaustiveness in merge/add/
+// snapshot functions. A function annotated
+//
+//	//splidt:stats-complete TYPE
+//
+// (TYPE is a struct named in this package, or pkgname.Name for an imported
+// one) must reference every field of that struct in its body — a selector, a
+// keyed composite-literal entry, or an unkeyed literal (which the compiler
+// already forces to be exhaustive). A field added to dataplane.Stats but not
+// threaded through Add/MergeStats/engine subStats is a silent undercount,
+// not a test failure; this turns it into a vet failure.
+//
+// Category: statsmerge.
+var StatsMergeAnalyzer = &Analyzer{
+	Name: "statsmerge",
+	Doc:  "require //splidt:stats-complete functions to touch every struct field",
+	Run:  runStatsMerge,
+}
+
+func runStatsMerge(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			typeName, ok := directiveArg(d.Doc, dirStatsComplete)
+			if !ok {
+				continue
+			}
+			st, label := resolveStruct(pass, typeName)
+			if st == nil {
+				pass.Reportf(d.Pos(), "statsmerge",
+					"%s: //splidt:stats-complete %s: cannot resolve struct type", d.Name.Name, typeName)
+				continue
+			}
+			missing := uncoveredFields(pass, d.Body, st)
+			for _, field := range missing {
+				pass.Reportf(d.Pos(), "statsmerge",
+					"%s: field %s.%s is not referenced (silent undercount)", d.Name.Name, label, field)
+			}
+		}
+	}
+}
+
+// resolveStruct resolves "Name" in the current package or "pkgname.Name"
+// through the imports, returning the struct type and a display label.
+func resolveStruct(pass *Pass, name string) (*types.Struct, string) {
+	var obj types.Object
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		pkgName, typName := name[:i], name[i+1:]
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Name() == pkgName {
+				obj = imp.Scope().Lookup(typName)
+				break
+			}
+		}
+	} else {
+		obj = pass.Pkg.Scope().Lookup(name)
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, name
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, name
+	}
+	return st, name
+}
+
+// uncoveredFields returns the names of struct fields never referenced in the
+// body, in declaration order.
+func uncoveredFields(pass *Pass, body *ast.BlockStmt, st *types.Struct) []string {
+	fields := make(map[*types.Var]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			// Covers plain selectors (s.Field) and keyed composite-literal
+			// entries (Stats{Field: v}): both record the field object in Uses.
+			if v, ok := pass.Info.Uses[n].(*types.Var); ok && v.IsField() {
+				if _, tracked := fields[v]; tracked {
+					fields[v] = true
+				}
+			}
+		case *ast.CompositeLit:
+			// An unkeyed struct literal must list every field to compile, so
+			// it covers all of them.
+			t := pass.Info.Types[n].Type
+			if t == nil {
+				return true
+			}
+			lst, ok := t.Underlying().(*types.Struct)
+			if !ok || lst != st || len(n.Elts) == 0 {
+				return true
+			}
+			if _, keyed := n.Elts[0].(*ast.KeyValueExpr); !keyed {
+				for v := range fields {
+					fields[v] = true
+				}
+			}
+		}
+		return true
+	})
+	var missing []string
+	for i := 0; i < st.NumFields(); i++ {
+		if !fields[st.Field(i)] {
+			missing = append(missing, st.Field(i).Name())
+		}
+	}
+	return missing
+}

@@ -1,0 +1,36 @@
+// Package atomicmix exercises the atomicmix analyzer: a variable touched by
+// package-level sync/atomic calls must never also be accessed plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	calls int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	c.calls++ // never accessed atomically: fine
+}
+
+func (c *counters) read() int64 {
+	return c.hits // want `hits is accessed with sync/atomic elsewhere; this plain access races`
+}
+
+func (c *counters) readAtomic() int64 {
+	return atomic.LoadInt64(&c.hits) // atomic read: fine
+}
+
+func (c *counters) reset() {
+	c.hits = 0 //splidt:allow atomicmix — fixture: single-threaded reinitialisation
+}
+
+// typed atomics are immune by construction: no diagnostics anywhere below.
+type safe struct {
+	n atomic.Int64
+}
+
+func (s *safe) bump() { s.n.Add(1) }
+
+func (s *safe) read() int64 { return s.n.Load() }

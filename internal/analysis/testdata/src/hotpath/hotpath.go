@@ -1,0 +1,98 @@
+// Package hotpath exercises the hotpath analyzer: each annotated function
+// below trips exactly the categories its want comments pin, and the
+// unannotated/allowlisted forms alongside them must stay silent.
+package hotpath
+
+import (
+	"math/bits"
+	"os"
+	"sync"
+)
+
+type state struct {
+	n   int
+	buf []byte
+}
+
+//splidt:hotpath
+func allocates(s *state) {
+	s.buf = make([]byte, 64) // want `\[hotpath/alloc\] allocates: make allocates`
+	_ = new(state)           // want `new allocates`
+	s.buf = append(s.buf, 1) // want `append may grow its backing array`
+	_ = &state{}             // want `&state\{\.\.\.\} allocates`
+	_ = []int{1, 2, 3}       // want `slice literal allocates`
+}
+
+var (
+	mu     sync.Mutex
+	events chan int
+	counts map[string]int
+)
+
+//splidt:hotpath
+func locksAndChans() {
+	mu.Lock()     // want `sync\.Mutex\.Lock in hot path`
+	mu.Unlock()   // want `sync\.Mutex\.Unlock in hot path`
+	events <- 1   // want `channel send in hot path`
+	<-events      // want `channel receive in hot path`
+	counts["x"]++ // want `map access in hot path`
+	go leaf(1)    // want `goroutine launch in hot path`
+}
+
+//splidt:hotpath
+func strings2(a, b string, p []byte) {
+	_ = a + b     // want `string concatenation allocates`
+	_ = string(p) // want `string\(\[\]byte\) conversion allocates`
+	_ = []byte(a) // want `\[\]byte\(string\) conversion allocates`
+}
+
+var out any
+
+//splidt:hotpath
+func boxes(v int64, s *state) {
+	out = v // want `int64 value boxed into interface`
+	out = s // pointer-shaped: fits the iface word, no diagnostic
+}
+
+var hook func()
+
+//splidt:hotpath
+func closures(fns []func()) {
+	f := func() {} // bound to a local: body is walked inline
+	f()
+	fns[0] = func() {} // want `func literal escapes its binding`
+	hook()             // want `call through func value`
+}
+
+// helper is deliberately not annotated: calling it from hot code is the
+// transitivity violation.
+func helper() {}
+
+//splidt:hotpath
+func leaf(x int) int { return bits.OnesCount(uint(x)) }
+
+//splidt:hotpath
+func calls(x int) int {
+	helper()        // want `call to hotpath\.helper, which is not //splidt:hotpath`
+	_ = os.Getpid() // want `call into os \(not allowlisted for hot paths\)`
+	return leaf(x)  // annotated callee: fine
+}
+
+// ops shows the interface-method form of the annotation: a call through
+// Tick is a contract every implementation must honour; Other is unaudited.
+type ops interface {
+	//splidt:hotpath
+	Tick(n int) int
+	Other()
+}
+
+//splidt:hotpath
+func dispatch(o ops) {
+	o.Tick(1)
+	o.Other() // want `call to hotpath\.ops\.Other, which is not //splidt:hotpath`
+}
+
+//splidt:hotpath
+func allowed() []byte {
+	return make([]byte, 8) //splidt:allow alloc — fixture: justified one-time buffer
+}

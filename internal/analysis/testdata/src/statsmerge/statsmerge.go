@@ -1,0 +1,41 @@
+// Package statsmerge exercises the statsmerge analyzer: annotated functions
+// must reference every field of the named struct.
+package statsmerge
+
+type Stats struct {
+	Packets int64
+	Bytes   int64
+	Drops   int64
+}
+
+// addComplete touches every field: no diagnostic.
+//
+//splidt:stats-complete Stats
+func addComplete(dst *Stats, src Stats) {
+	dst.Packets += src.Packets
+	dst.Bytes += src.Bytes
+	dst.Drops += src.Drops
+}
+
+//splidt:stats-complete Stats
+func addIncomplete(dst *Stats, src Stats) { // want `field Stats\.Drops is not referenced \(silent undercount\)`
+	dst.Packets += src.Packets
+	dst.Bytes += src.Bytes
+}
+
+// unkeyedComplete covers all fields through an unkeyed literal, which the
+// compiler already forces to be exhaustive: no diagnostic.
+//
+//splidt:stats-complete Stats
+func unkeyedComplete(a, b Stats) Stats {
+	return Stats{a.Packets + b.Packets, a.Bytes + b.Bytes, a.Drops + b.Drops}
+}
+
+//splidt:stats-complete Stats
+func keyedIncomplete(a Stats) Stats { // want `field Stats\.Bytes is not referenced` `field Stats\.Drops is not referenced`
+	return Stats{Packets: a.Packets}
+}
+
+//splidt:stats-complete Missing
+func badType() { // want `//splidt:stats-complete Missing: cannot resolve struct type`
+}

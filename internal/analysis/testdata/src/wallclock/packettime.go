@@ -1,0 +1,35 @@
+// Package wallclock exercises the wallclock analyzer: the pragma'd file is
+// packet-time (no wall-clock reads, no global math/rand), the plain file is
+// exempt.
+package wallclock
+
+//splidt:packettime
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clockReads() time.Duration {
+	t := time.Now()                    // want `\[wallclock/wallclock\] time\.Now in packet-time code`
+	_ = time.Since(t)                  // want `time\.Since in packet-time code`
+	ch := time.After(time.Millisecond) // want `time\.After in packet-time code`
+	_ = ch
+	return time.Duration(rand.Intn(10)) // want `\[wallclock/globalrand\] global rand\.Intn in packet-time code`
+}
+
+func seededOK(rng *rand.Rand) int {
+	return rng.Intn(10) // method on a seeded generator: fine
+}
+
+func constructorsOK(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // seeded construction: fine
+}
+
+func sleepOK() {
+	time.Sleep(time.Microsecond) // Sleep is deliberately allowed (idle backoff)
+}
+
+func allowedRead() time.Time {
+	return time.Now() //splidt:allow wallclock — fixture: justified measurement point
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallclockAnalyzer forbids wall-clock reads and global math/rand state in
+// packet-time code. The dataplane, timerwheel and flowtable packages are
+// packet-time in their entirety: the simulated switch advances on packet
+// timestamps, and a single time.Now smuggled into them desynchronises replay
+// from recorded traces. Other files opt in with a //splidt:packettime pragma
+// (the engine worker loop, the churn generator's virtual clock, the trace
+// samplers).
+//
+// Categories:
+//
+//	wallclock   time.Now / Since / Until / After / Tick / NewTimer / ...
+//	globalrand  package-level math/rand functions (unseeded shared state)
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock reads and global math/rand in packet-time code",
+	Run:  runWallclock,
+}
+
+// packetTimePkgs are whole packages under the packet-time regime.
+var packetTimePkgs = map[string]bool{
+	"splidt/internal/dataplane":  true,
+	"splidt/internal/timerwheel": true,
+	"splidt/internal/flowtable":  true,
+}
+
+// wallclockBanned are time-package functions that read the wall clock or
+// arm wall-clock timers. time.Sleep is deliberately absent: packet-time code
+// never calls it, and the engine's idle backoff (pragma'd file) legitimately
+// does.
+var wallclockBanned = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// globalRandAllowed are math/rand package-level functions that construct
+// seeded generators rather than touching the global one.
+var globalRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runWallclock(pass *Pass) {
+	wholePkg := packetTimePkgs[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		if !wholePkg && !fileHasPragma(f, dirPacketTime) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallclockBanned[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil {
+					pass.Reportf(sel.Pos(), "wallclock",
+						"time.%s in packet-time code (use the packet clock)", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				sig := fn.Type().(*types.Signature)
+				if sig.Recv() == nil && !globalRandAllowed[fn.Name()] {
+					pass.Reportf(sel.Pos(), "globalrand",
+						"global %s.%s in packet-time code (use a seeded *rand.Rand)",
+						pkgBase(fn.Pkg().Path()), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

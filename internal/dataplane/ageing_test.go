@@ -327,55 +327,3 @@ func TestNewShardsRemainder(t *testing.T) {
 		}
 	}
 }
-
-// TestProcessAndSweepAllocationFree guards the hot path for both deployable
-// table schemes: the steady-state packet paths (live mid-window
-// accumulation, parked-entry draining) and the ageing sweep may not
-// allocate. Only digest emission allocates — one Digest per classification,
-// off the per-packet path.
-func TestProcessAndSweepAllocationFree(t *testing.T) {
-	base, testFlows := ageingDeploy(t, 1<<12, time.Minute, 64)
-	for _, scheme := range []TableScheme{TableDirect, TableCuckoo} {
-		dcfg := base
-		dcfg.Table = scheme
-		pl, err := New(dcfg)
-		if err != nil {
-			t.Fatalf("New(%s): %v", scheme, err)
-		}
-
-		// Live path: a mid-window packet of an active flow (no window
-		// boundary, no digest) — the overwhelmingly common per-packet case.
-		var g trace.LabeledFlow
-		for _, f := range testFlows {
-			if len(f.Packets) >= 8 {
-				g = f
-				break
-			}
-		}
-		mid := g.Packets[0] // Seq 1 of a long flow: never a window end
-		pl.Process(mid)
-		if avg := testing.AllocsPerRun(200, func() { pl.Process(mid) }); avg != 0 {
-			t.Fatalf("%s: live-path Process allocates %.1f per packet", scheme, avg)
-		}
-
-		// Parked path: an early-exited flow draining its tail.
-		early := findEarlyExit(t, base, testFlows)
-		pl2, err := New(dcfg)
-		if err != nil {
-			t.Fatalf("New(%s): %v", scheme, err)
-		}
-		for _, p := range early.Packets[:len(early.Packets)-1] {
-			pl2.Process(p)
-		}
-		tail := early.Packets[len(early.Packets)-2] // owner packet, not flow end
-		if avg := testing.AllocsPerRun(200, func() { pl2.Process(tail) }); avg != 0 {
-			t.Fatalf("%s: parked-path Process allocates %.1f per packet", scheme, avg)
-		}
-
-		if avg := testing.AllocsPerRun(200, func() {
-			pl.Sweep(pl.Clock() + time.Minute)
-		}); avg != 0 {
-			t.Fatalf("%s: Sweep allocates %.1f per call", scheme, avg)
-		}
-	}
-}

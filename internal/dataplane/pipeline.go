@@ -220,7 +220,11 @@ type Stats struct {
 
 // Add folds another pipeline's counters into s. Every Stats field is a
 // plain sum, so per-shard counters merge into exactly the totals one
-// pipeline would have reported over the union of the traffic.
+// pipeline would have reported over the union of the traffic. splidt-vet's
+// statsmerge analyzer enforces that every Stats field appears here, so a new
+// counter cannot silently drop out of the per-shard merge.
+//
+//splidt:stats-complete Stats
 func (s *Stats) Add(o Stats) {
 	s.Packets += o.Packets
 	s.ControlPackets += o.ControlPackets
@@ -346,6 +350,8 @@ func newPipeline(cfg Config) *Pipeline {
 // without a touch re-arming it, so its flow has been idle for at least its
 // (per-class) lifetime. The wheel has already unlinked the node; recover the
 // entry through the back-pointer and free its cell.
+//
+//splidt:hotpath
 func (pl *Pipeline) expire(n *timerwheel.Node) {
 	e := n.Data.(*flowtable.Entry)
 	pl.table.Release(e)
@@ -417,6 +423,8 @@ func NewShards(cfg Config, n int) ([]*Pipeline, error) {
 
 // Process runs one packet through the pipeline. It returns a non-nil Digest
 // when the packet triggered a final classification.
+//
+//splidt:hotpath
 func (pl *Pipeline) Process(p pkt.Packet) *Digest {
 	pl.stats.Packets++
 	if p.TS > pl.clock {
@@ -502,10 +510,12 @@ func (pl *Pipeline) Process(p pkt.Packet) *Digest {
 	if !ok {
 		// Model tables partition the mark space; a miss means the deployed
 		// rules are corrupt.
+		//splidt:allow fmt,box — cold panic path: corrupt deployment, never taken per-packet
 		panic(fmt.Sprintf("dataplane: model table miss at SID %d marks %v", e.SID, marks))
 	}
 
 	if p.Seq >= p.FlowSize || rule.Exit {
+		//splidt:allow alloc — one digest per classified flow, the pipeline's output value
 		d := &Digest{
 			Key:     ck,
 			Class:   rule.Class,
@@ -566,6 +576,8 @@ func (pl *Pipeline) ProcessBytes(data []byte, ts time.Duration) (*Digest, error)
 
 // windowEnd applies the model's window policy: uniform partitions by
 // default, non-uniform boundaries for adaptive-window models.
+//
+//splidt:hotpath
 func (pl *Pipeline) windowEnd(p pkt.Packet) bool {
 	if b := pl.cfg.Model.Cfg.WindowBounds; b != nil {
 		return p.IsWindowEndBounds(b)
@@ -620,6 +632,8 @@ func (pl *Pipeline) ActiveFlows() int { return pl.table.Occupied() }
 // firing exactly the entries whose armed deadlines elapsed — O(expired) plus
 // O(ticks crossed) bookkeeping, instead of a stripe scan. Reclaims are
 // counted by the expiry callback (Stats.Evictions and Stats.WheelExpiries).
+//
+//splidt:hotpath
 func (pl *Pipeline) Sweep(now time.Duration) int {
 	if pl.wheel != nil {
 		return pl.wheel.Advance(now)

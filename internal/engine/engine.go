@@ -358,6 +358,9 @@ func (e *Engine) Run(src Source) (*Result, error) {
 // to the pipeline (they are dropped from the next burst on), which only
 // moves a few packets from the dropped count to the processed count —
 // exactly the dispatch race the Block contract already allows.
+// only wall-clock reads are the allow-listed digest-latency stamps below.
+//
+//splidt:packettime — ageing sweeps advance on burst packet timestamps; the
 func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest,
 	filter *dropFilter, dropped *atomic.Int64) {
 	defer wg.Done()
@@ -408,6 +411,7 @@ func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest,
 				}
 				if d := s.pl.Process(b.pkts[i]); d != nil {
 					if s.latHist != nil {
+						//splidt:allow wallclock — digest latency is a harness metric measured in wall time by design
 						s.latHist.RecordDur(time.Since(b.fedAt))
 					}
 					sink <- *d
@@ -417,6 +421,7 @@ func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest,
 			for i := range b.pkts {
 				if d := s.pl.Process(b.pkts[i]); d != nil {
 					if s.latHist != nil {
+						//splidt:allow wallclock — digest latency is a harness metric measured in wall time by design
 						s.latHist.RecordDur(time.Since(b.fedAt))
 					}
 					sink <- *d
@@ -456,6 +461,8 @@ func (s *shardState) publish() {
 }
 
 // subStats returns now − prev field-wise (one session's deltas).
+//
+//splidt:stats-complete dataplane.Stats
 func subStats(now, prev dataplane.Stats) dataplane.Stats {
 	d := dataplane.Stats{
 		Packets:        now.Packets - prev.Packets,

@@ -1,0 +1,26 @@
+package engine
+
+// RingAllocProbe returns one steady-state transfer cycle over the burst
+// rings — push+pop on an SPSC free ring and on an MPSC shard ring — for the
+// consolidated allocation test in internal/analysis, which pins every
+// //splidt:hotpath function to zero allocations but cannot reach the
+// unexported ring types from outside the package.
+func RingAllocProbe() func() {
+	sp := newRing(4)
+	mp := newMPSCRing(4)
+	b := &burst{}
+	return func() {
+		if !sp.tryPush(b) {
+			panic("spsc ring full")
+		}
+		if _, ok := sp.tryPop(); !ok {
+			panic("spsc ring empty")
+		}
+		if !mp.tryPush(b) {
+			panic("mpsc ring full")
+		}
+		if _, ok := mp.tryPop(); !ok {
+			panic("mpsc ring empty")
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package engine
 
+//splidt:packettime — ring transfer sits on the per-packet path; bursts carry packet timestamps, never wall-clock reads
+
 import (
 	"runtime"
 	"sync/atomic"
@@ -53,6 +55,8 @@ func newRing(capacity int) *spscRing {
 }
 
 // tryPush enqueues b, reporting false when the ring is full.
+//
+//splidt:hotpath
 func (r *spscRing) tryPush(b *burst) bool {
 	tail := r.tail.Load()
 	if tail-r.head.Load() == uint64(len(r.buf)) {
@@ -64,6 +68,8 @@ func (r *spscRing) tryPush(b *burst) bool {
 }
 
 // tryPop dequeues the oldest burst, reporting false when the ring is empty.
+//
+//splidt:hotpath
 func (r *spscRing) tryPop() (*burst, bool) {
 	head := r.head.Load()
 	if head == r.tail.Load() {
@@ -134,6 +140,8 @@ func newMPSCRing(capacity int) *mpscRing {
 
 // tryPush enqueues b, reporting false when the ring is full. Safe from any
 // number of concurrent producers.
+//
+//splidt:hotpath
 func (r *mpscRing) tryPush(b *burst) bool {
 	for {
 		tail := r.tail.Load()
@@ -160,6 +168,8 @@ func (r *mpscRing) tryPush(b *burst) bool {
 // tryPop dequeues the oldest published burst, reporting false when none is
 // ready. Single consumer only. A slot whose producer has reserved but not
 // yet published reads as not-ready, preserving slot order.
+//
+//splidt:hotpath
 func (r *mpscRing) tryPop() (*burst, bool) {
 	s := &r.slots[r.head&r.mask]
 	if s.seq.Load() != r.head+1 {

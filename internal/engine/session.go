@@ -331,6 +331,8 @@ func (s *Session) compactLocked() {
 
 // Snapshot assembles a live view of the session from the workers' published
 // per-burst stats. Safe to call at any time, from any goroutine.
+//
+//splidt:stats-complete Snapshot
 func (s *Session) Snapshot() Snapshot {
 	snap := Snapshot{
 		PerShard:     make([]dataplane.Stats, len(s.e.shards)),

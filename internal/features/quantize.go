@@ -69,6 +69,8 @@ func QuantizeRow(row []float64, shifts []uint) []float64 {
 // RegValue maps a (possibly already quantised) value to its register
 // representation: floor(v) >> shift, saturating at the bits-wide maximum —
 // test-time values beyond the training range clamp, as hardware would.
+//
+//splidt:hotpath
 func RegValue(v float64, shift uint, bits int) uint32 {
 	u := floorU64(v) >> shift
 	lim := uint64(1)<<uint(bits) - 1
@@ -81,6 +83,8 @@ func RegValue(v float64, shift uint, bits int) uint32 {
 	return uint32(u)
 }
 
+//
+//splidt:hotpath
 func floorU64(v float64) uint64 {
 	if v < 0 || math.IsNaN(v) {
 		return 0

@@ -62,6 +62,8 @@ const (
 // canonical orientation of the flow key (CICFlowMeter uses first-packet
 // direction; canonical orientation is equivalent for synthetic traces where
 // the initiator always compares lower).
+//
+//splidt:hotpath
 func (s *FlowState) Update(p pkt.Packet) {
 	s.pkts++
 	s.bytes += p.Len
@@ -173,6 +175,8 @@ func (s *FlowState) Update(p pkt.Packet) {
 
 // Reset clears the window state, as the recirculated control packet does
 // when transitioning to the next partition.
+//
+//splidt:hotpath
 func (s *FlowState) Reset() { *s = FlowState{} }
 
 // Packets returns the number of packets folded into the current window.
@@ -182,6 +186,8 @@ func (s *FlowState) Packets() int { return s.pkts }
 // switch registers hold unsigned integers, and integer-valued features make
 // software classification exactly equivalent to TCAM range matching on the
 // 32-bit register contents.
+//
+//splidt:hotpath
 func clampNonNeg(x float64) float64 {
 	if x < 0 || math.IsNaN(x) {
 		return 0
@@ -192,6 +198,8 @@ func clampNonNeg(x float64) float64 {
 	return math.Floor(x)
 }
 
+//
+//splidt:hotpath
 func mean(sum float64, n int) float64 {
 	if n == 0 {
 		return 0
@@ -199,6 +207,8 @@ func mean(sum float64, n int) float64 {
 	return sum / float64(n)
 }
 
+//
+//splidt:hotpath
 func std(sum, sum2 float64, n int) float64 {
 	if n < 2 {
 		return 0
@@ -212,6 +222,8 @@ func std(sum, sum2 float64, n int) float64 {
 }
 
 // Snapshot materialises the full feature vector for the current window.
+//
+//splidt:hotpath
 func (s *FlowState) Snapshot() Vector {
 	var v Vector
 	durUS := float64(s.lastTS-s.firstTS) / float64(time.Microsecond)

@@ -43,6 +43,8 @@ func (p Proto) String() string {
 type Addr uint32
 
 // AddrFrom4 builds an Addr from dotted-quad octets.
+//
+//splidt:hotpath
 func AddrFrom4(a, b, c, d byte) Addr {
 	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
 }
@@ -68,6 +70,8 @@ func (k Key) String() string {
 }
 
 // Reverse returns the key of the opposite direction.
+//
+//splidt:hotpath
 func (k Key) Reverse() Key {
 	return Key{
 		SrcIP:   k.DstIP,
@@ -82,6 +86,8 @@ func (k Key) Reverse() Key {
 // compares lower becomes the source. Both directions of a bidirectional
 // conversation map to the same canonical key, mirroring how CICFlowMeter
 // aggregates forward and backward packets into one flow record.
+//
+//splidt:hotpath
 func (k Key) Canonical() Key {
 	if k.SrcIP < k.DstIP || (k.SrcIP == k.DstIP && k.SrcPort <= k.DstPort) {
 		return k
@@ -90,11 +96,15 @@ func (k Key) Canonical() Key {
 }
 
 // IsCanonical reports whether k equals its canonical form.
+//
+//splidt:hotpath
 func (k Key) IsCanonical() bool { return k == k.Canonical() }
 
 // bytes serialises the key into a 13-byte wire representation. The layout
 // (src ip, dst ip, src port, dst port, proto) matches what a P4 parser would
 // feed the switch CRC unit.
+//
+//splidt:hotpath
 func (k Key) bytes() [13]byte {
 	var b [13]byte
 	binary.BigEndian.PutUint32(b[0:4], uint32(k.SrcIP))
@@ -115,6 +125,8 @@ var ieeeTable = crc32.MakeTable(crc32.IEEE)
 // than crc32.ChecksumIEEE: the library's arch-dispatched entry point makes
 // the 13-byte buffer escape to the heap, and this sits on the per-packet
 // path of every pipeline (equality with ChecksumIEEE is pinned by tests).
+//
+//splidt:hotpath
 func (k Key) Hash() uint32 {
 	b := k.bytes()
 	crc := ^uint32(0)
@@ -126,6 +138,8 @@ func (k Key) Hash() uint32 {
 
 // Index maps the flow hash onto a register array of the given size.
 // Size must be positive.
+//
+//splidt:hotpath
 func (k Key) Index(size int) int {
 	if size <= 0 {
 		panic("flow: non-positive register array size")
@@ -136,6 +150,8 @@ func (k Key) Index(size int) int {
 // SymHash returns a direction-symmetric hash: both directions of a
 // conversation land in the same slot. Useful for bidirectional feature
 // state (gopacket's Flow.FastHash has the same symmetry property).
+//
+//splidt:hotpath
 func (k Key) SymHash() uint32 {
 	c := k.Canonical()
 	return c.Hash()
@@ -146,6 +162,8 @@ func (k Key) SymHash() uint32 {
 // the scrambler behind ShardHash, exported so derived hash consumers (the
 // cuckoo flow table's second bucket hash) share one implementation instead
 // of drifting copies.
+//
+//splidt:hotpath
 func Mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -162,6 +180,8 @@ func Mix64(x uint64) uint64 {
 // otherwise confine each shard's flows to a fraction of its slots). Packet
 // sources precompute it once per flow and carry it on pkt.Packet so the
 // engine's serial dispatch stage does no hashing at all.
+//
+//splidt:hotpath
 func (k Key) ShardHash() uint64 {
 	return Mix64(uint64(k.SymHash()))
 }

@@ -116,6 +116,8 @@ func NewCuckoo(cfg CuckooConfig) *Cuckoo {
 // selection, so h2 stays decorrelated from both h1 and the shard. The pair
 // is cached on the entry at claim time, so displacement searches never
 // rehash residents.
+//
+//splidt:hotpath
 func (t *Cuckoo) bucketPair(k flow.Key) (int, int) {
 	h1 := k.Hash()
 	b1 := int(h1 % uint32(t.buckets))
@@ -125,6 +127,8 @@ func (t *Cuckoo) bucketPair(k flow.Key) (int, int) {
 
 // altBucket returns the other candidate bucket of a resident entry, read
 // from the pair cached at claim time.
+//
+//splidt:hotpath
 func (t *Cuckoo) altBucket(e *Entry, cur int) int {
 	if cur == int(e.hb1) {
 		return int(e.hb2)
@@ -134,6 +138,8 @@ func (t *Cuckoo) altBucket(e *Entry, cur int) int {
 
 // lookup finds the flow's entry in its candidate buckets (or the stash)
 // with full key verification, or nil.
+//
+//splidt:hotpath
 func (t *Cuckoo) lookup(k flow.Key, b1, b2 int) *Entry {
 	base := b1 * t.ways
 	for w := 0; w < t.ways; w++ {
@@ -163,6 +169,8 @@ func (t *Cuckoo) lookup(k flow.Key, b1, b2 int) *Entry {
 }
 
 // freeWay returns an empty cell in the bucket, or nil.
+//
+//splidt:hotpath
 func (t *Cuckoo) freeWay(b int) *Entry {
 	base := b * t.ways
 	for w := 0; w < t.ways; w++ {
@@ -186,6 +194,8 @@ func (t *Cuckoo) freeWay(b int) *Entry {
 // cells exist would cut hot-path throughput exactly when the table is
 // saturated. (A partially full table still pays the search — a failed
 // search for one key says nothing about another key's buckets.)
+//
+//splidt:hotpath
 func (t *Cuckoo) insert(k flow.Key, b1, b2 int) *Entry {
 	if t.occupied == len(t.entries)+len(t.stash) {
 		t.stats.Rejects++
@@ -223,6 +233,8 @@ func (t *Cuckoo) insert(k flow.Key, b1, b2 int) *Entry {
 // cell, applies the chain of moves — each resident hops to a free cell in
 // its own alternate bucket — and returns the freed root cell. nil when no
 // path exists within the probe budget.
+//
+//splidt:hotpath
 func (t *Cuckoo) searchAndKick(b1, b2 int) *Entry {
 	q, par := t.queue[:0], t.parent[:0]
 	enqueue := func(b int, p int32) {
@@ -231,7 +243,10 @@ func (t *Cuckoo) searchAndKick(b1, b2 int) *Entry {
 			ci := int32(base + w)
 			if !t.seen[ci] {
 				t.seen[ci] = true
-				q = append(q, ci)
+				// Both appends land in scratch preallocated to maxProbe cap
+				// (NewCuckoo) and the loop guard caps len(q) below it, so the
+				// backing arrays never grow.
+				q = append(q, ci) //splidt:allow append — bounded by maxProbe into preallocated scratch
 				par = append(par, p)
 			}
 		}
@@ -288,6 +303,8 @@ search:
 
 // Acquire implements Store: verified lookup, then placement. The bucket
 // pair is derived once per call and threaded through both phases.
+//
+//splidt:hotpath
 func (t *Cuckoo) Acquire(k flow.Key) (*Entry, Status) {
 	b1, b2 := t.bucketPair(k)
 	if e := t.lookup(k, b1, b2); e != nil {
@@ -301,6 +318,8 @@ func (t *Cuckoo) Acquire(k flow.Key) (*Entry, Status) {
 }
 
 // inStash reports whether the entry pointer is a stash line.
+//
+//splidt:hotpath
 func (t *Cuckoo) inStash(e *Entry) bool {
 	for i := range t.stash {
 		if e == &t.stash[i] {
@@ -312,6 +331,8 @@ func (t *Cuckoo) inStash(e *Entry) bool {
 
 // Release implements Store; freeing a stash-resident entry frees its stash
 // line for the next overflow.
+//
+//splidt:hotpath
 func (t *Cuckoo) Release(e *Entry) {
 	if t.inStash(e) {
 		t.stashed--
@@ -322,6 +343,8 @@ func (t *Cuckoo) Release(e *Entry) {
 
 // Evict implements Store: verified, so only the owning flow's entry —
 // bucket- or stash-resident — is reclaimed.
+//
+//splidt:hotpath
 func (t *Cuckoo) Evict(k flow.Key) bool {
 	b1, b2 := t.bucketPair(k)
 	e := t.lookup(k, b1, b2)
@@ -335,6 +358,8 @@ func (t *Cuckoo) Evict(k flow.Key) bool {
 // Sweep implements Store: a bounded stripe of the flat cell space (bucket
 // cells, then stash lines) per call, with a wrapping cursor — stash
 // residents age out exactly like bucket residents, freeing their lines.
+//
+//splidt:hotpath
 func (t *Cuckoo) Sweep(now, timeout time.Duration, stripe int) int {
 	cells := len(t.entries) + len(t.stash)
 	if stripe > cells {

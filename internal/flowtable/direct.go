@@ -30,12 +30,16 @@ func NewDirect(size int) *Direct {
 
 // slotOf maps a canonical key onto its one slot — flow.Key.Index, the same
 // function the pipeline indexed registers with before the store existed.
+//
+//splidt:hotpath
 func (d *Direct) slotOf(k flow.Key) *Entry {
 	return &d.entries[k.Index(len(d.entries))]
 }
 
 // Acquire implements Store: claim an empty slot, recognise the owner, or
 // report a shared collision — never nil.
+//
+//splidt:hotpath
 func (d *Direct) Acquire(k flow.Key) (*Entry, Status) {
 	e := d.slotOf(k)
 	if e.SID == 0 {
@@ -51,12 +55,16 @@ func (d *Direct) Acquire(k flow.Key) (*Entry, Status) {
 }
 
 // Release implements Store.
+//
+//splidt:hotpath
 func (d *Direct) Release(e *Entry) {
 	e.free()
 	d.occupied--
 }
 
 // Evict implements Store: only the owning flow's eviction frees the slot.
+//
+//splidt:hotpath
 func (d *Direct) Evict(k flow.Key) bool {
 	e := d.slotOf(k)
 	if e.SID == 0 || e.key != k {
@@ -69,6 +77,8 @@ func (d *Direct) Evict(k flow.Key) bool {
 // Sweep implements Store: one bounded stripe of the slot array per call,
 // wrapping cursor, exactly the ageing walk the pipeline ran before the
 // store was extracted.
+//
+//splidt:hotpath
 func (d *Direct) Sweep(now, timeout time.Duration, stripe int) int {
 	if stripe > len(d.entries) {
 		stripe = len(d.entries)

@@ -79,6 +79,8 @@ func (e *Entry) Key() flow.Key { return e.key }
 // (timerwheel.Wheel.Schedule). The node's Data back-pointer is maintained
 // by the store; an expiry callback recovers the entry with
 // n.Data.(*flowtable.Entry).
+//
+//splidt:hotpath
 func (e *Entry) Timer() *timerwheel.Node { return &e.timer }
 
 // free disarms the entry's timer and zeroes it — the one free path every
@@ -86,6 +88,8 @@ func (e *Entry) Timer() *timerwheel.Node { return &e.timer }
 // zeroing an armed entry without unlinking would leave its slot-list
 // neighbours pointing at a recycled cell, and a stale deadline could then
 // expire whatever flow claims the cell next.
+//
+//splidt:hotpath
 func (e *Entry) free() {
 	e.timer.Unlink()
 	*e = Entry{}
@@ -156,18 +160,26 @@ type Store interface {
 	// returns the entry and how it was satisfied; on StatusFull the entry is
 	// nil. Keys must be canonical (direction-normalised) — the pipeline
 	// canonicalises once per packet.
+	//
+	//splidt:hotpath
 	Acquire(k flow.Key) (*Entry, Status)
 	// Release frees an entry obtained from Acquire (flow end). The pointer
 	// must be one this store returned.
+	//
+	//splidt:hotpath
 	Release(e *Entry)
 	// Evict frees the entry owned by the flow, if any, reporting whether a
 	// reclaim happened. For Direct this is a no-op when the slot is held by
 	// a colliding flow (the slot is that flow's state now).
+	//
+	//splidt:hotpath
 	Evict(k flow.Key) bool
 	// Sweep examines up to stripe cells (advancing a wrapping cursor) and
 	// frees every entry whose Touched stamp is at least timeout before now,
 	// returning how many it reclaimed. Oracle scans its whole map per call;
 	// its stripe parameter is ignored.
+	//
+	//splidt:hotpath
 	Sweep(now, timeout time.Duration, stripe int) int
 	// Occupied returns the live-entry count, maintained incrementally (O(1)).
 	Occupied() int

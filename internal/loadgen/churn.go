@@ -1,5 +1,7 @@
 package loadgen
 
+//splidt:packettime — emission advances a virtual tick clock; all randomness flows through the generator's seeded rng
+
 import (
 	"fmt"
 	"math/rand"
@@ -233,6 +235,8 @@ func (g *ChurnGen) SetCollisionFrac(f float64) {
 
 // birth (re)initialises flow slot i with a fresh identity and shape. reuse
 // marks rebirths (counted as churn) versus initial population fill.
+//
+//splidt:hotpath
 func (g *ChurnGen) birth(i int32, reuse bool) {
 	f := &g.flows[i]
 	if reuse && g.collFrac > 0 && g.rng.Float64() < g.collFrac {
@@ -271,21 +275,24 @@ var wellKnownPorts = []uint16{53, 80, 123, 443, 1883, 5222, 8080, 8443}
 // file places flow i into the wheel bucket of its due tick. Deadlines past
 // the wheel span land in their bucket modulo the span and are re-filed on
 // each lap (see sift).
+//
+//splidt:hotpath
 func (g *ChurnGen) file(i int32) {
 	f := &g.flows[i]
 	if f.due <= g.cur {
-		// Due now: straight to the ready list, skipping the wheel.
-		g.ready = append(g.ready, i)
+		g.ready = append(g.ready, i) //splidt:allow append — recycled ready list; steady-state capacity is the population bound
 		f.due = g.cur
 		return
 	}
 	b := f.due & wheelMask
-	g.wheel[b] = append(g.wheel[b], i)
+	g.wheel[b] = append(g.wheel[b], i) //splidt:allow append — recycled wheel bucket; capacity converges after warm-up
 }
 
 // Next returns the next packet in virtual-arrival order. It never exhausts
 // (ok is always true): the harness bounds a run by packet budget, not by
 // source length.
+//
+//splidt:hotpath
 func (g *ChurnGen) Next() (pkt.Packet, bool) {
 	for len(g.ready) == 0 {
 		g.cur++
@@ -300,23 +307,27 @@ func (g *ChurnGen) Next() (pkt.Packet, bool) {
 // ready) and parked future laps (re-filed). The in-place re-append is safe:
 // when element j is being read, at most j earlier elements have been
 // re-appended to this bucket, so writes never pass the read cursor.
+//
+//splidt:hotpath
 func (g *ChurnGen) sift() {
 	b := g.cur & wheelMask
 	bucket := g.wheel[b]
 	g.wheel[b] = bucket[:0]
 	for _, i := range bucket {
 		if g.flows[i].due == g.cur {
-			g.ready = append(g.ready, i)
+			g.ready = append(g.ready, i) //splidt:allow append — recycled ready list; steady-state capacity is the population bound
 		} else {
 			// A later lap of this bucket (or a re-filed long deadline):
 			// park again; its lap will come around.
-			g.wheel[g.flows[i].due&wheelMask] = append(g.wheel[g.flows[i].due&wheelMask], i)
+			g.wheel[g.flows[i].due&wheelMask] = append(g.wheel[g.flows[i].due&wheelMask], i) //splidt:allow append — recycled wheel bucket; capacity converges after warm-up
 		}
 	}
 }
 
 // emit produces flow i's next packet and schedules its successor — or its
 // rebirth, when this incarnation just finished.
+//
+//splidt:hotpath
 func (g *ChurnGen) emit(i int32) pkt.Packet {
 	f := &g.flows[i]
 	f.seq++

@@ -204,26 +204,6 @@ func TestChurnCollisionStorm(t *testing.T) {
 	}
 }
 
-// TestChurnNextAllocationFree pins the steady-state contract of the
-// per-packet generation path.
-func TestChurnNextAllocationFree(t *testing.T) {
-	g, err := NewChurn(churnTestCfg(1000, 5))
-	if err != nil {
-		t.Fatalf("NewChurn: %v", err)
-	}
-	for i := 0; i < 200_000; i++ { // warm wheel buckets to steady size
-		g.Next()
-	}
-	allocs := testing.AllocsPerRun(50_000, func() {
-		if _, ok := g.Next(); !ok {
-			t.Fatal("exhausted")
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("Next allocates %v per op, want 0", allocs)
-	}
-}
-
 // TestHarnessPhases drives a small engine through all phase types and
 // checks the report's accounting: budgets met, digests measured, storms and
 // block storms visible in their counters.

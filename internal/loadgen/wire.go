@@ -1,5 +1,7 @@
 package loadgen
 
+//splidt:packettime — replay advances on recorded capture timestamps
+
 import (
 	"io"
 
@@ -29,6 +31,8 @@ func NewWireSource(r io.Reader) (*WireSource, error) {
 
 // Next yields the next data packet, or ok=false at end of stream — clean or
 // not; Err distinguishes.
+//
+//splidt:hotpath
 func (s *WireSource) Next() (pkt.Packet, bool) {
 	if s.err != nil {
 		return pkt.Packet{}, false

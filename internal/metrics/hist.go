@@ -36,6 +36,8 @@ const (
 )
 
 // histIndex maps a non-negative value to its bucket.
+//
+//splidt:hotpath
 func histIndex(v int64) int {
 	if v < histSubCount {
 		return int(v)
@@ -57,6 +59,8 @@ func histUpper(i int) int64 {
 }
 
 // Record adds one observation. Negative values clamp to zero.
+//
+//splidt:hotpath
 func (h *Hist) Record(v int64) {
 	if v < 0 {
 		v = 0
@@ -67,6 +71,8 @@ func (h *Hist) Record(v int64) {
 }
 
 // RecordDur records a duration in nanoseconds.
+//
+//splidt:hotpath
 func (h *Hist) RecordDur(d time.Duration) { h.Record(int64(d)) }
 
 // Count returns the number of recorded observations.

@@ -155,14 +155,6 @@ func TestHistEmptyAndClamp(t *testing.T) {
 	}
 }
 
-func TestHistRecordAllocationFree(t *testing.T) {
-	h := &Hist{}
-	n := testing.AllocsPerRun(1000, func() { h.Record(123456) })
-	if n != 0 {
-		t.Fatalf("Record allocates %v per op, want 0", n)
-	}
-}
-
 func BenchmarkHistRecord(b *testing.B) {
 	h := &Hist{}
 	b.ReportAllocs()

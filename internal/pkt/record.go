@@ -160,6 +160,8 @@ func NewRecordReader(r io.Reader) (*RecordReader, error) {
 // The fast path parses each record in place in the bufio buffer
 // (Peek/Discard, no copy); only a record too large for the buffer falls
 // back to copying through the reusable frame buffer.
+//
+//splidt:hotpath
 func (rr *RecordReader) Next() (Packet, error) {
 	for {
 		var ts time.Duration
@@ -227,6 +229,7 @@ func (rr *RecordReader) Next() (Packet, error) {
 			return Packet{}, ErrFrameTooLarge
 		}
 		if int(n) > cap(rr.frame) {
+			//splidt:allow alloc — slow path only: record straddles the 64KiB bufio buffer; the buffer is reused after
 			rr.frame = make([]byte, n)
 		}
 		rr.frame = rr.frame[:n]

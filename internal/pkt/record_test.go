@@ -149,39 +149,6 @@ func TestErrNotDataSentinel(t *testing.T) {
 	}
 }
 
-// TestRecordReaderAllocationFree pins the decoder's steady-state contract:
-// after construction, Next performs no allocation — data packets and
-// skipped control frames alike.
-func TestRecordReaderAllocationFree(t *testing.T) {
-	var buf bytes.Buffer
-	w, _ := NewRecordWriter(&buf)
-	for i := 0; i < 2000; i++ {
-		_ = w.WritePacket(recPacket(i))
-		if i%5 == 0 {
-			_ = w.WriteControl(Control{NextSID: 1}, 0)
-		}
-	}
-	_ = w.Flush()
-	raw := buf.Bytes()
-
-	r, err := NewRecordReader(bytes.NewReader(raw))
-	if err != nil {
-		t.Fatalf("NewRecordReader: %v", err)
-	}
-	// Warm the frame buffer.
-	if _, err := r.Next(); err != nil {
-		t.Fatalf("warmup: %v", err)
-	}
-	allocs := testing.AllocsPerRun(1500, func() {
-		if _, err := r.Next(); err != nil {
-			t.Fatalf("Next: %v", err)
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("Next allocates %v per op, want 0", allocs)
-	}
-}
-
 // TestRecordWriterAllocationFree pins the encoder's steady-state contract.
 func TestRecordWriterAllocationFree(t *testing.T) {
 	w, err := NewRecordWriter(io.Discard)

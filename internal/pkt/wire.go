@@ -102,6 +102,8 @@ func Marshal(p Packet, buf []byte) []byte {
 
 // Unmarshal parses a data packet's headers. ts supplies the capture
 // timestamp (timestamps are capture metadata, not wire bytes).
+//
+//splidt:hotpath
 func Unmarshal(buf []byte, ts time.Duration) (Packet, error) {
 	if len(buf) < HeaderWireBytes {
 		if len(buf) >= 14 {
@@ -124,6 +126,7 @@ func Unmarshal(buf []byte, ts time.Duration) (Packet, error) {
 	}
 	ip := buf[ethBytes:]
 	if ip[0]>>4 != 4 {
+		//splidt:allow fmt — cold reject path: malformed frame, not the streaming skip path
 		return Packet{}, fmt.Errorf("pkt: not IPv4")
 	}
 	l4 := ip[ipv4Bytes:]

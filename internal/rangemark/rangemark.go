@@ -219,6 +219,8 @@ func bitsFor(maxVal uint32) int {
 }
 
 // shiftOf returns the register scaling of a feature (0 at full precision).
+//
+//splidt:hotpath
 func (c *Compiled) shiftOf(f int) uint {
 	if f < len(c.shifts) {
 		return c.shifts[f]
@@ -252,9 +254,12 @@ func markIndex(us []uint32, t float64, shift uint, valueBits int) int {
 
 // SlotFeatures returns the per-slot feature assignment of a subtree (-1 for
 // unused slots) — the operator-selection MAT contents.
+//
+//splidt:hotpath
 func (c *Compiled) SlotFeatures(sid int) []int {
-	s, ok := c.slotFeature[sid]
+	s, ok := c.slotFeature[sid] //splidt:allow map — read-only after Freeze; the operator-selection MAT is a map by design
 	if !ok {
+		//splidt:allow fmt,box — cold panic path: corrupt deployment
 		panic(fmt.Sprintf("rangemark: unknown SID %d", sid))
 	}
 	return s
@@ -284,9 +289,12 @@ func (c *Compiled) Marks(sid int, row []float64) []uint32 {
 
 // MarksInto is Marks with a caller-provided destination of length K,
 // enabling an allocation-free per-window hot path. It returns dst.
+//
+//splidt:hotpath
 func (c *Compiled) MarksInto(sid int, row []float64, dst []uint32) []uint32 {
 	slots := c.SlotFeatures(sid)
 	if len(dst) != c.K {
+		//splidt:allow fmt,box — cold panic path: caller bug
 		panic(fmt.Sprintf("rangemark: marks destination length %d, want %d", len(dst), c.K))
 	}
 	for slot := range dst {
@@ -305,6 +313,8 @@ func (c *Compiled) MarksInto(sid int, row []float64, dst []uint32) []uint32 {
 }
 
 // Lookup matches the model table: exact SID plus per-slot mark intervals.
+//
+//splidt:hotpath
 func (c *Compiled) Lookup(sid int, marks []uint32) (ModelRule, bool) {
 	for _, r := range c.modelRules {
 		if r.SID != sid {

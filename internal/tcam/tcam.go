@@ -76,12 +76,14 @@ func (t *Table) Freeze() {
 }
 
 // Lookup returns the highest-priority matching entry's action.
+//
+//splidt:hotpath
 func (t *Table) Lookup(fields ...uint32) (action int, ok bool) {
 	if len(fields) != len(t.FieldBits) {
-		panic(fmt.Sprintf("tcam(%s): lookup arity %d, want %d",
-			t.Name, len(fields), len(t.FieldBits)))
+		//splidt:allow fmt,box — cold panic path: caller bug
+		panic(fmt.Sprintf("tcam(%s): lookup arity %d, want %d", t.Name, len(fields), len(t.FieldBits)))
 	}
-	t.Freeze()
+	t.Freeze() //splidt:allow call — no-op once frozen; deployments freeze before traffic
 	for i := range t.entries {
 		e := &t.entries[i]
 		hit := true

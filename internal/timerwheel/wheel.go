@@ -59,6 +59,8 @@ type Node struct {
 }
 
 // Armed reports whether the node is currently linked into a wheel.
+//
+//splidt:hotpath
 func (n *Node) Armed() bool { return n.next != nil }
 
 // Unlink disarms the node: it splices itself out of its slot list and
@@ -66,6 +68,8 @@ func (n *Node) Armed() bool { return n.next != nil }
 // free path can call it unconditionally. O(1), needs no wheel reference —
 // which is what lets the flow table disarm entries it reclaims without
 // holding the wheel that armed them.
+//
+//splidt:hotpath
 func (n *Node) Unlink() {
 	if n.next == nil {
 		return
@@ -81,6 +85,8 @@ func (n *Node) Unlink() {
 // pointers, but the neighbours still point at the stale source. Call it on
 // the copy; the stale source must then be zeroed without Unlink (its links
 // now belong to the copy). A no-op for unarmed nodes.
+//
+//splidt:hotpath
 func (n *Node) Relink() {
 	if n.next == nil {
 		return
@@ -194,6 +200,8 @@ func (w *Wheel) Stats() Stats {
 }
 
 // slot returns the sentinel of (level, index).
+//
+//splidt:hotpath
 func (w *Wheel) slot(level int, idx int64) *Node {
 	return &w.slots[int64(level)<<w.shift+idx]
 }
@@ -201,6 +209,8 @@ func (w *Wheel) slot(level int, idx int64) *Node {
 // Schedule arms (or re-arms) the node to fire once the wheel advances past
 // deadline. A deadline at or before the wheel's current time fires on the
 // next Advance that moves time forward. O(1); never allocates.
+//
+//splidt:hotpath
 func (w *Wheel) Schedule(n *Node, deadline time.Duration) {
 	n.Unlink()
 	// Ceiling tick: the node must not fire before its deadline has fully
@@ -216,6 +226,8 @@ func (w *Wheel) Schedule(n *Node, deadline time.Duration) {
 // place files a node by its absolute due tick: level l holds nodes due
 // within (slots^l, slots^(l+1)] ticks, slot index is the due tick's level-l
 // digit. Deadlines past the horizon clamp into the top level.
+//
+//splidt:hotpath
 func (w *Wheel) place(n *Node) {
 	dt := n.due - w.cur
 	maxDt := int64(1) << (w.shift * uint(w.levels))
@@ -240,6 +252,8 @@ func (w *Wheel) place(n *Node) {
 // for the dense advance schedules the engine drives (one call per burst).
 // now below the current wheel time is a no-op: the clock is monotone, like
 // the packet-time clock that drives it.
+//
+//splidt:hotpath
 func (w *Wheel) Advance(now time.Duration) int {
 	target := int64(now / w.tick)
 	fired := 0
@@ -262,6 +276,8 @@ func (w *Wheel) Advance(now time.Duration) int {
 
 // cascade empties the level's current slot, re-filing each node downward
 // (or firing it when its due tick is exactly now).
+//
+//splidt:hotpath
 func (w *Wheel) cascade(level int) int {
 	s := w.slot(level, (w.cur>>(w.shift*uint(level)))&w.mask)
 	fired := 0
@@ -273,7 +289,7 @@ func (w *Wheel) cascade(level int) int {
 		if due <= w.cur {
 			w.expiries++
 			fired++
-			w.expire(n)
+			w.expire(n) //splidt:allow funcval — OnExpire callback; the dataplane's expire is itself //splidt:hotpath
 			continue
 		}
 		n.due = due
@@ -285,6 +301,8 @@ func (w *Wheel) cascade(level int) int {
 // fire empties a level-0 slot. Every node in it is due exactly now: level-0
 // residents always have distinct slot indices per due tick, so no
 // lap check is needed.
+//
+//splidt:hotpath
 func (w *Wheel) fire(s *Node) int {
 	fired := 0
 	for s.next != s {
@@ -292,7 +310,7 @@ func (w *Wheel) fire(s *Node) int {
 		n.Unlink()
 		w.expiries++
 		fired++
-		w.expire(n)
+		w.expire(n) //splidt:allow funcval — OnExpire callback; the dataplane's expire is itself //splidt:hotpath
 	}
 	return fired
 }

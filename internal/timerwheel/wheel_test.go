@@ -214,28 +214,6 @@ func TestWheelRelinkAfterCopy(t *testing.T) {
 	}
 }
 
-// TestWheelScheduleAdvanceAllocFree pins the zero-steady-state-allocation
-// contract: arming, re-arming, advancing, and firing allocate nothing.
-func TestWheelScheduleAdvanceAllocFree(t *testing.T) {
-	w := New(Config{OnExpire: func(n *Node) {}})
-	items := make([]item, 64)
-	for i := range items {
-		items[i].id = i
-		items[i].timer.Data = &items[i]
-	}
-	now := time.Duration(0)
-	allocs := testing.AllocsPerRun(200, func() {
-		for i := range items {
-			w.Schedule(&items[i].timer, now+time.Duration(5+i)*time.Millisecond)
-		}
-		now += 100 * time.Millisecond
-		w.Advance(now)
-	})
-	if allocs != 0 {
-		t.Fatalf("schedule/advance allocated %.1f bytes-events per run, want 0", allocs)
-	}
-}
-
 // TestWheelPastDeadlineFiresNext: a deadline at or before the wheel's
 // current time fires on the next advancing tick, never silently parks.
 func TestWheelPastDeadlineFiresNext(t *testing.T) {

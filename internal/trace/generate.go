@@ -1,5 +1,7 @@
 package trace
 
+//splidt:packettime — trace synthesis is deterministic per seed; all randomness flows through an explicit seeded rng
+
 import (
 	"math"
 	"math/rand"

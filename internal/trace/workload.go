@@ -1,5 +1,7 @@
 package trace
 
+//splidt:packettime — trace synthesis is deterministic per seed; all randomness flows through an explicit seeded rng
+
 import (
 	"math"
 	"math/rand"
@@ -50,6 +52,8 @@ var (
 func Workloads() []Workload { return []Workload{Webserver, Hadoop} }
 
 // SampleFlowSize draws a flow length in packets (≥ 2).
+//
+//splidt:hotpath
 func (w Workload) SampleFlowSize(rng *rand.Rand) int {
 	mu := math.Log(w.MeanFlowPkts) - w.SizeSigma*w.SizeSigma/2
 	n := int(math.Exp(mu + rng.NormFloat64()*w.SizeSigma))
@@ -60,6 +64,8 @@ func (w Workload) SampleFlowSize(rng *rand.Rand) int {
 }
 
 // SampleDuration draws a flow lifetime.
+//
+//splidt:hotpath
 func (w Workload) SampleDuration(rng *rand.Rand) time.Duration {
 	mu := math.Log(float64(w.MeanDuration)) - w.DurSigma*w.DurSigma/2
 	d := time.Duration(math.Exp(mu + rng.NormFloat64()*w.DurSigma))
