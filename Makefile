@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck fuzz-smoke test race bench bench-engine bench-json bench-1m loadgen-smoke examples ci
+.PHONY: all build vet staticcheck fuzz-smoke test race bench bench-engine bench-json bench-1m loadgen-smoke chaos-smoke examples ci
 
 all: build vet test
 
@@ -89,9 +89,20 @@ loadgen-smoke:
 		-slots 262144 -collision-groups 32 \
 		-phases "steady:200k storm:150k:coll=0.8 blockstorm:150k:block=500"
 
+# Chaos smoke under the race detector: the faultinject plan unit tests,
+# then the engine's seeded fault suite — schedule equivalence under
+# non-lossy fault plans at 1 and 4 shards over both flow-table schemes,
+# single-shard quarantine containment, deadline-bounded shutdown against a
+# stuck worker, and mid-run hitless redeploy with flow-state carry. All
+# deterministic in their seeds, so a failure reproduces from the test name.
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/faultinject
+	$(GO) test -race -count=1 -run 'TestChaos|TestQuarantine|TestShutdownDeadline|TestRedeploy|TestHarnessRedeploy' \
+		./internal/engine ./internal/loadgen
+
 # Build every example (livecontrol included) — they are the API's
 # executable documentation and must never rot.
 examples:
 	$(GO) build ./examples/...
 
-ci: build vet staticcheck race loadgen-smoke bench-engine examples
+ci: build vet staticcheck race loadgen-smoke chaos-smoke bench-engine examples

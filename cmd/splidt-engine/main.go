@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -77,6 +78,7 @@ func main() {
 		block      = flag.String("block", "", "comma-separated classes the controller blocks (live mode)")
 		waves      = flag.Int("waves", 1, "times to replay the workload through one session (live mode)")
 		reportMS   = flag.Int("report-ms", 200, "live snapshot interval (ms)")
+		redeployAt = flag.Int64("redeploy-at", 0, "live mode: once N packets have been fed, retrain and hitlessly swap the tree mid-run (0 = off)")
 	)
 	flag.Parse()
 
@@ -126,20 +128,35 @@ func main() {
 	flows := splidt.Generate(id, *trainFlows, *seed+1)
 	samples := splidt.BuildSamples(flows, len(parts))
 	train, _ := splidt.Split(samples, 0.7)
-	m, err := splidt.Train(train, splidt.Config{
+	trainCfg := splidt.Config{
 		Partitions: parts, FeaturesPerSubtree: *k, NumClasses: classes,
 		// Wheel expiry runs on per-class adaptive lifetimes: derive them
 		// from the training samples' per-leaf IAT statistics, with
 		// -lifetime-class pinning specific classes by policy.
 		Lifetimes:      expiryScheme == splidt.ExpiryWheel,
 		ClassLifetimes: classLifetimes,
-	})
+	}
+	m, err := splidt.Train(train, trainCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	c, err := splidt.Compile(m)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Retrain-and-compile closure for -redeploy-at: same samples, same
+	// architecture, a fresh Model/Compiled pair — what a control plane would
+	// produce from an updated training set before a hitless swap.
+	retrain := func() (*splidt.Model, *splidt.Compiled, error) {
+		m2, err := splidt.Train(train, trainCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		c2, err := splidt.Compile(m2)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m2, c2, nil
 	}
 
 	eng, err := splidt.NewEngine(splidt.EngineConfig{
@@ -180,8 +197,11 @@ func main() {
 			log.Printf("-feeders %d ignored: live mode drives the session through FeedSource (single producer)", *feeders)
 		}
 		runLive(eng, id, *nFlows, *seed, spacing, classes, *block, *waves,
-			time.Duration(*reportMS)*time.Millisecond)
+			time.Duration(*reportMS)*time.Millisecond, *redeployAt, retrain)
 		return
+	}
+	if *redeployAt > 0 {
+		log.Printf("-redeploy-at %d ignored: hitless redeploy is demonstrated in -live mode", *redeployAt)
 	}
 
 	src := splidt.NewStream(id, *nFlows, *seed, spacing)
@@ -239,9 +259,11 @@ func runParallel(eng *splidt.Engine, src splidt.PacketSource, feeders int) *spli
 	return res
 }
 
-// runLive drives the streaming path: session + controller feedback loop.
+// runLive drives the streaming path: session + controller feedback loop,
+// plus the optional mid-run hitless redeploy (-redeploy-at).
 func runLive(eng *splidt.Engine, id splidt.Dataset, nFlows int, seed int64,
-	spacing time.Duration, classes int, block string, waves int, interval time.Duration) {
+	spacing time.Duration, classes int, block string, waves int, interval time.Duration,
+	redeployAt int64, retrain func() (*splidt.Model, *splidt.Compiled, error)) {
 	blocked := parseInts(block, "blocked class", 0)
 	policy := splidt.ControllerPolicy(nil)
 	if len(blocked) > 0 {
@@ -254,9 +276,46 @@ func runLive(eng *splidt.Engine, id splidt.Dataset, nFlows int, seed int64,
 		log.Fatal(err)
 	}
 	served := make(chan int, 1)
-	go func() { served <- ctrl.Serve(sess) }()
+	go func() {
+		n, serveErr := ctrl.Serve(sess)
+		if serveErr != nil {
+			log.Fatalf("digest stream died: %v", serveErr)
+		}
+		served <- n
+	}()
 
 	stop := make(chan struct{})
+	if redeployAt > 0 {
+		// Redeploy trigger: once the dispatcher has accepted redeployAt
+		// packets, retrain and swap the tree under live traffic — the
+		// workers hand off per shard at burst boundaries, flow state
+		// carries across, and digests from then on are stamped with the
+		// new deploy epoch (visible in the per-epoch report).
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if sess.Snapshot().Fed >= redeployAt {
+					m2, c2, rerr := retrain()
+					if rerr != nil {
+						log.Fatalf("redeploy: retrain failed: %v", rerr)
+					}
+					epoch, derr := sess.Redeploy(m2, c2)
+					if derr != nil {
+						log.Printf("redeploy: %v", derr)
+						return
+					}
+					fmt.Printf("redeploy       epoch %d live after %d packets fed (hitless swap, flow state carried)\n",
+						epoch, sess.Snapshot().Fed)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
 	go func() {
 		tick := time.NewTicker(interval)
 		defer tick.Stop()
@@ -330,6 +389,32 @@ func report(id splidt.Dataset, nFlows, classes int, labels map[splidt.FlowKey]in
 	fmt.Printf("digests        %d (%d recirculations, %d recirc bytes)\n",
 		res.Stats.Digests, res.Stats.ControlPackets, res.Stats.RecircBytes)
 	fmt.Printf("collisions     %d\n", res.Stats.Collisions)
+	// Per-epoch digest split: only interesting after a mid-run redeploy —
+	// epoch 0 is the deployment the session started with, each Redeploy
+	// bumps the stamp on every digest emitted after the shard adopted it.
+	byEpoch := map[uint64]int{}
+	var maxEpoch uint64
+	for _, d := range res.Digests {
+		byEpoch[d.Epoch]++
+		if d.Epoch > maxEpoch {
+			maxEpoch = d.Epoch
+		}
+	}
+	if maxEpoch > 0 {
+		epochs := make([]uint64, 0, len(byEpoch))
+		for e := range byEpoch {
+			epochs = append(epochs, e)
+		}
+		sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+		fmt.Printf("digest epochs  ")
+		for i, e := range epochs {
+			if i > 0 {
+				fmt.Printf(" | ")
+			}
+			fmt.Printf("epoch %d: %d", e, byEpoch[e])
+		}
+		fmt.Println()
+	}
 	fmt.Printf("accuracy       %.3f   macro-F1 %.3f\n", conf.Accuracy(), conf.MacroF1())
 	fmt.Printf("per-shard      ")
 	for i, s := range res.PerShard {
@@ -347,7 +432,7 @@ func report(id splidt.Dataset, nFlows, classes int, labels map[splidt.FlowKey]in
 func waitSettled(sess *splidt.EngineSession) splidt.EngineSnapshot {
 	for {
 		a := sess.Snapshot()
-		if int64(a.Stats.Packets)+a.Dropped == a.Fed {
+		if int64(a.Stats.Packets)+a.Dropped+a.QuarantineDropped+a.DiscardedStaged == a.Fed {
 			time.Sleep(2 * time.Millisecond)
 			b := sess.Snapshot()
 			if a.Stats == b.Stats && a.Fed == b.Fed {

@@ -17,7 +17,9 @@
 // into few flow-table buckets (a collision storm; needs -collision-groups),
 // block=N installs a block verdict on a random live flow every N offered
 // packets per feeder (a block storm), rate=F scales the -rate target for
-// the phase (a surge or lull).
+// the phase (a surge or lull), redeploy=1 retrains a tree on fresh traffic
+// and hitlessly swaps it in mid-phase while the feeders stay live (the
+// adopted deploy epoch lands in the phase report).
 //
 // -wire <file> replays a recorded wire-format workload (splidt-engine
 // -record) through the zero-copy ingest path instead of generating one;
@@ -29,6 +31,7 @@
 //	splidt-loadgen -flows 1200000 -shards 8 -slots 2097152 \
 //	    -phases "steady:4m storm:3m:coll=0.5 blockstorm:3m:block=2000"
 //	splidt-loadgen -rate 500000 -flows 50000 -phases "warm:1m surge:1m:rate=2"
+//	splidt-loadgen -flows 100000 -phases "warm:2m swap:2m:redeploy=1 settle:2m"
 //	splidt-engine -dataset 3 -flows 5000 -record ws.splt && splidt-loadgen -wire ws.splt
 package main
 
@@ -73,7 +76,7 @@ func main() {
 		collGroup = flag.Int("collision-groups", 0, "enable collision storms: pool keys concentrate into this many flow-table buckets (0 = storms off)")
 		poolSize  = flag.Int("pool", 1024, "precomputed colliding keys (collision storms)")
 		blockRing = flag.Int("block-ring", 1024, "outstanding block verdicts per feeder during block storms")
-		phasesArg = flag.String("phases", "steady:1m", "space-separated phase schedule: name:packets[:knob=value,...] with k/m packet suffixes; knobs coll=F block=N rate=F")
+		phasesArg = flag.String("phases", "steady:1m", "space-separated phase schedule: name:packets[:knob=value,...] with k/m packet suffixes; knobs coll=F block=N rate=F redeploy=1")
 		wire      = flag.String("wire", "", "replay this recorded wire-format workload instead of generating one (single feeder; churn knobs ignored)")
 	)
 	flag.Parse()
@@ -133,12 +136,34 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// A redeploy=1 phase retrains on fresh traffic (a new seed per swap) and
+	// hitlessly swaps the tree while the feeders stay live.
+	redeploySeed := *seed + 1000
+	redeploy := func() (*splidt.Model, *splidt.Compiled, error) {
+		redeploySeed++
+		tf := splidt.Generate(id, *trainFlows, redeploySeed)
+		train, _ := splidt.Split(splidt.BuildSamples(tf, len(parts)), 0.7)
+		m2, err := splidt.Train(train, splidt.Config{
+			Partitions: parts, FeaturesPerSubtree: *k, NumClasses: splidt.NumClasses(id),
+			Lifetimes: expiryScheme == splidt.ExpiryWheel,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		c2, err := splidt.Compile(m2)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m2, c2, nil
+	}
+
 	cfg := loadgen.Config{
 		Engine:    eng,
 		Feeders:   *feeders,
 		Rate:      *rate,
 		Phases:    phases,
 		BlockRing: *blockRing,
+		Redeploy:  redeploy,
 		Churn: loadgen.ChurnConfig{
 			Flows:           *flows,
 			Seed:            *seed,
@@ -203,7 +228,7 @@ func main() {
 
 // parsePhases parses the -phases value: space-separated
 // name:packets[:knob=value,...] entries, packet counts with optional k/m
-// suffixes, knobs coll=F block=N rate=F.
+// suffixes, knobs coll=F block=N rate=F redeploy=1.
 func parsePhases(s string) ([]loadgen.Phase, error) {
 	var out []loadgen.Phase
 	for _, tok := range strings.Fields(s) {
@@ -236,8 +261,12 @@ func parsePhases(s string) ([]loadgen.Phase, error) {
 					if ph.RateFactor, err = strconv.ParseFloat(val, 64); err != nil {
 						return nil, fmt.Errorf("phase %q: rate=%q: %v", tok, val, err)
 					}
+				case "redeploy":
+					if ph.Redeploy, err = strconv.ParseBool(val); err != nil {
+						return nil, fmt.Errorf("phase %q: redeploy=%q: %v", tok, val, err)
+					}
 				default:
-					return nil, fmt.Errorf("phase %q: unknown knob %q (coll, block, rate)", tok, key)
+					return nil, fmt.Errorf("phase %q: unknown knob %q (coll, block, rate, redeploy)", tok, key)
 				}
 			}
 		}

@@ -88,7 +88,13 @@ func main() {
 		log.Fatal(err)
 	}
 	served := make(chan int, 1)
-	go func() { served <- ctrl.Serve(sess) }()
+	go func() {
+		blocked, serveErr := ctrl.Serve(sess)
+		if serveErr != nil {
+			log.Fatalf("digest stream died: %v", serveErr)
+		}
+		served <- blocked
+	}()
 
 	const nFlows = 600
 	fmt.Println("wave 1: first contact — classify in flight, block on digest")

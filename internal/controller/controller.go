@@ -233,6 +233,10 @@ type DigestSession interface {
 	// flow-table ageing's controller-initiated path. Must be idempotent: a
 	// flow that no longer owns a slot is a no-op.
 	Evict(k flow.Key)
+	// Err reports why the session died: nil after a graceful close, the
+	// recorded cause (context cancellation, quarantined worker, shutdown
+	// timeout) otherwise. Read after the digest stream ends.
+	Err() error
 }
 
 // Serve runs the live feedback loop against a streaming engine session: it
@@ -247,8 +251,13 @@ type DigestSession interface {
 // keeps the contract with any DigestSession implementation, and eviction
 // is idempotent). Serve returns after the session's digest stream ends
 // (i.e. after Session.Close drains), reporting how many digests drew a
-// block verdict. Run it on its own goroutine alongside the packet feed.
-func (c *Controller) Serve(s DigestSession) (blocked int) {
+// block verdict and why the stream died: err is nil after a graceful
+// close and the session's recorded cause (context cancellation, a
+// quarantined worker, a shutdown timeout) otherwise — so a supervising
+// control loop can distinguish "run complete" from "data plane failed
+// under me" without reaching into the engine. Run it on its own goroutine
+// alongside the packet feed.
+func (c *Controller) Serve(s DigestSession) (blocked int, err error) {
 	apply := func(d dataplane.Digest) {
 		if c.HandleDigest(d) == ActionBlock {
 			s.Block(d.Key)
@@ -265,7 +274,7 @@ func (c *Controller) Serve(s DigestSession) (blocked int) {
 	for {
 		n := s.Poll(buf[:])
 		if n == 0 {
-			return blocked
+			return blocked, s.Err()
 		}
 		for _, d := range buf[:n] {
 			apply(d)

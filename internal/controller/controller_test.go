@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -169,11 +170,13 @@ type fakeSession struct {
 	tail    []dataplane.Digest // served through Poll after the channel closes
 	blocked []flow.Key
 	evicted []flow.Key
+	err     error // cause Serve should report after the stream ends
 }
 
 func (f *fakeSession) Digests() <-chan dataplane.Digest { return f.ch }
 func (f *fakeSession) Block(k flow.Key)                 { f.blocked = append(f.blocked, k.Canonical()) }
 func (f *fakeSession) Evict(k flow.Key)                 { f.evicted = append(f.evicted, k.Canonical()) }
+func (f *fakeSession) Err() error                       { return f.err }
 func (f *fakeSession) Poll(buf []dataplane.Digest) int {
 	n := copy(buf, f.tail)
 	f.tail = f.tail[n:]
@@ -191,7 +194,11 @@ func TestServeBlocksAndDrainsTail(t *testing.T) {
 	fs.ch <- digest(3, 3, time.Second)
 	close(fs.ch)
 
-	if blocked := c.Serve(fs); blocked != 3 {
+	blocked, err := c.Serve(fs)
+	if err != nil {
+		t.Fatalf("Serve error on healthy session: %v", err)
+	}
+	if blocked != 3 {
 		t.Fatalf("Serve blocked %d digests, want 3", blocked)
 	}
 	if len(fs.blocked) != 3 {
@@ -212,5 +219,15 @@ func TestServeBlocksAndDrainsTail(t *testing.T) {
 	}
 	if r, ok := c.ClassOf(key(9)); !ok || r.Action != ActionBlock {
 		t.Fatalf("tail digest not recorded/blocked: %+v ok=%v", r, ok)
+	}
+}
+
+func TestServeReportsSessionFault(t *testing.T) {
+	c := New(4, nil)
+	cause := errors.New("shard 2 worker panicked")
+	fs := &fakeSession{ch: make(chan dataplane.Digest), err: cause}
+	close(fs.ch)
+	if _, err := c.Serve(fs); !errors.Is(err, cause) {
+		t.Fatalf("Serve err = %v, want the session's recorded cause", err)
 	}
 }

@@ -182,6 +182,11 @@ type Digest struct {
 	At      time.Duration // absolute time of the classifying packet
 	Started time.Duration // absolute time of the flow's first packet
 	Packets int           // packets observed when classified
+	// Epoch is the deployment epoch of the tree that classified the flow: 0
+	// for the deployment the pipeline was built with, incremented by each
+	// Redeploy. A controller draining a stream across a hitless swap can
+	// attribute every digest to the exact tree that produced it.
+	Epoch uint64
 }
 
 // TTD returns the flow's time-to-detection.
@@ -275,6 +280,9 @@ type Pipeline struct {
 	// monotone even when a source replays a trace from time zero — the
 	// hardware analogue is the switch's free-running timestamp register.
 	clock time.Duration
+	// epoch is the deployment epoch of the currently deployed tree (0 at
+	// construction, set by Redeploy), stamped into every digest.
+	epoch uint64
 }
 
 // validate runs the deployment feasibility checks New and NewShards share:
@@ -522,6 +530,7 @@ func (pl *Pipeline) Process(p pkt.Packet) *Digest {
 			At:      p.TS,
 			Started: e.Started,
 			Packets: int(e.PktCount),
+			Epoch:   pl.epoch,
 		}
 		pl.stats.Digests++
 		if p.Seq >= p.FlowSize {
@@ -665,6 +674,68 @@ func (pl *Pipeline) Evict(k flow.Key) bool {
 // Clock returns the pipeline's packet-time clock: the newest timestamp
 // Process has seen. It is the natural `now` for Sweep.
 func (pl *Pipeline) Clock() time.Duration { return pl.clock }
+
+// Epoch returns the deployment epoch of the currently deployed tree.
+func (pl *Pipeline) Epoch() uint64 { return pl.epoch }
+
+// CheckRedeploy runs the same feasibility validation New would on this
+// pipeline's deployment with the model and compiled tables swapped for the
+// candidate pair — the admission check a hitless redeploy performs before
+// touching any replica. Geometry (slots, scheme, expiry) is the deployed
+// one; only the tree changes.
+func (pl *Pipeline) CheckRedeploy(m *core.Model, c *rangemark.Compiled) error {
+	cfg := pl.cfg
+	cfg.Model = m
+	cfg.Compiled = c
+	return validate(cfg)
+}
+
+// Redeploy swaps a freshly compiled tree into the running pipeline — the
+// per-replica half of the engine's hitless redeploy. The caller must be the
+// goroutine that owns the pipeline (the shard worker, at a burst boundary)
+// and must have validated the pair with CheckRedeploy and frozen the
+// compiled tables.
+//
+// Flow state carries across the swap: every live entry keeps its SID, packet
+// count, window registers, touch stamp, and armed timer, so flows mid-tree
+// continue exactly where they were — the new tables are a superset-compatible
+// drop-in when the tree is unchanged. Entries whose SID does not exist in the
+// new tree (the tree shrank or was restructured) are reset to the root
+// subtree with cleared window state: they re-classify under the new tree
+// rather than hitting a model-table miss. Parked early-exit entries (doneSID)
+// are left alone — they are already classified and only wait for their flow
+// tail. Under wheel expiry the base lifetime is recomputed from the new
+// tree's trained per-leaf budgets; per-entry lifetimes re-adopt the new
+// leaves' budgets naturally at each flow's next window boundary.
+func (pl *Pipeline) Redeploy(m *core.Model, c *rangemark.Compiled, epoch uint64) {
+	pl.cfg.Model = m
+	pl.cfg.Compiled = c
+	pl.parts = m.NumPartitions()
+	if c.K != len(pl.marks) {
+		pl.marks = make([]uint32, c.K)
+	}
+	if pl.wheel != nil {
+		pl.baseLifetime = pl.cfg.IdleTimeout
+		if ml := c.MaxLifetime(); ml > pl.baseLifetime {
+			pl.baseLifetime = ml
+		}
+	}
+	pl.table.Walk(func(e *flowtable.Entry) {
+		if e.SID == doneSID || c.HasSID(int(e.SID)) {
+			return
+		}
+		// Orphaned SID: the new tree has no such subtree. Restart the flow's
+		// inference at the root, on the (new) base lifetime.
+		e.SID = 1
+		e.State.Reset()
+		e.PktCount = 0
+		if pl.wheel != nil {
+			e.Lifetime = pl.baseLifetime
+			pl.wheel.Schedule(e.Timer(), pl.clock+e.Lifetime)
+		}
+	})
+	pl.epoch = epoch
+}
 
 // AgeingEnabled reports whether the deployment configured an idle timeout.
 // Wheel-expiry deployments always age (they require one).

@@ -43,6 +43,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -123,6 +124,16 @@ type Config struct {
 	// DigestBuffer is the capacity of the live digest channel a session
 	// exposes through Digests(). Default 256.
 	DigestBuffer int
+	// ShutdownTimeout bounds every session teardown wait — Close/abort
+	// waiting on workers, a feeder flush pushing into a stuck shard, a
+	// Redeploy waiting for adoption. On expiry the wait is abandoned with a
+	// typed cause error (ErrShutdownTimeout / ErrRedeployTimeout) instead of
+	// wedging the caller. Default 5s.
+	ShutdownTimeout time.Duration
+	// WatchdogInterval is the wall-clock period of the session health
+	// watchdog, which marks shards degraded when a full interval passes with
+	// input queued but no burst completed (Session.Health). Default 20ms.
+	WatchdogInterval time.Duration
 }
 
 // Result is one engine run's (or closed session's) merged output.
@@ -192,6 +203,28 @@ type shardState struct {
 	// hold, when non-nil, gates the worker before each burst — a test hook
 	// that makes backpressure deterministic. Always nil in production.
 	hold chan struct{}
+
+	// health is the shard's observable lifecycle state (HealthState values).
+	// The worker stores ShardQuarantined on panic; the session watchdog
+	// exchanges ShardRunning and ShardDegraded on stall evidence. Reset by
+	// Start (quarantine does not outlive the session that panicked —
+	// whatever state the panic left in the replica is the same state a
+	// crashed-and-restarted pipe would resume from).
+	health atomic.Int32
+	// quarDrops counts packets this shard discarded while quarantined: the
+	// remainder of the burst the panic interrupted plus every packet drained
+	// from the ring afterwards.
+	quarDrops atomic.Int64
+	// progress counts completed bursts — the watchdog's liveness signal.
+	progress atomic.Uint64
+	// lastTS publishes the worker's packet-time clock (sweepNow) at its last
+	// completed burst, for Health.LastProgress.
+	lastTS atomic.Int64
+	// pendingDep is the deployment published by Session.Redeploy and not yet
+	// adopted by this worker; nil otherwise. epoch is the deployment epoch
+	// the shard's replica currently runs.
+	pendingDep atomic.Pointer[deployment]
+	epoch      atomic.Uint64
 }
 
 // evict enqueues a controller-initiated slot reclaim for the worker to
@@ -234,6 +267,12 @@ type Engine struct {
 	shards []*shardState
 	active atomic.Bool // a session is running
 
+	// deployEpoch is the monotone deployment-epoch counter: 0 is the tree
+	// the engine was built with, each Session.Redeploy takes the next value.
+	// Engine-scoped (not per session) so epochs stay unique across a
+	// session boundary that races a redeploy.
+	deployEpoch atomic.Uint64
+
 	// defFree is the engine-owned burst pool every session's default feeder
 	// recycles through, built on first Start. Sessions are exclusive and a
 	// closed session's workers have recycled every burst home, so reuse
@@ -258,6 +297,12 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.DigestBuffer <= 0 {
 		cfg.DigestBuffer = 256
+	}
+	if cfg.ShutdownTimeout <= 0 {
+		cfg.ShutdownTimeout = 5 * time.Second
+	}
+	if cfg.WatchdogInterval <= 0 {
+		cfg.WatchdogInterval = 20 * time.Millisecond
 	}
 	pls, err := dataplane.NewShards(cfg.Deploy, cfg.Shards)
 	if err != nil {
@@ -361,9 +406,8 @@ func (e *Engine) Run(src Source) (*Result, error) {
 // only wall-clock reads are the allow-listed digest-latency stamps below.
 //
 //splidt:packettime — ageing sweeps advance on burst packet timestamps; the
-func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest,
-	filter *dropFilter, dropped *atomic.Int64) {
-	defer wg.Done()
+func (s *shardState) work(sess *Session, shard int) {
+	defer sess.wg.Done()
 	idle := 0
 	for {
 		b, ok := s.in.tryPop()
@@ -377,6 +421,11 @@ func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest,
 					return
 				}
 			} else {
+				// Adopt a pending redeploy while idle: an idle shard must
+				// not hold the epoch handoff hostage to its next packet.
+				if dep := s.pendingDeploy(); dep != nil {
+					s.adopt(dep)
+				}
 				// Apply evictions while idle so a controller block frees
 				// register state even when no traffic is flowing.
 				if s.drainEvictions() {
@@ -396,53 +445,149 @@ func (s *shardState) work(wg *sync.WaitGroup, sink chan<- dataplane.Digest,
 		if s.hold != nil {
 			<-s.hold
 		}
+		// Burst boundary: the only place a new deployment may land, so no
+		// packet ever observes a half-swapped tree and the shard's digest
+		// stream switches epochs exactly at a burst edge.
+		if dep := s.pendingDeploy(); dep != nil {
+			s.adopt(dep)
+		}
 		s.drainEvictions()
-		// Refresh the cached filter view once per burst — after the eviction
-		// drain, so an applied eviction's filter entry is always observed.
-		if e := filter.ep.Load(); e != s.filterEpoch {
-			s.filterEpoch = e
-			s.filterCheck = filter.size() > 0
+		if !s.processBurst(sess, shard, b) {
+			// The burst panicked the replica: the deferred fence recorded
+			// the fault and recycled the burst; freeze the replica and fall
+			// into the quarantine drain until session end.
+			s.quarantine()
+			return
 		}
-		if s.filterCheck {
-			for i := range b.pkts {
-				if filter.blocked(b.pkts[i].Key) {
-					dropped.Add(1)
-					continue
-				}
-				if d := s.pl.Process(b.pkts[i]); d != nil {
-					if s.latHist != nil {
-						//splidt:allow wallclock — digest latency is a harness metric measured in wall time by design
-						s.latHist.RecordDur(time.Since(b.fedAt))
-					}
-					sink <- *d
-				}
+	}
+}
+
+// processBurst runs one burst through the replica under the quarantine
+// fence: a panic anywhere in the per-packet path (pipeline, flow table,
+// timer wheel, injected fault) is contained to this shard. On panic the
+// fence records the session's cause error, marks the shard quarantined,
+// counts the burst's unprocessed remainder as quarantine drops, and still
+// recycles the burst home so the owning feeder's pool stays whole. Returns
+// whether the burst completed normally.
+func (s *shardState) processBurst(sess *Session, shard int, b *burst) (ok bool) {
+	i := 0
+	defer func() {
+		if r := recover(); r != nil {
+			sess.recordFault(&ShardPanicError{Shard: shard, Value: r, Stack: debug.Stack()})
+			s.health.Store(int32(ShardQuarantined))
+			s.quarDrops.Add(int64(len(b.pkts) - i))
+			b.pkts = b.pkts[:0]
+			b.home.push(b)
+			s.publish()
+		}
+	}()
+	hooks := sess.hooks
+	// Refresh the cached filter view once per burst — after the eviction
+	// drain, so an applied eviction's filter entry is always observed.
+	filter := &sess.filter
+	if e := filter.ep.Load(); e != s.filterEpoch {
+		s.filterEpoch = e
+		s.filterCheck = filter.size() > 0
+	}
+	if s.filterCheck {
+		for ; i < len(b.pkts); i++ {
+			if filter.blocked(b.pkts[i].Key) {
+				sess.dropped.Add(1)
+				continue
 			}
-		} else {
-			for i := range b.pkts {
-				if d := s.pl.Process(b.pkts[i]); d != nil {
-					if s.latHist != nil {
-						//splidt:allow wallclock — digest latency is a harness metric measured in wall time by design
-						s.latHist.RecordDur(time.Since(b.fedAt))
-					}
-					sink <- *d
+			if hooks != nil && hooks.BeforePacket != nil {
+				hooks.BeforePacket(shard, &b.pkts[i])
+			}
+			if d := s.pl.Process(b.pkts[i]); d != nil {
+				if s.latHist != nil {
+					//splidt:allow wallclock — digest latency is a harness metric measured in wall time by design
+					s.latHist.RecordDur(time.Since(b.fedAt))
 				}
+				sess.sinkCh <- *d
 			}
 		}
-		if n := len(b.pkts); n > 0 {
-			// Drive flow-table ageing from packet time, never wall clock:
-			// one bounded sweep stripe per burst keeps the reclaim cost
-			// amortised O(1) per packet and the schedule deterministic for
-			// a given burst sequence. The clock is monotone across replayed
-			// waves (a re-streamed trace restarts at time zero).
-			if ts := b.pkts[n-1].TS; ts > s.sweepNow {
-				s.sweepNow = ts
+	} else {
+		for ; i < len(b.pkts); i++ {
+			if hooks != nil && hooks.BeforePacket != nil {
+				hooks.BeforePacket(shard, &b.pkts[i])
 			}
-			s.pl.Sweep(s.sweepNow)
+			if d := s.pl.Process(b.pkts[i]); d != nil {
+				if s.latHist != nil {
+					//splidt:allow wallclock — digest latency is a harness metric measured in wall time by design
+					s.latHist.RecordDur(time.Since(b.fedAt))
+				}
+				sess.sinkCh <- *d
+			}
 		}
+	}
+	if n := len(b.pkts); n > 0 {
+		// Drive flow-table ageing from packet time, never wall clock:
+		// one bounded sweep stripe per burst keeps the reclaim cost
+		// amortised O(1) per packet and the schedule deterministic for
+		// a given burst sequence. The clock is monotone across replayed
+		// waves (a re-streamed trace restarts at time zero).
+		if ts := b.pkts[n-1].TS; ts > s.sweepNow {
+			s.sweepNow = ts
+		}
+		s.pl.Sweep(s.sweepNow)
+	}
+	b.pkts = b.pkts[:0]
+	b.home.push(b)
+	s.lastTS.Store(int64(s.sweepNow))
+	s.progress.Add(1)
+	s.publish()
+	return true
+}
+
+// quarantine is a panicked worker's terminal loop: the replica is frozen
+// (never touched again — the panic may have left it mid-mutation), but the
+// input ring keeps draining to the drop counter so feeders pushing at the
+// dead shard never wedge, and bursts keep recycling home. Exits when the
+// session signals done and the ring is empty, completing the worker's
+// wg contribution so Close still drains cleanly.
+func (s *shardState) quarantine() {
+	idle := 0
+	for {
+		b, ok := s.in.tryPop()
+		if !ok {
+			if s.done.Load() {
+				if b, ok = s.in.tryPop(); !ok {
+					return
+				}
+			} else {
+				if idle++; idle > idleSpins {
+					time.Sleep(idleSleep)
+				} else {
+					runtime.Gosched()
+				}
+				continue
+			}
+		}
+		idle = 0
+		s.quarDrops.Add(int64(len(b.pkts)))
 		b.pkts = b.pkts[:0]
 		b.home.push(b)
-		s.publish()
 	}
+}
+
+// adopt swaps the pending deployment into the shard's replica — the
+// per-shard half of Session.Redeploy's epoch handoff. Worker-only, called
+// at burst boundaries and while idle. Publishing the epoch after the swap
+// is what Redeploy's adoption wait observes.
+func (s *shardState) adopt(dep *deployment) {
+	s.pendingDep.CompareAndSwap(dep, nil)
+	s.pl.Redeploy(dep.model, dep.compiled, dep.epoch)
+	s.epoch.Store(dep.epoch)
+	s.publish()
+}
+
+// pendingDeploy returns the deployment waiting for this shard, nil when
+// none is — the only cost hitless redeploy adds to the steady-state worker
+// loop: one atomic pointer load per burst.
+//
+//splidt:hotpath
+func (s *shardState) pendingDeploy() *deployment {
+	return s.pendingDep.Load()
 }
 
 const (
@@ -513,6 +658,9 @@ func sortDigests(ds []dataplane.Digest) {
 		if x.Class != y.Class {
 			return x.Class < y.Class
 		}
-		return x.Packets < y.Packets
+		if x.Packets != y.Packets {
+			return x.Packets < y.Packets
+		}
+		return x.Epoch < y.Epoch
 	})
 }

@@ -126,7 +126,7 @@ func (f *Feeder) Feed(pkts []pkt.Packet) (int, error) {
 			if s.latHists != nil {
 				cur.fedAt = time.Now()
 			}
-			if !s.e.shards[si].in.tryPush(cur) {
+			if !f.tryPush(si, cur) {
 				s.backpressure.Add(1)
 				f.flushStaged()
 				return i, ErrBackpressure
@@ -176,10 +176,39 @@ func (f *Feeder) flushStaged() {
 		}
 		if b := f.cur[i]; b != nil && len(b.pkts) > 0 {
 			b.fedAt = now
-			if f.s.e.shards[i].in.tryPush(b) {
+			if f.tryPush(i, b) {
 				f.cur[i] = nil
 			}
 		}
+	}
+}
+
+// tryPush is the feeder's one push point into a shard's input ring, with
+// the session's fault-injection refuse hook applied first (nil in
+// production — one predictable branch).
+func (f *Feeder) tryPush(si int, b *burst) bool {
+	if h := f.s.hooks; h != nil && h.PushRefuse != nil && h.PushRefuse(si) {
+		return false
+	}
+	return f.s.e.shards[si].in.tryPush(b)
+}
+
+// pushDeadline delivers b to shard si's ring, giving up at the deadline: a
+// worker stuck mid-burst would otherwise wedge the closing caller forever.
+// On expiry the burst is abandoned — its packets are counted as discarded
+// staged work and the burst leaves the pool (acceptable: the session is
+// being declared wedged, and the pool dies with it). Injected overflow
+// hooks are bypassed: shutdown flushes must not be refusable. Quarantined
+// shards keep draining their rings, so only a truly stuck worker ever
+// expires this.
+func (f *Feeder) pushDeadline(si int, b *burst, deadline time.Time) {
+	in := f.s.e.shards[si].in
+	for !in.tryPush(b) {
+		if time.Now().After(deadline) {
+			f.s.discarded.Add(int64(len(b.pkts)))
+			return
+		}
+		runtime.Gosched()
 	}
 }
 
@@ -249,10 +278,14 @@ func (f *Feeder) FeedSource(src Source) error {
 
 // Close flushes the feeder's staged bursts to the workers and retires the
 // handle: subsequent Feeds fail with ErrFeederClosed. The flush may wait on
-// busy workers but cannot wedge — the session's shutdown acquires this
+// busy workers but cannot wedge: the session's shutdown acquires this
 // feeder's lock before it stops the workers, so they are live for as long
-// as Close needs them. Close is idempotent and safe concurrently with
-// Session.Close (whichever wins flushes; the other no-ops).
+// as Close needs them, and even a quarantined shard keeps draining its
+// ring — only a worker stuck mid-burst leaves a ring full, and that wait
+// is bounded by the engine's ShutdownTimeout (abandoned packets are
+// counted in Snapshot.DiscardedStaged). Close is idempotent and safe
+// concurrently with Session.Close (whichever wins flushes; the other
+// no-ops).
 func (f *Feeder) Close() {
 	f.mu.Lock()
 	if f.closed {
@@ -260,12 +293,13 @@ func (f *Feeder) Close() {
 		return
 	}
 	f.closed = true
+	deadline := time.Now().Add(f.s.e.cfg.ShutdownTimeout)
 	for i, b := range f.cur {
 		if b != nil {
 			if f.s.latHists != nil {
 				b.fedAt = time.Now()
 			}
-			f.s.e.shards[i].in.push(b)
+			f.pushDeadline(i, b, deadline)
 			f.cur[i] = nil
 		}
 	}
@@ -277,10 +311,11 @@ func (f *Feeder) Close() {
 
 // closeForShutdown is Session shutdown's arm of Close: it seals the feeder
 // and either flushes (graceful Close) or discards (context abort) whatever
-// is staged. Caller must not hold the feeder's lock. The burst still
-// travels through the in ring even when discarded: the shard worker is the
-// home ring's only producer, and it recycles this burst like any other.
-func (f *Feeder) closeForShutdown(flush bool) {
+// is staged, bounded by the shutdown deadline. Caller must not hold the
+// feeder's lock. The burst still travels through the in ring even when
+// discarded: the shard worker is the home ring's only producer, and it
+// recycles this burst like any other (a zero-length burst just recycles).
+func (f *Feeder) closeForShutdown(flush bool, deadline time.Time) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
@@ -295,7 +330,7 @@ func (f *Feeder) closeForShutdown(flush bool) {
 			if f.s.latHists != nil {
 				b.fedAt = time.Now()
 			}
-			f.s.e.shards[i].in.push(b) // a zero-length burst just recycles
+			f.pushDeadline(i, b, deadline)
 			f.cur[i] = nil
 		}
 	}

@@ -1,14 +1,16 @@
 package engine
 
 // RingAllocProbe returns one steady-state transfer cycle over the burst
-// rings — push+pop on an SPSC free ring and on an MPSC shard ring — for the
-// consolidated allocation test in internal/analysis, which pins every
-// //splidt:hotpath function to zero allocations but cannot reach the
-// unexported ring types from outside the package.
+// rings — push+pop on an SPSC free ring and on an MPSC shard ring, plus the
+// per-burst pending-deployment poll — for the consolidated allocation test
+// in internal/analysis, which pins every //splidt:hotpath function to zero
+// allocations but cannot reach the unexported types from outside the
+// package.
 func RingAllocProbe() func() {
 	sp := newRing(4)
 	mp := newMPSCRing(4)
 	b := &burst{}
+	sh := &shardState{}
 	return func() {
 		if !sp.tryPush(b) {
 			panic("spsc ring full")
@@ -21,6 +23,9 @@ func RingAllocProbe() func() {
 		}
 		if _, ok := mp.tryPop(); !ok {
 			panic("mpsc ring empty")
+		}
+		if sh.pendingDeploy() != nil {
+			panic("phantom pending deployment")
 		}
 	}
 }

@@ -120,6 +120,10 @@ type mpscRing struct {
 	tail atomic.Uint64 // next slot index to reserve (producers, CAS)
 	_    [64]byte
 	head uint64 // next slot index to pop (consumer-owned, no atomics needed)
+	// pops mirrors head for observers: the consumer publishes its pop count
+	// here so the health watchdog can read backlog() without touching the
+	// consumer-private head. One extra atomic store per pop, no contention.
+	pops atomic.Uint64
 	_    [64]byte
 }
 
@@ -180,7 +184,22 @@ func (r *mpscRing) tryPop() (*burst, bool) {
 	// Release the slot for the producer one lap ahead.
 	s.seq.Store(r.head + uint64(len(r.slots)))
 	r.head++
+	r.pops.Store(r.head)
 	return b, true
+}
+
+// backlog reports how many bursts are enqueued but not yet popped. Safe from
+// any goroutine: it reads only the producers' tail and the consumer's
+// published pop count, never the consumer-private head. The two loads are not
+// a snapshot, so the result can transiently overshoot by in-flight pushes —
+// fine for the health watchdog, which only needs "is work piling up".
+func (r *mpscRing) backlog() int {
+	t := r.tail.Load()
+	p := r.pops.Load()
+	if t <= p {
+		return 0
+	}
+	return int(t - p)
 }
 
 // push spins until b fits, yielding the timeslice while the consumer is

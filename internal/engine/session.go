@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,16 @@ type Snapshot struct {
 	// in its overflow regime — the occupancy headroom gauge the load
 	// harness watches during collision storms.
 	StashedFlows int
+	// QuarantineDropped counts packets drained to the drop counter by
+	// quarantined shards (worker-panic containment): the remainder of each
+	// panicking burst plus every packet the dead shard's ring drained
+	// afterwards. Zero in healthy sessions.
+	QuarantineDropped int64
+	// DiscardedStaged counts packets in staged bursts that a
+	// deadline-bounded shutdown flush abandoned because a shard's ring
+	// stayed full past the shutdown deadline (stuck worker). Zero in
+	// healthy sessions — even quarantined shards keep draining their rings.
+	DiscardedStaged int64
 }
 
 // Session is a long-lived streaming run of an Engine: packets go in through
@@ -95,6 +106,20 @@ type Session struct {
 	fed          atomic.Int64
 	dropped      atomic.Int64
 	backpressure atomic.Int64
+	discarded    atomic.Int64 // staged packets abandoned by a deadline-bounded flush
+
+	// fault is the session's first recorded cause error (worker panic, ctx
+	// cancellation, shutdown timeout) — Session.Err. First fault wins.
+	faultMu sync.Mutex
+	fault   error
+
+	// redeployMu serialises Session.Redeploy callers (epoch handoffs must
+	// not interleave).
+	redeployMu sync.Mutex
+
+	// hooks are the fault-injection seams (WithTestHooks); nil in
+	// production.
+	hooks *TestHooks
 
 	filter dropFilter
 
@@ -201,6 +226,21 @@ func (e *Engine) Start(ctx context.Context, opts ...SessionOption) (*Session, er
 		// worker's cached per-burst view to match.
 		sh.filterEpoch = 0
 		sh.filterCheck = false
+		// Health is per session: a quarantine does not outlive the session
+		// whose worker panicked (the replica restarts from whatever state
+		// the panic left, like a crashed-and-restarted pipe).
+		sh.health.Store(int32(ShardRunning))
+		sh.quarDrops.Store(0)
+		sh.progress.Store(0)
+		sh.lastTS.Store(int64(sh.pl.Clock()))
+		// A deployment published by a Redeploy that raced the previous
+		// session's shutdown may still be pending; adopt it here, before
+		// the worker starts, so shards never run mixed trees across a
+		// session boundary.
+		if dep := sh.pendingDep.Swap(nil); dep != nil {
+			sh.pl.Redeploy(dep.model, dep.compiled, dep.epoch)
+			sh.epoch.Store(dep.epoch)
+		}
 		sh.pub.Store(&shardPub{
 			stats:   s.prev[i],
 			active:  sh.pl.ActiveFlows(),
@@ -216,10 +256,11 @@ func (e *Engine) Start(ctx context.Context, opts ...SessionOption) (*Session, er
 		return nil, err
 	}
 	s.wg.Add(len(e.shards))
-	for _, sh := range e.shards {
-		go sh.work(&s.wg, s.sinkCh, &s.filter, &s.dropped)
+	for i, sh := range e.shards {
+		go sh.work(s, i)
 	}
 	go s.sink()
+	go s.watchdog(e.cfg.WatchdogInterval)
 	go func() {
 		select {
 		case <-ctx.Done():
@@ -243,8 +284,10 @@ func (e *Engine) Start(ctx context.Context, opts ...SessionOption) (*Session, er
 func (s *Session) Feed(pkts []pkt.Packet) (int, error) {
 	n, err := s.def.Feed(pkts)
 	if err == ErrFeederClosed {
-		// The default feeder closes only when the session does.
-		err = ErrSessionClosed
+		// The default feeder closes only when the session does; surface why
+		// (ctx cancellation, worker panic, shutdown timeout) when a cause
+		// was recorded.
+		err = s.closedErr()
 	}
 	return n, err
 }
@@ -258,7 +301,7 @@ func (s *Session) Feed(pkts []pkt.Packet) (int, error) {
 func (s *Session) FeedAll(pkts []pkt.Packet) error {
 	err := s.def.FeedAll(pkts)
 	if err == ErrFeederClosed {
-		err = ErrSessionClosed
+		err = s.closedErr()
 	}
 	return err
 }
@@ -269,9 +312,21 @@ func (s *Session) FeedAll(pkts []pkt.Packet) error {
 func (s *Session) FeedSource(src Source) error {
 	err := s.def.FeedSource(src)
 	if err == ErrFeederClosed {
-		err = ErrSessionClosed
+		err = s.closedErr()
 	}
 	return err
+}
+
+// closedErr is the error the Feed family returns once the session has
+// closed: bare ErrSessionClosed after a graceful Close, or ErrSessionClosed
+// wrapping the recorded cause (Session.Err) after a fault — errors.Is
+// matches both the sentinel and the cause, and errors.As recovers a
+// ShardPanicError.
+func (s *Session) closedErr() error {
+	if cause := s.Err(); cause != nil {
+		return fmt.Errorf("%w: %w", ErrSessionClosed, cause)
+	}
+	return ErrSessionClosed
 }
 
 // Digests returns the live merged digest stream. The first call switches
@@ -335,11 +390,12 @@ func (s *Session) compactLocked() {
 //splidt:stats-complete Snapshot
 func (s *Session) Snapshot() Snapshot {
 	snap := Snapshot{
-		PerShard:     make([]dataplane.Stats, len(s.e.shards)),
-		Fed:          s.fed.Load(),
-		Dropped:      s.dropped.Load(),
-		Backpressure: s.backpressure.Load(),
-		BlockedFlows: s.filter.size(),
+		PerShard:        make([]dataplane.Stats, len(s.e.shards)),
+		Fed:             s.fed.Load(),
+		Dropped:         s.dropped.Load(),
+		Backpressure:    s.backpressure.Load(),
+		BlockedFlows:    s.filter.size(),
+		DiscardedStaged: s.discarded.Load(),
 	}
 	for i, sh := range s.e.shards {
 		pub := sh.pub.Load()
@@ -347,6 +403,7 @@ func (s *Session) Snapshot() Snapshot {
 		snap.Stats.Add(snap.PerShard[i])
 		snap.ActiveFlows += pub.active
 		snap.StashedFlows += pub.stashed
+		snap.QuarantineDropped += sh.quarDrops.Load()
 	}
 	return snap
 }
@@ -412,10 +469,17 @@ func (s *Session) Blocked(k flow.Key) bool { return s.filter.blocked(k) }
 // the workers to finish every queued packet, merges the per-shard digest
 // streams into one deterministically ordered Result, and releases the
 // engine for the next session. Close is idempotent; every call returns the
-// same Result. If the session's context was cancelled first, the error is
-// the context's and in-flight staged bursts were discarded rather than
-// flushed. For sessions started WithBoundedDigests, Result.Digests holds
-// only the digests not yet delivered through Digests()/Poll.
+// same Result. For sessions started WithBoundedDigests, Result.Digests
+// holds only the digests not yet delivered through Digests()/Poll.
+//
+// Close returns the session's recorded cause (Session.Err) as its error:
+// nil for a healthy session, the context's error after a cancellation, a
+// ShardPanicError after a quarantine — the run's digests and stats are
+// still returned either way. Every wait is bounded by the engine's
+// ShutdownTimeout: if a worker is stuck past the deadline, Close abandons
+// it, returns ErrShutdownTimeout with stats from the workers' last
+// published snapshots, and poisons the engine (the stuck worker still owns
+// its replica, so no further session may start).
 func (s *Session) Close() (*Result, error) {
 	s.shutdown(true, nil)
 	return s.result, s.resErr
@@ -426,9 +490,16 @@ func (s *Session) Close() (*Result, error) {
 // cancellation).
 func (s *Session) shutdown(flush bool, cause error) {
 	s.closeOnce.Do(func() {
+		// Record the cause first so concurrent Feed callers fail with it
+		// from the first moment the session reads as closed.
+		s.recordFault(cause)
 		s.lifeMu.Lock()
 		s.closed = true
 		s.lifeMu.Unlock()
+
+		// Every teardown wait below shares one deadline: shutdown must
+		// return even when a worker is stuck mid-burst.
+		deadline := time.Now().Add(s.e.cfg.ShutdownTimeout)
 
 		// Seal the registry (no new feeders), then force-close every feeder
 		// still open: each seal acquires that feeder's private lock, so no
@@ -443,7 +514,7 @@ func (s *Session) shutdown(flush bool, cause error) {
 		}
 		s.feederMu.Unlock()
 		for _, f := range open {
-			f.closeForShutdown(flush)
+			f.closeForShutdown(flush, deadline)
 		}
 		// done is set after the final push, so a worker that observes it
 		// and then finds its ring empty has seen everything.
@@ -451,14 +522,38 @@ func (s *Session) shutdown(flush bool, cause error) {
 			sh.done.Store(true)
 		}
 
-		s.wg.Wait()
-		close(s.sinkCh)
-		<-s.sinkDone
+		workersDone := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(workersDone)
+		}()
+		timedOut := false
+		select {
+		case <-workersDone:
+			// All workers exited (quarantined ones drain their rings and
+			// exit too): the sink channel has no more producers, so closing
+			// it and waiting for the sink is safe and prompt.
+			close(s.sinkCh)
+			<-s.sinkDone
+		case <-time.After(time.Until(deadline)):
+			// A worker is stuck. Abandon it: sinkCh must stay open (the
+			// straggler may still send on it if it ever wakes) and the sink
+			// goroutine keeps consuming, so the engine is poisoned — active
+			// stays set and no further session can start.
+			timedOut = true
+			s.recordFault(ErrShutdownTimeout)
+		}
 		close(s.watchStop)
 
 		res := &Result{PerShard: make([]dataplane.Stats, len(s.e.shards))}
 		for i, sh := range s.e.shards {
-			res.PerShard[i] = subStats(sh.pl.Stats(), s.prev[i])
+			if timedOut {
+				// The stuck worker still owns its pipeline; read the last
+				// published snapshot instead of racing it.
+				res.PerShard[i] = subStats(sh.pub.Load().stats, s.prev[i])
+			} else {
+				res.PerShard[i] = subStats(sh.pl.Stats(), s.prev[i])
+			}
 			res.Stats.Add(res.PerShard[i])
 		}
 		// Sort a copy: s.all stays in arrival order so Poll/Digests can
@@ -483,8 +578,13 @@ func (s *Session) shutdown(flush bool, cause error) {
 			Elapsed:        time.Since(s.start),
 		}
 		s.result = res
-		s.resErr = cause
-		s.e.active.Store(false)
+		// The session's error is its recorded cause: the shutdown trigger
+		// (ctx cancellation) if there was one, else the first internal
+		// fault (worker panic, shutdown timeout), else nil.
+		s.resErr = s.Err()
+		if !timedOut {
+			s.e.active.Store(false)
+		}
 	})
 }
 
@@ -495,6 +595,9 @@ func (s *Session) shutdown(flush bool, cause error) {
 // exited and the channel drained.
 func (s *Session) sink() {
 	for d := range s.sinkCh {
+		if h := s.hooks; h != nil && h.SinkDigest != nil {
+			h.SinkDigest(&d)
+		}
 		s.mu.Lock()
 		s.all = append(s.all, d)
 		s.mu.Unlock()

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -228,7 +229,13 @@ func TestSessionControllerLoop(t *testing.T) {
 	}
 	ctrl := controller.New(13, controller.BlockClasses(0, 1, 2, 3, 4, 5))
 	served := make(chan int, 1)
-	go func() { served <- ctrl.Serve(s) }()
+	go func() {
+		blocked, serveErr := ctrl.Serve(s)
+		if serveErr != nil {
+			t.Errorf("Serve reported a fault on a healthy session: %v", serveErr)
+		}
+		served <- blocked
+	}()
 
 	pkts := trace.Interleave(trace.Generate(trace.D3, 80, eqSeed), eqSpacing)
 	if err := s.FeedAll(pkts); err != nil {
@@ -286,12 +293,20 @@ func TestSessionContextCancel(t *testing.T) {
 		t.Fatal(err)
 	}
 	cancel()
+	// Feed's error after the abort wraps the recorded cause: callers match
+	// both the closed sentinel and the reason the session died.
 	waitFor(t, func() bool {
 		_, err := s.Feed(pkts[:1])
-		return err == ErrSessionClosed
+		return errors.Is(err, ErrSessionClosed)
 	})
-	if _, err := s.Close(); err != context.Canceled {
+	if _, err := s.Feed(pkts[:1]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Feed after cancel = %v, want the recorded context cause wrapped in", err)
+	}
+	if _, err := s.Close(); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Close after cancel = %v, want context.Canceled", err)
+	}
+	if err := s.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err after cancel = %v, want context.Canceled", err)
 	}
 	// The engine must be reusable after an aborted session.
 	if _, err := e.Run(trace.NewStream(trace.D3, 5, eqSeed, 0)); err != nil {

@@ -1,0 +1,104 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"splidt/internal/pkt"
+)
+
+// TestNonLossyDeterministic: same seed, same plan — the reproducibility
+// contract the chaos tests lean on.
+func TestNonLossyDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := NonLossy(seed, 4)
+		b := NonLossy(seed, 4)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: plans differ:\n%s\n%s", seed, a, b)
+		}
+		if len(a.Faults()) < 2 {
+			t.Fatalf("seed %d: only %d faults", seed, len(a.Faults()))
+		}
+		for _, f := range a.Faults() {
+			if f.Kind.Lossy() {
+				t.Fatalf("seed %d: NonLossy produced lossy fault %v", seed, f)
+			}
+		}
+	}
+	if NonLossy(1, 4).String() == NonLossy(2, 4).String() {
+		t.Fatal("seeds 1 and 2 produced identical plans (suspicious)")
+	}
+}
+
+// TestWorkerPanicFiresOnceAtOrdinal: the panic fires at exactly the
+// scheduled per-shard packet ordinal, on the scheduled shard only, once.
+func TestWorkerPanicFiresOnceAtOrdinal(t *testing.T) {
+	p := New(2, Fault{Kind: WorkerPanic, Shard: 1, At: 3})
+	var pk pkt.Packet
+	// Shard 0 never panics, whatever its ordinal.
+	for i := 0; i < 10; i++ {
+		p.BeforePacket(0, &pk)
+	}
+	for i := 0; i < 3; i++ {
+		p.BeforePacket(1, &pk) // ordinals 0..2: quiet
+	}
+	panicked := func() (v any) {
+		defer func() { v = recover() }()
+		p.BeforePacket(1, &pk) // ordinal 3: fires
+		return nil
+	}()
+	if panicked == nil {
+		t.Fatal("no panic at scheduled ordinal")
+	}
+	if p.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", p.Fired())
+	}
+	p.BeforePacket(1, &pk) // once-latch: no second panic
+	if got := p.Packets(1); got != 5 {
+		t.Fatalf("shard 1 packet ordinal = %d, want 5", got)
+	}
+}
+
+// TestRingOverflowWindow: pushes are refused for exactly [At, At+Count).
+func TestRingOverflowWindow(t *testing.T) {
+	p := New(2, Fault{Kind: RingOverflow, Shard: 0, At: 2, Count: 3})
+	want := []bool{false, false, true, true, true, false, false}
+	for i, w := range want {
+		if got := p.PushRefuse(0); got != w {
+			t.Fatalf("push %d: refuse=%v, want %v", i, got, w)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		if p.PushRefuse(1) {
+			t.Fatal("refusal leaked onto untargeted shard")
+		}
+	}
+}
+
+// TestClockJumpShiftsFrom: timestamps step forward from the ordinal on.
+func TestClockJumpShiftsFrom(t *testing.T) {
+	p := New(1, Fault{Kind: ClockJump, Shard: 0, At: 2, Jump: time.Second})
+	for i := 0; i < 4; i++ {
+		pk := pkt.Packet{TS: time.Duration(i) * time.Millisecond}
+		p.BeforePacket(0, &pk)
+		wantJump := i >= 2
+		if got := pk.TS >= time.Second; got != wantJump {
+			t.Fatalf("packet %d: TS=%v, jumped=%v want %v", i, pk.TS, got, wantJump)
+		}
+	}
+}
+
+// TestStallsLatchOnce: a stall fault fires at its ordinal and only there.
+func TestStallsLatchOnce(t *testing.T) {
+	p := New(1,
+		Fault{Kind: ShardStall, Shard: 0, At: 1, Stall: time.Microsecond},
+		Fault{Kind: SinkStall, At: 0, Stall: time.Microsecond},
+	)
+	var pk pkt.Packet
+	p.BeforePacket(0, &pk)
+	p.BeforePacket(0, &pk)
+	p.SinkDigest(nil)
+	if p.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", p.Fired())
+	}
+}

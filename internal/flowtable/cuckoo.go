@@ -402,6 +402,20 @@ func (t *Cuckoo) Ways() int { return t.ways }
 // Buckets returns the bucket count.
 func (t *Cuckoo) Buckets() int { return t.buckets }
 
+// Walk implements Store: bucket cells first, then the stash.
+func (t *Cuckoo) Walk(fn func(*Entry)) {
+	for i := range t.entries {
+		if t.entries[i].SID != 0 {
+			fn(&t.entries[i])
+		}
+	}
+	for i := range t.stash {
+		if t.stash[i].SID != 0 {
+			fn(&t.stash[i])
+		}
+	}
+}
+
 // ScanOccupied implements Store.
 func (t *Cuckoo) ScanOccupied() int {
 	n := 0

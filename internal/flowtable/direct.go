@@ -104,6 +104,15 @@ func (d *Direct) Occupied() int { return d.occupied }
 // Cap implements Store.
 func (d *Direct) Cap() int { return len(d.entries) }
 
+// Walk implements Store.
+func (d *Direct) Walk(fn func(*Entry)) {
+	for i := range d.entries {
+		if d.entries[i].SID != 0 {
+			fn(&d.entries[i])
+		}
+	}
+}
+
 // ScanOccupied implements Store.
 func (d *Direct) ScanOccupied() int {
 	n := 0

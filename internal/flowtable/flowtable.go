@@ -190,6 +190,12 @@ type Store interface {
 	// ScanOccupied recounts live entries by full scan; tests cross-check it
 	// against Occupied.
 	ScanOccupied() int
+	// Walk calls fn for every live entry (SID != 0). fn may mutate the
+	// entry's register state in place but must not free it or change its
+	// key. Not a hot-path operation: the pipeline uses it for whole-table
+	// maintenance (redeploy SID fixup), one call per reconfiguration, never
+	// per packet.
+	Walk(fn func(*Entry))
 	// Stats returns a copy of the store's counters.
 	Stats() Stats
 }

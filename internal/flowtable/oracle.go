@@ -72,6 +72,15 @@ func (o *Oracle) Occupied() int { return len(o.flows) }
 // whatever it currently holds.
 func (o *Oracle) Cap() int { return len(o.flows) }
 
+// Walk implements Store.
+func (o *Oracle) Walk(fn func(*Entry)) {
+	for _, e := range o.flows {
+		if e.SID != 0 {
+			fn(e)
+		}
+	}
+}
+
 // ScanOccupied implements Store.
 func (o *Oracle) ScanOccupied() int {
 	n := 0

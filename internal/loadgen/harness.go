@@ -2,7 +2,8 @@
 // continuously churning flow population (or a recorded wire-format stream)
 // through parallel per-producer feeders at a target offered rate, walks a
 // schedule of phases — steady state, heavy-tailed mixes, collision storms,
-// block storms — and reports per-phase digest-latency percentiles
+// block storms, hitless mid-run redeploys — and reports per-phase
+// digest-latency percentiles
 // (p50/p99/p999 off the engine's merged histograms), flow-table occupancy
 // and stash gauges, eviction/reject counters, and achieved packet rates.
 //
@@ -20,9 +21,11 @@ import (
 	"sync"
 	"time"
 
+	"splidt/internal/core"
 	"splidt/internal/engine"
 	"splidt/internal/flow"
 	"splidt/internal/pkt"
+	"splidt/internal/rangemark"
 )
 
 // Phase is one stretch of a harness run: a packet budget driven under one
@@ -46,6 +49,12 @@ type Phase struct {
 	// Config.BlockRing (oldest unblocked first) and cleared at phase end.
 	// 0 disables. Ignored in wire mode.
 	BlockEvery int64
+	// Redeploy fires a hitless tree swap concurrently with this phase's
+	// load: Config.Redeploy supplies a freshly compiled tree and the
+	// harness calls Session.Redeploy while the feeders keep offering, so
+	// the epoch handoff happens under pressure rather than at an idle
+	// boundary. The adopted epoch lands in the phase's report.
+	Redeploy bool
 }
 
 // Config sizes a harness run.
@@ -73,6 +82,11 @@ type Config struct {
 	// BlockRing bounds outstanding block verdicts per feeder during block
 	// storms. Default 1024.
 	BlockRing int
+	// Redeploy supplies the tree for a Phase.Redeploy swap — typically a
+	// retrain on fresh traffic followed by a compile. Required when any
+	// phase sets Redeploy; called once per such phase, from the harness's
+	// redeploy goroutine, while the feeders are live.
+	Redeploy func() (*core.Model, *rangemark.Compiled, error)
 }
 
 // PhaseReport is one phase's measurements. Counters are deltas over the
@@ -106,6 +120,9 @@ type PhaseReport struct {
 	Occupancy    float64 // ActiveFlows / table capacity
 	StashedFlows int     // cuckoo stash residents at phase end
 	BlockedFlows int     // drop-filter size at phase end
+
+	Redeploys int    // hitless tree swaps fired during the phase (0 or 1)
+	Epoch     uint64 // deploy epoch live at phase end (0 = construction tree)
 }
 
 // Report is a whole run's output.
@@ -151,6 +168,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	for i, ph := range cfg.Phases {
 		if ph.Packets <= 0 {
 			return nil, fmt.Errorf("loadgen: phase %d (%q) has no packet budget", i, ph.Name)
+		}
+		if ph.Redeploy && cfg.Redeploy == nil {
+			return nil, fmt.Errorf("loadgen: phase %d (%q) requests a redeploy but Config.Redeploy is nil", i, ph.Name)
 		}
 	}
 	if cfg.Feeders <= 0 {
@@ -208,6 +228,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	runStart := time.Now()
 	var runErr error
+	var liveEpoch uint64 // deploy epoch currently live (0 = construction tree)
 	prevSnap := s.Snapshot()
 	prevLat := s.DigestLatency()
 	prevBirths := int64(0)
@@ -236,7 +257,37 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				errs[i] = fd.runPhase(ctx, s, ph, quota, rate/float64(len(feeders)))
 			}(i, fd)
 		}
+		// A redeploy phase swaps the tree while the feeders above are live —
+		// the whole point is that the epoch handoff happens under load. The
+		// join after wg.Wait orders the epoch read for the report.
+		var (
+			redeployed   chan struct{}
+			redeployErr  error
+			phaseEpoch   uint64
+			phaseSwapped int
+		)
+		if ph.Redeploy {
+			redeployed = make(chan struct{})
+			go func() {
+				defer close(redeployed)
+				m, c, err := cfg.Redeploy()
+				if err == nil {
+					phaseEpoch, err = s.Redeploy(m, c)
+					phaseSwapped = 1
+				}
+				redeployErr = err
+			}()
+		}
 		wg.Wait()
+		if redeployed != nil {
+			<-redeployed
+			if redeployErr != nil && runErr == nil {
+				runErr = fmt.Errorf("loadgen: phase %q redeploy: %w", ph.Name, redeployErr)
+			}
+			if phaseSwapped > 0 {
+				liveEpoch = phaseEpoch
+			}
+		}
 		for _, e := range errs {
 			if e != nil && runErr == nil {
 				runErr = e
@@ -273,6 +324,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			ActiveFlows:  snap.ActiveFlows,
 			StashedFlows: snap.StashedFlows,
 			BlockedFlows: snap.BlockedFlows,
+			Redeploys:    phaseSwapped,
+			Epoch:        liveEpoch,
 		}
 		if elapsed > 0 {
 			pr.PktsPerSec = float64(pr.Packets) / elapsed.Seconds()
@@ -303,7 +356,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		runErr = ctx.Err()
 	}
 
-	total := PhaseReport{Name: "total", Elapsed: time.Since(runStart)}
+	total := PhaseReport{Name: "total", Elapsed: time.Since(runStart), Epoch: liveEpoch}
 	for _, pr := range rep.Phases {
 		total.Packets += pr.Packets
 		total.Dropped += pr.Dropped
@@ -311,6 +364,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		total.Evictions += pr.Evictions
 		total.Rejects += pr.Rejects
 		total.Births += pr.Births
+		total.Redeploys += pr.Redeploys
 		if pr.Lag > total.Lag {
 			total.Lag = pr.Lag
 		}
@@ -421,7 +475,7 @@ func (fd *feeder) drainBlocks(s *engine.Session) {
 
 // String renders a phase report as one aligned summary line.
 func (pr PhaseReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"%-12s pkts=%d %.0f pkts/s (target %.0f, lag %v) digests=%d "+
 			"p50=%v p99=%v p999=%v max=%v occ=%.1f%% (%d active, %d stashed) "+
 			"dropped=%d bp=%d evic=%d rej=%d births=%d blocked=%d",
@@ -429,6 +483,10 @@ func (pr PhaseReport) String() string {
 		pr.P50, pr.P99, pr.P999, pr.Max, 100*pr.Occupancy, pr.ActiveFlows,
 		pr.StashedFlows, pr.Dropped, pr.Backpressure, pr.Evictions,
 		pr.Rejects, pr.Births, pr.BlockedFlows)
+	if pr.Redeploys > 0 {
+		s += fmt.Sprintf(" redeploy=%d(epoch %d)", pr.Redeploys, pr.Epoch)
+	}
+	return s
 }
 
 var _ engine.Source = (*ChurnGen)(nil)

@@ -272,6 +272,66 @@ func TestHarnessPhases(t *testing.T) {
 	}
 }
 
+// TestHarnessRedeployPhase pins the redeploy phase: a mid-schedule hitless
+// swap fires under live load, the adopted epoch lands in that phase's report
+// and carries into later phases, and nothing is lost — the run's accounting
+// stays exact across the handoff.
+func TestHarnessRedeployPhase(t *testing.T) {
+	e := testEngine(t, 1<<13, 2)
+	supplied := 0
+	rep, err := Run(context.Background(), Config{
+		Engine:  e,
+		Feeders: 2,
+		Churn:   churnTestCfg(2000, 21),
+		Phases: []Phase{
+			{Name: "warm", Packets: 20_000},
+			{Name: "redeploy", Packets: 20_000, Redeploy: true},
+			{Name: "settle", Packets: 20_000},
+		},
+		Redeploy: func() (*core.Model, *rangemark.Compiled, error) {
+			supplied++
+			// Same tree recompiled: the swap machinery is what is under
+			// test, not the retraining.
+			cfg := deployCfg(t, 1<<13)
+			c, err := rangemark.Compile(cfg.Model)
+			return cfg.Model, c, err
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if supplied != 1 {
+		t.Fatalf("Config.Redeploy called %d times, want 1", supplied)
+	}
+	if got := rep.Phases[1]; got.Redeploys != 1 || got.Epoch == 0 {
+		t.Fatalf("redeploy phase report %+v: want Redeploys=1, Epoch>0", got)
+	}
+	if rep.Phases[0].Redeploys != 0 || rep.Phases[0].Epoch != 0 {
+		t.Fatalf("warm phase report leaked a redeploy: %+v", rep.Phases[0])
+	}
+	if rep.Phases[2].Epoch != rep.Phases[1].Epoch {
+		t.Fatalf("settle phase epoch %d, want %d carried forward",
+			rep.Phases[2].Epoch, rep.Phases[1].Epoch)
+	}
+	if rep.Total.Redeploys != 1 || rep.Total.Epoch != rep.Phases[1].Epoch {
+		t.Fatalf("total report %+v: redeploy not aggregated", rep.Total)
+	}
+	if rep.Total.Packets != 60_000 || rep.Total.Digests == 0 {
+		t.Fatalf("accounting broke across the swap: %+v", rep.Total)
+	}
+
+	// A schedule that asks for a swap with no supplier must be rejected
+	// before anything starts.
+	_, err = Run(context.Background(), Config{
+		Engine: testEngine(t, 1<<12, 1),
+		Churn:  churnTestCfg(500, 5),
+		Phases: []Phase{{Name: "bad", Packets: 1000, Redeploy: true}},
+	})
+	if err == nil {
+		t.Fatal("Run accepted a redeploy phase without Config.Redeploy")
+	}
+}
+
 // TestHarnessPacing pins open-loop pacing: a rate-limited run must take at
 // least its scheduled duration and report near-target achieved rate.
 func TestHarnessPacing(t *testing.T) {

@@ -64,6 +64,16 @@
 //     LongIATFraction builds such workloads) survive gaps a global
 //     IdleTimeout would evict them over (expiries surface in
 //     PipelineStats.WheelExpiries).
+//   - Fault tolerance & hitless redeploy: a panicking shard worker is
+//     quarantined in isolation — its backlog drains to a drop counter
+//     while every other shard keeps processing — with the typed cause
+//     (ShardPanicError) surfaced through Session.Health and Session.Err
+//     and wrapped into every later Feed error. Close and feeder flushes
+//     are deadline-bounded (ErrShutdownTimeout) so a stuck worker cannot
+//     wedge a caller. Session.Redeploy swaps a freshly compiled tree into
+//     a live session via an epoch-stamped per-shard handoff at burst
+//     boundaries: flow state carries across the swap, zero packets drop,
+//     and every Digest records the deploy Epoch that classified it.
 //
 // See examples/quickstart for the end-to-end path, cmd/splidt-engine (and
 // its -live mode) for sharded execution, and examples/livecontrol for the
@@ -400,7 +410,39 @@ var (
 	ErrSessionActive = engine.ErrSessionActive
 	// ErrFeederClosed reports a Feed on a closed EngineFeeder.
 	ErrFeederClosed = engine.ErrFeederClosed
+	// ErrShutdownTimeout reports a Close (or context abort) that hit the
+	// shutdown deadline with a shard worker stuck mid-burst; the engine is
+	// left poisoned rather than handed back with an unaccounted goroutine.
+	ErrShutdownTimeout = engine.ErrShutdownTimeout
+	// ErrRedeployTimeout reports a Session.Redeploy whose epoch was not
+	// adopted by every healthy shard within the shutdown deadline.
+	ErrRedeployTimeout = engine.ErrRedeployTimeout
 )
+
+// EngineHealth is a point-in-time fault report over a session
+// (EngineSession.Health): per-shard states, quarantine drop counts, live
+// deploy epochs, and the first recorded fault cause.
+type EngineHealth = engine.Health
+
+// ShardHealth is one shard's slice of an EngineHealth report.
+type ShardHealth = engine.ShardHealth
+
+// ShardState classifies a shard worker's condition: running, degraded
+// (watchdog saw queued input make no progress for an interval), or
+// quarantined (its worker panicked; the shard drains to a drop counter).
+type ShardState = engine.HealthState
+
+// The shard states.
+const (
+	ShardRunning     = engine.ShardRunning
+	ShardDegraded    = engine.ShardDegraded
+	ShardQuarantined = engine.ShardQuarantined
+)
+
+// ShardPanicError is the typed cause recorded when a shard worker
+// panics: the shard, the recovered value, and the worker's stack.
+// EngineSession.Err returns it and later Feed errors wrap it.
+type ShardPanicError = engine.ShardPanicError
 
 // FlowKey is a 5-tuple flow identity (Session.Block takes one; Digest
 // carries one).

@@ -188,7 +188,13 @@ func TestStreamingFacade(t *testing.T) {
 	}
 	ctrl := NewController(classes, BlockClasses(blockAll...))
 	served := make(chan int, 1)
-	go func() { served <- ctrl.Serve(sess) }()
+	go func() {
+		blocked, serveErr := ctrl.Serve(sess)
+		if serveErr != nil {
+			t.Errorf("Serve reported a fault on a healthy session: %v", serveErr)
+		}
+		served <- blocked
+	}()
 
 	feed := func() {
 		src := NewStream(D2, 50, 3, time.Millisecond)
