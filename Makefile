@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck fuzz-smoke test race bench bench-engine bench-json bench-1m loadgen-smoke chaos-smoke examples ci
+.PHONY: all build vet staticcheck fuzz-smoke test race bench bench-engine bench-json bench-1m loadgen-smoke chaos-smoke telemetry-smoke examples ci
 
 all: build vet test
 
@@ -52,7 +52,7 @@ bench:
 # trajectory, and the flow-table store micro-benchmarks (lookup/insert
 # per scheme).
 bench-engine:
-	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|ParallelFeed|Sweep|EngineHighLoad|WheelAdvance|EngineChurn' -benchtime 1x .
+	$(GO) test -run xxx -bench 'EngineShards|EngineRecorder|SessionFeed|ParallelFeed|Sweep|EngineHighLoad|WheelAdvance|EngineChurn' -benchtime 1x .
 	$(GO) test -run xxx -bench FlowTable -benchtime 1000x ./internal/flowtable
 	$(GO) test -run xxx -bench 'ChurnNext|WireNext|HarnessSteady' -benchtime 100000x ./internal/loadgen
 
@@ -64,7 +64,7 @@ bench-engine:
 # flow-table micro-benchmarks append with an iteration-count benchtime of
 # their own (2 iterations would be noise at nanosecond scale).
 bench-json:
-	$(GO) test -run xxx -bench 'EngineShards|SessionFeed|ParallelFeed|Sweep|EngineHighLoad|WheelAdvance|EngineChurn' \
+	$(GO) test -run xxx -bench 'EngineShards|EngineRecorder|SessionFeed|ParallelFeed|Sweep|EngineHighLoad|WheelAdvance|EngineChurn' \
 		-benchtime 2x -count 3 . > BENCH_engine.json
 	$(GO) test -run xxx -bench FlowTable -benchtime 50000x -count 3 \
 		./internal/flowtable >> BENCH_engine.json
@@ -100,9 +100,15 @@ chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestChaos|TestQuarantine|TestShutdownDeadline|TestRedeploy|TestHarnessRedeploy' \
 		./internal/engine ./internal/loadgen
 
+# Telemetry-plane smoke: a live loadgen run with -telemetry bound, then
+# curl-and-grep assertions over /healthz and /metrics — family presence,
+# per-shard samples, and exposition-format parseability. promtool-free.
+telemetry-smoke:
+	bash scripts/telemetry-smoke.sh
+
 # Build every example (livecontrol included) — they are the API's
 # executable documentation and must never rot.
 examples:
 	$(GO) build ./examples/...
 
-ci: build vet staticcheck race loadgen-smoke chaos-smoke bench-engine examples
+ci: build vet staticcheck race loadgen-smoke chaos-smoke telemetry-smoke bench-engine examples

@@ -362,6 +362,35 @@ func BenchmarkEngineShards2(b *testing.B) { benchmarkEngineShards(b, 2) }
 func BenchmarkEngineShards4(b *testing.B) { benchmarkEngineShards(b, 4) }
 func BenchmarkEngineShards8(b *testing.B) { benchmarkEngineShards(b, 8) }
 
+// benchmarkEngineRecorder measures the flight recorder's hot-path cost:
+// the same 4-shard workload with the per-shard event rings enabled
+// (default depth) vs disabled. The acceptance bar is a ≤2% pkts/s delta —
+// the recorder is a handful of uncontended atomics per burst, not a
+// per-packet tax.
+func benchmarkEngineRecorder(b *testing.B, recorder int) {
+	cfg, pkts := engineBenchFixture(b)
+	e, err := engine.New(engine.Config{Deploy: cfg, Shards: 4, FlightRecorder: recorder})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(&engine.SliceSource{Pkts: pkts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Packets != len(pkts) {
+			b.Fatalf("processed %d packets, want %d", res.Stats.Packets, len(pkts))
+		}
+		rate += res.Throughput.PktsPerSec()
+	}
+	b.ReportMetric(rate/float64(b.N), "pkts/s")
+}
+
+func BenchmarkEngineRecorderOn(b *testing.B)  { benchmarkEngineRecorder(b, 0) }
+func BenchmarkEngineRecorderOff(b *testing.B) { benchmarkEngineRecorder(b, -1) }
+
 // benchmarkParallelFeed measures end-to-end pkts/s with M concurrent
 // feeders driving one 4-shard session over a flow-disjoint partition of the
 // workload (trace.Partition) — the dispatch-side scaling the MPSC shard

@@ -79,6 +79,7 @@ func main() {
 		waves      = flag.Int("waves", 1, "times to replay the workload through one session (live mode)")
 		reportMS   = flag.Int("report-ms", 200, "live snapshot interval (ms)")
 		redeployAt = flag.Int64("redeploy-at", 0, "live mode: once N packets have been fed, retrain and hitlessly swap the tree mid-run (0 = off)")
+		telemetry  = flag.String("telemetry", "", "serve /metrics, /healthz, /flightrecorder, and pprof on this host:port while the run is live (\"\" = off)")
 	)
 	flag.Parse()
 
@@ -173,9 +174,21 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var tsrv *splidt.TelemetryServer
+	if *telemetry != "" {
+		tsrv, err = splidt.ServeTelemetry(*telemetry, splidt.TelemetryConfig{Engine: eng})
+		if err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		defer tsrv.Close()
+	}
+
 	fmt.Printf("model          %v\n", m)
 	fmt.Printf("engine         %d shards × burst %d × queue %d (%d total slots)\n",
 		eng.Shards(), *burst, *queue, *slots)
+	if tsrv != nil {
+		fmt.Printf("telemetry      http://%s/metrics /healthz /flightrecorder /debug/pprof\n", tsrv.Addr())
+	}
 	if scheme == splidt.TableCuckoo {
 		fmt.Printf("flow table     cuckoo: %d-way buckets + %d-entry stash per shard, verified keys\n",
 			*ways, splidt.TableStashLines(*stash))
@@ -196,7 +209,7 @@ func main() {
 		if *feeders > 1 {
 			log.Printf("-feeders %d ignored: live mode drives the session through FeedSource (single producer)", *feeders)
 		}
-		runLive(eng, id, *nFlows, *seed, spacing, classes, *block, *waves,
+		runLive(eng, tsrv, id, *nFlows, *seed, spacing, classes, *block, *waves,
 			time.Duration(*reportMS)*time.Millisecond, *redeployAt, retrain)
 		return
 	}
@@ -206,7 +219,7 @@ func main() {
 
 	src := splidt.NewStream(id, *nFlows, *seed, spacing)
 	if *feeders > 1 {
-		res := runParallel(eng, src, *feeders)
+		res := runParallel(eng, tsrv, src, *feeders)
 		report(id, *nFlows, classes, src.Labels(), res)
 		return
 	}
@@ -221,7 +234,7 @@ func main() {
 // partitions, and drives one session with a private Feeder per partition —
 // the parallel-dispatch path (engine package: per-feeder staging bursts
 // over MPSC shard rings).
-func runParallel(eng *splidt.Engine, src splidt.PacketSource, feeders int) *splidt.EngineResult {
+func runParallel(eng *splidt.Engine, tsrv *splidt.TelemetryServer, src splidt.PacketSource, feeders int) *splidt.EngineResult {
 	var pkts []splidt.Packet
 	for {
 		p, ok := src.Next()
@@ -234,6 +247,9 @@ func runParallel(eng *splidt.Engine, src splidt.PacketSource, feeders int) *spli
 	sess, err := eng.Start(context.Background())
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tsrv != nil {
+		tsrv.SetSession(sess)
 	}
 	var wg sync.WaitGroup
 	for _, part := range parts {
@@ -261,7 +277,7 @@ func runParallel(eng *splidt.Engine, src splidt.PacketSource, feeders int) *spli
 
 // runLive drives the streaming path: session + controller feedback loop,
 // plus the optional mid-run hitless redeploy (-redeploy-at).
-func runLive(eng *splidt.Engine, id splidt.Dataset, nFlows int, seed int64,
+func runLive(eng *splidt.Engine, tsrv *splidt.TelemetryServer, id splidt.Dataset, nFlows int, seed int64,
 	spacing time.Duration, classes int, block string, waves int, interval time.Duration,
 	redeployAt int64, retrain func() (*splidt.Model, *splidt.Compiled, error)) {
 	blocked := parseInts(block, "blocked class", 0)
@@ -274,6 +290,10 @@ func runLive(eng *splidt.Engine, id splidt.Dataset, nFlows int, seed int64,
 	sess, err := eng.Start(context.Background())
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tsrv != nil {
+		tsrv.SetSession(sess)
+		tsrv.SetController(ctrl)
 	}
 	served := make(chan int, 1)
 	go func() {

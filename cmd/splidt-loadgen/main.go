@@ -78,6 +78,7 @@ func main() {
 		blockRing = flag.Int("block-ring", 1024, "outstanding block verdicts per feeder during block storms")
 		phasesArg = flag.String("phases", "steady:1m", "space-separated phase schedule: name:packets[:knob=value,...] with k/m packet suffixes; knobs coll=F block=N rate=F redeploy=1")
 		wire      = flag.String("wire", "", "replay this recorded wire-format workload instead of generating one (single feeder; churn knobs ignored)")
+		telemetry = flag.String("telemetry", "", "serve /metrics, /healthz, /flightrecorder, and pprof on this host:port during the run (\"\" = off)")
 	)
 	flag.Parse()
 
@@ -179,6 +180,18 @@ func main() {
 		cfg.Churn.CollisionGroups = *collGroup
 	}
 
+	var tsrv *splidt.TelemetryServer
+	if *telemetry != "" {
+		tsrv, err = splidt.ServeTelemetry(*telemetry, splidt.TelemetryConfig{Engine: eng})
+		if err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		defer tsrv.Close()
+		// The harness owns session startup; bind /healthz and the sampler to
+		// it the moment it exists.
+		cfg.OnSession = func(s *splidt.EngineSession) { tsrv.SetSession(s) }
+	}
+
 	var wireSrc *loadgen.WireSource
 	if *wire != "" {
 		f, err := os.Open(*wire)
@@ -205,6 +218,9 @@ func main() {
 		fmt.Printf("pacing         open-loop at %.0f pkts/s total (never sheds; slip reports as lag)\n", *rate)
 	} else {
 		fmt.Printf("pacing         unpaced: peak sustainable throughput\n")
+	}
+	if tsrv != nil {
+		fmt.Printf("telemetry      http://%s/metrics /healthz /flightrecorder /debug/pprof\n", tsrv.Addr())
 	}
 
 	rep, err := loadgen.Run(context.Background(), cfg)

@@ -16,6 +16,7 @@ import (
 	"splidt/internal/metrics"
 	"splidt/internal/pkt"
 	"splidt/internal/tcam"
+	"splidt/internal/telemetry/flight"
 	"splidt/internal/timerwheel"
 	"splidt/internal/trace"
 )
@@ -185,6 +186,17 @@ func allocProbes() []allocProbe {
 				return func() {
 					h.Record(123456)
 					h.RecordDur(85 * time.Microsecond)
+				}
+			},
+		},
+		{
+			name:   "flight-recorder",
+			covers: ids("telemetry/flight", "Ring.Record"),
+			setup: func(t *testing.T) func() {
+				r := flight.New(64)
+				return func() {
+					r.Record(flight.KindBurstStart, 123*time.Microsecond, 32, 1)
+					r.Record(flight.KindBurstEnd, 125*time.Microsecond, 32, 7)
 				}
 			},
 		},

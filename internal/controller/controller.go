@@ -169,6 +169,41 @@ func (c *Controller) ActionCounts() map[Action]int {
 	return out
 }
 
+// Stats is a point-in-time snapshot of the controller's counters, taken
+// under one lock acquisition — the coherent view the telemetry plane
+// exports (the individual accessors would each lock separately and could
+// disagree mid-digest).
+type Stats struct {
+	// Digests counts digests ingested; Flows counts distinct tracked flows.
+	Digests int
+	Flows   int
+	// Allowed/Blocked/Mirrored count digests by the verdict the policy
+	// returned (block decisions, the counters the ISSUE's telemetry loop
+	// closes over).
+	Allowed  int
+	Blocked  int
+	Mirrored int
+	// MeanTTD is the mean time-to-detection across digests (0 when none).
+	MeanTTD time.Duration
+}
+
+// Stats snapshots all counters coherently.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Digests:  c.digests,
+		Flows:    len(c.flows),
+		Allowed:  c.perAction[ActionAllow],
+		Blocked:  c.perAction[ActionBlock],
+		Mirrored: c.perAction[ActionMirror],
+	}
+	if c.digests > 0 {
+		st.MeanTTD = c.ttdSum / time.Duration(c.digests)
+	}
+	return st
+}
+
 // MeanTTD returns the mean time-to-detection across digests.
 func (c *Controller) MeanTTD() time.Duration {
 	c.mu.Lock()

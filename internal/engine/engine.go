@@ -53,6 +53,7 @@ import (
 	"splidt/internal/flow"
 	"splidt/internal/metrics"
 	"splidt/internal/pkt"
+	"splidt/internal/telemetry/flight"
 )
 
 // Source yields packets in global arrival order. trace.Stream implements it
@@ -134,6 +135,14 @@ type Config struct {
 	// watchdog, which marks shards degraded when a full interval passes with
 	// input queued but no burst completed (Session.Health). Default 20ms.
 	WatchdogInterval time.Duration
+	// FlightRecorder is the per-shard flight-recorder depth in events
+	// (internal/telemetry/flight), rounded up to a power of two. The
+	// recorder logs burst boundaries, sweep reclaims, eviction batches,
+	// epoch adoptions, watchdog flags, and quarantines; Engine.FlightLog
+	// snapshots it live, and a shard panic dumps it into
+	// ShardPanicError.Postmortem. 0 selects flight.DefaultDepth (256);
+	// negative disables recording entirely.
+	FlightRecorder int
 }
 
 // Result is one engine run's (or closed session's) merged output.
@@ -225,6 +234,12 @@ type shardState struct {
 	// the shard's replica currently runs.
 	pendingDep atomic.Pointer[deployment]
 	epoch      atomic.Uint64
+
+	// rec is the shard's flight recorder (nil when disabled by config).
+	// Written by the worker at burst/sweep/evict/adopt boundaries and —
+	// rarely — by the session watchdog and the panic fence; the ring's
+	// fetch-add claim keeps those safe without locking the worker.
+	rec *flight.Ring
 }
 
 // evict enqueues a controller-initiated slot reclaim for the worker to
@@ -237,11 +252,11 @@ func (s *shardState) evict(k flow.Key) {
 }
 
 // drainEvictions applies every queued eviction to the shard's pipeline.
-// Worker-only. Returns whether it reclaimed at least one slot (so the
-// caller knows to publish a fresh snapshot).
-func (s *shardState) drainEvictions() bool {
+// Worker-only. Returns how many slots it reclaimed (so the caller knows to
+// publish a fresh snapshot when the count is non-zero).
+func (s *shardState) drainEvictions() int {
 	if s.evictN.Load() == 0 {
-		return false
+		return 0
 	}
 	s.evictMu.Lock()
 	keys := append(s.evictScratch[:0], s.evictQ...)
@@ -249,11 +264,14 @@ func (s *shardState) drainEvictions() bool {
 	s.evictN.Store(0)
 	s.evictMu.Unlock()
 	s.evictScratch = keys[:0]
-	freed := false
+	freed := 0
 	for _, k := range keys {
 		if s.pl.Evict(k) {
-			freed = true
+			freed++
 		}
+	}
+	if freed > 0 && s.rec != nil {
+		s.rec.Record(flight.KindEvict, s.sweepNow, int64(freed), int64(len(keys)))
 	}
 	return freed
 }
@@ -314,6 +332,9 @@ func New(cfg Config) (*Engine, error) {
 			pl: pl,
 			in: newMPSCRing(cfg.Queue),
 		}
+		if cfg.FlightRecorder >= 0 {
+			s.rec = flight.New(cfg.FlightRecorder)
+		}
 		s.pub.Store(&shardPub{})
 		e.shards[i] = s
 	}
@@ -343,6 +364,18 @@ func (e *Engine) TableCap() int {
 		n += s.pl.TableCap()
 	}
 	return n
+}
+
+// FlightLog snapshots a shard's flight-recorder ring: the last events (up
+// to the configured depth) its worker, the session watchdog, and — on
+// panic — the quarantine fence recorded. Lock-free and safe at any time,
+// including mid-session; every returned event is internally consistent.
+// Returns nil when the recorder is disabled or the shard is out of range.
+func (e *Engine) FlightLog(shard int) []flight.Event {
+	if shard < 0 || shard >= len(e.shards) || e.shards[shard].rec == nil {
+		return nil
+	}
+	return e.shards[shard].rec.Snapshot(nil)
 }
 
 // runChunk is the batch size Run uses when feeding a generic Source through
@@ -428,7 +461,7 @@ func (s *shardState) work(sess *Session, shard int) {
 				}
 				// Apply evictions while idle so a controller block frees
 				// register state even when no traffic is flowing.
-				if s.drainEvictions() {
+				if s.drainEvictions() > 0 {
 					s.publish()
 				}
 				// Spin briefly, then sleep: a live session can sit idle for
@@ -471,11 +504,24 @@ func (s *shardState) work(sess *Session, shard int) {
 // whether the burst completed normally.
 func (s *shardState) processBurst(sess *Session, shard int, b *burst) (ok bool) {
 	i := 0
+	if s.rec != nil {
+		s.rec.Record(flight.KindBurstStart, s.sweepNow, int64(len(b.pkts)), int64(s.epoch.Load()))
+	}
 	defer func() {
 		if r := recover(); r != nil {
-			sess.recordFault(&ShardPanicError{Shard: shard, Value: r, Stack: debug.Stack()})
+			dropped := int64(len(b.pkts) - i)
+			var pm []flight.Event
+			if s.rec != nil {
+				// Record the quarantine itself, then freeze the shard's last
+				// moments into the fault report: the postmortem every
+				// ShardPanicError ships instead of losing them with the
+				// goroutine.
+				s.rec.Record(flight.KindQuarantine, s.sweepNow, dropped, 0)
+				pm = s.rec.Snapshot(nil)
+			}
+			sess.recordFault(&ShardPanicError{Shard: shard, Value: r, Stack: debug.Stack(), Postmortem: pm})
 			s.health.Store(int32(ShardQuarantined))
-			s.quarDrops.Add(int64(len(b.pkts) - i))
+			s.quarDrops.Add(dropped)
 			b.pkts = b.pkts[:0]
 			b.home.push(b)
 			s.publish()
@@ -520,22 +566,28 @@ func (s *shardState) processBurst(sess *Session, shard int, b *burst) (ok bool) 
 			}
 		}
 	}
-	if n := len(b.pkts); n > 0 {
+	npkts := len(b.pkts)
+	if npkts > 0 {
 		// Drive flow-table ageing from packet time, never wall clock:
 		// one bounded sweep stripe per burst keeps the reclaim cost
 		// amortised O(1) per packet and the schedule deterministic for
 		// a given burst sequence. The clock is monotone across replayed
 		// waves (a re-streamed trace restarts at time zero).
-		if ts := b.pkts[n-1].TS; ts > s.sweepNow {
+		if ts := b.pkts[npkts-1].TS; ts > s.sweepNow {
 			s.sweepNow = ts
 		}
-		s.pl.Sweep(s.sweepNow)
+		if reclaimed := s.pl.Sweep(s.sweepNow); reclaimed > 0 && s.rec != nil {
+			s.rec.Record(flight.KindSweep, s.sweepNow, int64(reclaimed), 0)
+		}
 	}
 	b.pkts = b.pkts[:0]
 	b.home.push(b)
 	s.lastTS.Store(int64(s.sweepNow))
 	s.progress.Add(1)
 	s.publish()
+	if s.rec != nil {
+		s.rec.Record(flight.KindBurstEnd, s.sweepNow, int64(npkts), int64(s.pub.Load().stats.Digests))
+	}
 	return true
 }
 
@@ -578,6 +630,9 @@ func (s *shardState) adopt(dep *deployment) {
 	s.pendingDep.CompareAndSwap(dep, nil)
 	s.pl.Redeploy(dep.model, dep.compiled, dep.epoch)
 	s.epoch.Store(dep.epoch)
+	if s.rec != nil {
+		s.rec.Record(flight.KindAdopt, s.sweepNow, int64(dep.epoch), 0)
+	}
 	s.publish()
 }
 

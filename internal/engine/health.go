@@ -8,6 +8,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"splidt/internal/telemetry/flight"
 )
 
 // Session lifecycle fault errors. Both surface through Session.Err and wrap
@@ -33,6 +35,12 @@ type ShardPanicError struct {
 	Shard int    // the quarantined shard
 	Value any    // the recovered panic value
 	Stack []byte // the panicking goroutine's stack
+	// Postmortem is the shard's flight-recorder snapshot taken inside the
+	// panic fence: the last ~Config.FlightRecorder events (burst
+	// boundaries, sweep reclaims, eviction batches, epoch adoptions,
+	// watchdog flags) preceding the fault, ending with the quarantine
+	// event itself. Empty when the recorder is disabled.
+	Postmortem []flight.Event
 }
 
 // Error implements error.
@@ -164,9 +172,13 @@ func (s *Session) watchdog(interval time.Duration) {
 				p := sh.progress.Load()
 				switch {
 				case p != last[i]:
-					sh.health.CompareAndSwap(int32(ShardDegraded), int32(ShardRunning))
+					if sh.health.CompareAndSwap(int32(ShardDegraded), int32(ShardRunning)) && sh.rec != nil {
+						sh.rec.Record(flight.KindWatchdog, time.Duration(sh.lastTS.Load()), 0, 0)
+					}
 				case sh.in.backlog() > 0:
-					sh.health.CompareAndSwap(int32(ShardRunning), int32(ShardDegraded))
+					if sh.health.CompareAndSwap(int32(ShardRunning), int32(ShardDegraded)) && sh.rec != nil {
+						sh.rec.Record(flight.KindWatchdog, time.Duration(sh.lastTS.Load()), 1, 0)
+					}
 				}
 				last[i] = p
 			}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"splidt/internal/core"
+	"splidt/internal/dataplane"
 	"splidt/internal/engine"
 	"splidt/internal/flow"
 	"splidt/internal/pkt"
@@ -87,6 +88,11 @@ type Config struct {
 	// phase sets Redeploy; called once per such phase, from the harness's
 	// redeploy goroutine, while the feeders are live.
 	Redeploy func() (*core.Model, *rangemark.Compiled, error)
+	// OnSession, when non-nil, is called with the harness's session right
+	// after it starts, before any phase runs — the hook the telemetry
+	// management plane uses to bind /metrics and /healthz to the live run
+	// (the session does not exist until Run is underway).
+	OnSession func(*engine.Session)
 }
 
 // PhaseReport is one phase's measurements. Counters are deltas over the
@@ -115,6 +121,12 @@ type PhaseReport struct {
 	Evictions    int64 // flow-table slots reclaimed (sweep + Block/Evict)
 	Rejects      int64 // packets the flow table refused state for
 	Births       int64 // flow rebirths across generators (churn mode)
+
+	// WheelExpiries counts flows reclaimed by timer-wheel expiry this
+	// phase; WheelCascades counts wheel nodes re-filed to a finer level
+	// (summed over levels). Both 0 under sweep-mode expiry.
+	WheelExpiries int64
+	WheelCascades int64
 
 	ActiveFlows  int     // live flow-table entries at phase end
 	Occupancy    float64 // ActiveFlows / table capacity
@@ -216,6 +228,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		for range s.Digests() {
 		}
 	}()
+	if cfg.OnSession != nil {
+		cfg.OnSession(s)
+	}
 
 	rep := &Report{
 		Feeders:  cfg.Feeders,
@@ -306,26 +321,28 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			}
 		}
 		pr := PhaseReport{
-			Name:         ph.Name,
-			Packets:      snap.Fed - prevSnap.Fed,
-			Elapsed:      elapsed,
-			Offered:      rate,
-			LatencyCount: phaseLat.Count(),
-			P50:          phaseLat.QuantileDur(0.50),
-			P99:          phaseLat.QuantileDur(0.99),
-			P999:         phaseLat.QuantileDur(0.999),
-			Max:          time.Duration(phaseLat.Max()),
-			Digests:      int64(snap.Stats.Digests - prevSnap.Stats.Digests),
-			Dropped:      snap.Dropped - prevSnap.Dropped,
-			Backpressure: snap.Backpressure - prevSnap.Backpressure,
-			Evictions:    int64(snap.Stats.Evictions - prevSnap.Stats.Evictions),
-			Rejects:      int64(snap.Stats.Collisions - prevSnap.Stats.Collisions),
-			Births:       births - prevBirths,
-			ActiveFlows:  snap.ActiveFlows,
-			StashedFlows: snap.StashedFlows,
-			BlockedFlows: snap.BlockedFlows,
-			Redeploys:    phaseSwapped,
-			Epoch:        liveEpoch,
+			Name:          ph.Name,
+			Packets:       snap.Fed - prevSnap.Fed,
+			Elapsed:       elapsed,
+			Offered:       rate,
+			LatencyCount:  phaseLat.Count(),
+			P50:           phaseLat.QuantileDur(0.50),
+			P99:           phaseLat.QuantileDur(0.99),
+			P999:          phaseLat.QuantileDur(0.999),
+			Max:           time.Duration(phaseLat.Max()),
+			Digests:       int64(snap.Stats.Digests - prevSnap.Stats.Digests),
+			Dropped:       snap.Dropped - prevSnap.Dropped,
+			Backpressure:  snap.Backpressure - prevSnap.Backpressure,
+			Evictions:     int64(snap.Stats.Evictions - prevSnap.Stats.Evictions),
+			Rejects:       int64(snap.Stats.Collisions - prevSnap.Stats.Collisions),
+			Births:        births - prevBirths,
+			WheelExpiries: int64(snap.Stats.WheelExpiries - prevSnap.Stats.WheelExpiries),
+			WheelCascades: sumCascades(snap.Stats) - sumCascades(prevSnap.Stats),
+			ActiveFlows:   snap.ActiveFlows,
+			StashedFlows:  snap.StashedFlows,
+			BlockedFlows:  snap.BlockedFlows,
+			Redeploys:     phaseSwapped,
+			Epoch:         liveEpoch,
 		}
 		if elapsed > 0 {
 			pr.PktsPerSec = float64(pr.Packets) / elapsed.Seconds()
@@ -364,6 +381,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		total.Evictions += pr.Evictions
 		total.Rejects += pr.Rejects
 		total.Births += pr.Births
+		total.WheelExpiries += pr.WheelExpiries
+		total.WheelCascades += pr.WheelCascades
 		total.Redeploys += pr.Redeploys
 		if pr.Lag > total.Lag {
 			total.Lag = pr.Lag
@@ -483,10 +502,23 @@ func (pr PhaseReport) String() string {
 		pr.P50, pr.P99, pr.P999, pr.Max, 100*pr.Occupancy, pr.ActiveFlows,
 		pr.StashedFlows, pr.Dropped, pr.Backpressure, pr.Evictions,
 		pr.Rejects, pr.Births, pr.BlockedFlows)
+	if pr.WheelExpiries > 0 || pr.WheelCascades > 0 {
+		s += fmt.Sprintf(" wheel=%d(casc %d)", pr.WheelExpiries, pr.WheelCascades)
+	}
 	if pr.Redeploys > 0 {
 		s += fmt.Sprintf(" redeploy=%d(epoch %d)", pr.Redeploys, pr.Epoch)
 	}
 	return s
+}
+
+// sumCascades collapses the per-level cascade counters into one scalar
+// for phase reporting; /metrics keeps the per-level breakdown.
+func sumCascades(st dataplane.Stats) int64 {
+	var n int64
+	for _, c := range st.WheelCascades {
+		n += int64(c)
+	}
+	return n
 }
 
 var _ engine.Source = (*ChurnGen)(nil)

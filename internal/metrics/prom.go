@@ -1,0 +1,95 @@
+package metrics
+
+// Prometheus text-exposition encoding for Hist. The 1888 internal log-linear
+// buckets are far finer than a scrape should ship, so WriteProm projects the
+// histogram onto a small caller-chosen `le` ladder (cumulative counts are
+// exact at every ladder edge up to the histogram's own ≈3.1% bucket
+// quantisation) and emits the standard _bucket/_sum/_count triple plus a
+// companion quantile-gauge family — the p50/p99/p999 the harness already
+// reports, queryable without PromQL histogram_quantile reconstruction error.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// PromDefaultBuckets is the default `le` ladder for nanosecond-valued
+// latency histograms: powers of four from 1µs to 4s (then +Inf), covering
+// sub-microsecond digest paths through multi-second stalls in 12 buckets.
+var PromDefaultBuckets = []time.Duration{
+	time.Microsecond, 4 * time.Microsecond, 16 * time.Microsecond,
+	64 * time.Microsecond, 256 * time.Microsecond,
+	time.Millisecond, 4 * time.Millisecond, 16 * time.Millisecond,
+	64 * time.Millisecond, 256 * time.Millisecond,
+	time.Second, 4 * time.Second,
+}
+
+// Cumulative returns the number of recorded observations whose bucket's
+// upper bound is ≤ v — the exact count for any v that is a bucket edge,
+// and a ≤3.1%-rank-conservative count otherwise. Safe against concurrent
+// Record (the result trails racing writers, as all Hist reads do).
+func (h *Hist) Cumulative(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	idx := histIndex(v)
+	if histUpper(idx) > v {
+		idx--
+	}
+	var n int64
+	for i := 0; i <= idx; i++ {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// WriteProm renders the histogram as one Prometheus histogram family named
+// name: `name_bucket{...,le="..."}` lines over the given upper-bound
+// ladder (plus +Inf), then `name_sum` and `name_count`. Observations are
+// taken to be nanoseconds and rendered in seconds, the Prometheus base
+// unit. labels ("" or `shard="3"`-style pairs without braces) are applied
+// to every sample, so per-shard histograms share a family. The caller owns
+// the `# TYPE` header — it must appear once per family, not once per
+// label set.
+func (h *Hist) WriteProm(w io.Writer, name, labels string, uppers []time.Duration) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for _, u := range uppers {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n",
+			name, labels, sep, formatSeconds(float64(u)/1e9), h.Cumulative(int64(u)))
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count())
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatSeconds(float64(h.sum.Load())/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+}
+
+// WriteQuantiles renders the companion gauge family: the histogram's own
+// p50/p99/p999 upper bounds in seconds as `name{...,quantile="..."}`
+// samples (the classic summary shape, but computed from the mergeable
+// histogram, not a streaming sketch).
+func (h *Hist) WriteQuantiles(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for _, q := range [...]struct {
+		tag string
+		v   float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
+		fmt.Fprintf(w, "%s{%s%squantile=%q} %s\n",
+			name, labels, sep, q.tag, formatSeconds(float64(h.Quantile(q.v))/1e9))
+	}
+}
+
+// formatSeconds renders a float the shortest way that round-trips —
+// Prometheus clients parse either fixed or scientific notation.
+func formatSeconds(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

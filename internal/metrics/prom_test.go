@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCumulative(t *testing.T) {
+	h := &Hist{}
+	vals := []int64{0, 1, 5, 999, 1000, 1001, 50_000, 4_000_000_000}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	brute := func(v int64) int64 {
+		var n int64
+		for _, x := range vals {
+			if x <= v {
+				n++
+			}
+		}
+		return n
+	}
+	// At exact internal bucket edges the projection is exact; elsewhere it
+	// may undercount by at most the values quantised into v's own bucket.
+	for _, v := range []int64{0, 1, 5, 31, 999, 1001, 1_000_000, int64(4 * time.Second)} {
+		got := h.Cumulative(v)
+		want := brute(v)
+		if got > want {
+			t.Errorf("Cumulative(%d) = %d overcounts (brute %d)", v, got, want)
+		}
+		if got < brute(v-v/16-1) { // 2^-histSubBits relative slack
+			t.Errorf("Cumulative(%d) = %d undercounts past bucket error (brute %d)", v, got, want)
+		}
+	}
+	if got := h.Cumulative(-5); got != 0 {
+		t.Errorf("Cumulative(-5) = %d, want 0", got)
+	}
+	if got := h.Cumulative(1 << 62); got != int64(len(vals)) {
+		t.Errorf("Cumulative(max) = %d, want %d", got, len(vals))
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	h := &Hist{}
+	h.RecordDur(3 * time.Microsecond)
+	h.RecordDur(50 * time.Microsecond)
+	h.RecordDur(2 * time.Millisecond)
+
+	var buf bytes.Buffer
+	h.WriteProm(&buf, "splidt_digest_latency_seconds", `shard="0"`, PromDefaultBuckets)
+	out := buf.String()
+
+	if !strings.Contains(out, `splidt_digest_latency_seconds_bucket{shard="0",le="+Inf"} 3`) {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `splidt_digest_latency_seconds_bucket{shard="0",le="4e-06"} 1`) {
+		t.Errorf("missing 4µs bucket with count 1:\n%s", out)
+	}
+	if !strings.Contains(out, `splidt_digest_latency_seconds_count{shard="0"} 3`) {
+		t.Errorf("missing _count:\n%s", out)
+	}
+	if !strings.Contains(out, `splidt_digest_latency_seconds_sum{shard="0"} `) {
+		t.Errorf("missing _sum:\n%s", out)
+	}
+
+	// Bucket counts must be monotone non-decreasing down the ladder.
+	re := regexp.MustCompile(`_bucket\{[^}]*\} (\d+)`)
+	prev := int64(-1)
+	for _, m := range re.FindAllStringSubmatch(out, -1) {
+		n, err := strconv.ParseInt(m[1], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Fatalf("non-monotone bucket counts:\n%s", out)
+		}
+		prev = n
+	}
+
+	// No labels: samples must not render an empty {} pair on _sum/_count,
+	// and bucket lines must carry only le.
+	buf.Reset()
+	h.WriteProm(&buf, "m", "", PromDefaultBuckets[:2])
+	out = buf.String()
+	for _, want := range []string{`m_bucket{le="1e-06"} 0`, "m_sum ", "m_count 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("unlabelled output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteQuantiles(t *testing.T) {
+	h := &Hist{}
+	for i := 0; i < 1000; i++ {
+		h.RecordDur(time.Duration(i) * time.Microsecond)
+	}
+	var buf bytes.Buffer
+	h.WriteQuantiles(&buf, "splidt_digest_latency", `shard="1"`)
+	out := buf.String()
+	for _, q := range []string{"0.5", "0.99", "0.999"} {
+		if !strings.Contains(out, `splidt_digest_latency{shard="1",quantile="`+q+`"} `) {
+			t.Errorf("missing quantile %s:\n%s", q, out)
+		}
+	}
+	if n := strings.Count(out, "\n"); n != 3 {
+		t.Errorf("quantile family has %d lines, want 3:\n%s", n, out)
+	}
+}

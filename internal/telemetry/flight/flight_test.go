@@ -1,0 +1,134 @@
+package flight
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDepthRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultDepth}, {-3, DefaultDepth}, {1, 1}, {2, 2}, {3, 4},
+		{255, 256}, {256, 256}, {257, 512},
+	} {
+		if got := New(tc.in).Depth(); got != tc.want {
+			t.Errorf("New(%d).Depth() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestOverwriteOldest(t *testing.T) {
+	r := New(8)
+	for i := 1; i <= 20; i++ {
+		r.Record(KindBurstStart, time.Duration(i), int64(i), int64(-i))
+	}
+	evs := r.Snapshot(nil)
+	if len(evs) != 8 {
+		t.Fatalf("snapshot has %d events, want 8", len(evs))
+	}
+	for j, ev := range evs {
+		want := uint64(13 + j) // last 8 of 20
+		if ev.Seq != want {
+			t.Errorf("event %d: seq %d, want %d", j, ev.Seq, want)
+		}
+		if ev.Kind != KindBurstStart || ev.A != int64(ev.Seq) || ev.B != -int64(ev.Seq) || ev.TS != time.Duration(ev.Seq) {
+			t.Errorf("event %d decoded inconsistently: %+v", j, ev)
+		}
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	r := New(4)
+	if evs := r.Snapshot(nil); len(evs) != 0 {
+		t.Fatalf("empty ring snapshot returned %d events", len(evs))
+	}
+}
+
+func TestSnapshotReusesBuffer(t *testing.T) {
+	r := New(4)
+	r.Record(KindSweep, 1, 2, 3)
+	buf := make([]Event, 0, 8)
+	evs := r.Snapshot(buf)
+	if len(evs) != 1 || cap(evs) != 8 {
+		t.Fatalf("snapshot into recycled buffer: len=%d cap=%d", len(evs), cap(evs))
+	}
+}
+
+// TestConcurrentSnapshot hammers one writer against one reader; every
+// event a snapshot returns must be internally consistent (payload derived
+// from its seq), pinning the invalidate/publish protocol under -race.
+func TestConcurrentSnapshot(t *testing.T) {
+	r := New(16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(1); i <= 50000; i++ {
+			r.Record(KindBurstEnd, time.Duration(i), int64(i), int64(2*i))
+		}
+	}()
+	var buf []Event
+	for {
+		buf = r.Snapshot(buf[:0])
+		for _, ev := range buf {
+			if ev.Kind != KindBurstEnd || ev.A != int64(ev.Seq) || ev.B != 2*int64(ev.Seq) {
+				t.Fatalf("torn event escaped validation: %+v", ev)
+			}
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+// TestMultiWriter pins the fetch-add claim: concurrent writers (the shard
+// worker plus the watchdog, in the engine) never lose or duplicate
+// positions.
+func TestMultiWriter(t *testing.T) {
+	r := New(64)
+	const writers, per = 4, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record(KindWatchdog, 0, 1, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.cur.Load(); got != writers*per {
+		t.Fatalf("cursor at %d after %d records", got, writers*per)
+	}
+	evs := r.Snapshot(nil)
+	if len(evs) != 64 {
+		t.Fatalf("snapshot has %d events, want full ring 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs after quiescence: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNone: "none", KindBurstStart: "burst-start", KindQuarantine: "quarantine",
+		Kind(200): "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestRecordAllocFree(t *testing.T) {
+	r := New(8)
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Record(KindBurstStart, 1, 2, 3)
+	}); n != 0 {
+		t.Fatalf("Record allocates %v per call", n)
+	}
+}

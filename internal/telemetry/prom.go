@@ -1,0 +1,165 @@
+package telemetry
+
+// The /metrics writers. Each counter-struct writer is annotated
+// //splidt:stats-complete, extending the statsmerge analyzer's merge
+// contract to the telemetry export: adding a field to dataplane.Stats,
+// engine.Snapshot, engine.ShardHealth, or controller.Stats without
+// exporting it here fails `make vet` — the scrape can never silently
+// trail the counter set.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"splidt/internal/controller"
+	"splidt/internal/dataplane"
+	"splidt/internal/engine"
+	"splidt/internal/metrics"
+)
+
+// typeHeader is the unconditional family metadata, written once per
+// scrape. Conditional families (latency, controller, rates) write their
+// own headers next to their samples.
+const typeHeader = `# TYPE splidt_packets_total counter
+# TYPE splidt_control_packets_total counter
+# TYPE splidt_digests_total counter
+# TYPE splidt_collisions_total counter
+# TYPE splidt_recirc_bytes_total counter
+# TYPE splidt_evictions_total counter
+# TYPE splidt_kicks_total counter
+# TYPE splidt_stash_inserts_total counter
+# TYPE splidt_wheel_expiries_total counter
+# TYPE splidt_wheel_cascades_total counter
+# TYPE splidt_shards gauge
+# TYPE splidt_table_slots gauge
+# TYPE splidt_table_occupancy_ratio gauge
+`
+
+// writeStats emits every dataplane.Stats counter under one label set
+// (`shard="K"` per shard, `shard="all"` for the session merge — sum the
+// per-shard series, not the family, when aggregating in PromQL).
+//
+//splidt:stats-complete dataplane.Stats
+func writeStats(w io.Writer, labels string, st dataplane.Stats) {
+	fmt.Fprintf(w, "splidt_packets_total{%s} %d\n", labels, st.Packets)
+	fmt.Fprintf(w, "splidt_control_packets_total{%s} %d\n", labels, st.ControlPackets)
+	fmt.Fprintf(w, "splidt_digests_total{%s} %d\n", labels, st.Digests)
+	fmt.Fprintf(w, "splidt_collisions_total{%s} %d\n", labels, st.Collisions)
+	fmt.Fprintf(w, "splidt_recirc_bytes_total{%s} %d\n", labels, st.RecircBytes)
+	fmt.Fprintf(w, "splidt_evictions_total{%s} %d\n", labels, st.Evictions)
+	fmt.Fprintf(w, "splidt_kicks_total{%s} %d\n", labels, st.Kicks)
+	fmt.Fprintf(w, "splidt_stash_inserts_total{%s} %d\n", labels, st.StashInserts)
+	fmt.Fprintf(w, "splidt_wheel_expiries_total{%s} %d\n", labels, st.WheelExpiries)
+	for lvl, n := range st.WheelCascades {
+		// Cascades re-file from level lvl+1 down to lvl — label by source.
+		fmt.Fprintf(w, "splidt_wheel_cascades_total{%s,level=\"%d\"} %d\n", labels, lvl+1, n)
+	}
+}
+
+// writeSnapshot emits the session-level view: per-shard Stats families,
+// the shard="all" merge, and every session counter/gauge.
+//
+//splidt:stats-complete engine.Snapshot
+func writeSnapshot(w io.Writer, snap engine.Snapshot) {
+	for i := range snap.PerShard {
+		writeStats(w, `shard="`+strconv.Itoa(i)+`"`, snap.PerShard[i])
+	}
+	writeStats(w, `shard="all"`, snap.Stats)
+	fmt.Fprintf(w, "# TYPE splidt_active_flows gauge\nsplidt_active_flows %d\n", snap.ActiveFlows)
+	fmt.Fprintf(w, "# TYPE splidt_fed_packets_total counter\nsplidt_fed_packets_total %d\n", snap.Fed)
+	fmt.Fprintf(w, "# TYPE splidt_dropped_packets_total counter\nsplidt_dropped_packets_total %d\n", snap.Dropped)
+	fmt.Fprintf(w, "# TYPE splidt_backpressure_total counter\nsplidt_backpressure_total %d\n", snap.Backpressure)
+	fmt.Fprintf(w, "# TYPE splidt_blocked_flows gauge\nsplidt_blocked_flows %d\n", snap.BlockedFlows)
+	fmt.Fprintf(w, "# TYPE splidt_stashed_flows gauge\nsplidt_stashed_flows %d\n", snap.StashedFlows)
+	fmt.Fprintf(w, "# TYPE splidt_quarantine_dropped_total counter\nsplidt_quarantine_dropped_total %d\n", snap.QuarantineDropped)
+	fmt.Fprintf(w, "# TYPE splidt_discarded_staged_total counter\nsplidt_discarded_staged_total %d\n", snap.DiscardedStaged)
+}
+
+// writeShardHealth emits one shard's health gauges. The numeric state
+// follows engine.HealthState (0 running, 1 degraded, 2 quarantined).
+//
+//splidt:stats-complete engine.ShardHealth
+func writeShardHealth(w io.Writer, shard int, sh engine.ShardHealth) {
+	labels := `shard="` + strconv.Itoa(shard) + `"`
+	fmt.Fprintf(w, "splidt_shard_state{%s} %d\n", labels, int32(sh.State))
+	fmt.Fprintf(w, "splidt_shard_last_progress_seconds{%s} %s\n", labels,
+		strconv.FormatFloat(sh.LastProgress.Seconds(), 'g', -1, 64))
+	fmt.Fprintf(w, "splidt_shard_backlog{%s} %d\n", labels, sh.Backlog)
+	fmt.Fprintf(w, "splidt_shard_quarantine_dropped{%s} %d\n", labels, sh.Dropped)
+	fmt.Fprintf(w, "splidt_shard_epoch{%s} %d\n", labels, sh.Epoch)
+}
+
+// writeController emits the controller's verdict counters — the
+// detect→block loop's observable half.
+//
+//splidt:stats-complete controller.Stats
+func writeController(w io.Writer, cs controller.Stats) {
+	fmt.Fprintf(w, "# TYPE splidt_controller_digests_total counter\nsplidt_controller_digests_total %d\n", cs.Digests)
+	fmt.Fprintf(w, "# TYPE splidt_controller_flows gauge\nsplidt_controller_flows %d\n", cs.Flows)
+	fmt.Fprintf(w, "# TYPE splidt_controller_verdicts_total counter\n")
+	fmt.Fprintf(w, "splidt_controller_verdicts_total{action=\"allow\"} %d\n", cs.Allowed)
+	fmt.Fprintf(w, "splidt_controller_verdicts_total{action=\"block\"} %d\n", cs.Blocked)
+	fmt.Fprintf(w, "splidt_controller_verdicts_total{action=\"mirror\"} %d\n", cs.Mirrored)
+	fmt.Fprintf(w, "# TYPE splidt_controller_mean_ttd_seconds gauge\nsplidt_controller_mean_ttd_seconds %s\n",
+		strconv.FormatFloat(cs.MeanTTD.Seconds(), 'g', -1, 64))
+}
+
+// writeMetrics assembles the whole exposition.
+func (s *Server) writeMetrics(w io.Writer) {
+	io.WriteString(w, typeHeader)
+	fmt.Fprintf(w, "splidt_shards %d\n", s.eng.Shards())
+	tableCap := s.eng.TableCap()
+	fmt.Fprintf(w, "splidt_table_slots %d\n", tableCap)
+	active := s.eng.ActiveFlows()
+	occ := 0.0
+	if tableCap > 0 {
+		occ = float64(active) / float64(tableCap)
+	}
+	fmt.Fprintf(w, "splidt_table_occupancy_ratio %s\n", strconv.FormatFloat(occ, 'g', -1, 64))
+
+	sess := s.session()
+	up := 0
+	if sess != nil {
+		h := sess.Health()
+		if h.Err == nil {
+			up = 1
+		}
+		fmt.Fprintf(w, "# TYPE splidt_shard_state gauge\n# TYPE splidt_shard_last_progress_seconds gauge\n# TYPE splidt_shard_backlog gauge\n# TYPE splidt_shard_quarantine_dropped gauge\n# TYPE splidt_shard_epoch gauge\n")
+		for i, sh := range h.Shards {
+			writeShardHealth(w, i, sh)
+		}
+		writeSnapshot(w, sess.Snapshot())
+		if lat := sess.DigestLatency(); lat != nil {
+			fmt.Fprintf(w, "# TYPE splidt_digest_latency_seconds histogram\n")
+			lat.WriteProm(w, "splidt_digest_latency_seconds", "", metrics.PromDefaultBuckets)
+			fmt.Fprintf(w, "# TYPE splidt_digest_latency_quantile_seconds gauge\n")
+			lat.WriteQuantiles(w, "splidt_digest_latency_quantile_seconds", "")
+		}
+	}
+	fmt.Fprintf(w, "# TYPE splidt_up gauge\nsplidt_up %d\n", up)
+
+	if c := s.ctrl.Load(); c != nil {
+		writeController(w, c.Stats())
+	}
+	if smp, ok := s.smp.last(); ok {
+		fmt.Fprintf(w, "# TYPE splidt_pkts_per_second gauge\nsplidt_pkts_per_second %s\n",
+			strconv.FormatFloat(smp.PktsPerSec, 'g', -1, 64))
+		fmt.Fprintf(w, "# TYPE splidt_digests_per_second gauge\nsplidt_digests_per_second %s\n",
+			strconv.FormatFloat(smp.DigestsPerSec, 'g', -1, 64))
+		fmt.Fprintf(w, "# TYPE splidt_evictions_per_second gauge\nsplidt_evictions_per_second %s\n",
+			strconv.FormatFloat(smp.EvictionsPerSec, 'g', -1, 64))
+		fmt.Fprintf(w, "# TYPE splidt_feed_lag_packets gauge\nsplidt_feed_lag_packets %d\n", smp.Lag)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Build the page before writing: a panic mid-exposition must not leak
+	// a truncated 200 to the scraper.
+	var buf bytes.Buffer
+	s.writeMetrics(&buf)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}

@@ -1,0 +1,250 @@
+// Package telemetry is the engine's live management plane: a stdlib-only
+// HTTP server exposing the running session's counters, health, and flight
+// recorders while traffic flows.
+//
+// Endpoints:
+//
+//	/metrics         Prometheus text exposition — every dataplane.Stats and
+//	                 engine.Snapshot counter (per-shard labels plus the
+//	                 shard="all" merge), shard health/epoch gauges, flow-table
+//	                 occupancy, the digest-latency histogram as cumulative
+//	                 buckets + quantile gauges, controller verdict counters,
+//	                 and sampler-derived rates (pkts/s, evictions/s, lag).
+//	/healthz         Session.Health() as JSON; HTTP 503 when any shard is
+//	                 degraded or quarantined (or no session is bound), so the
+//	                 endpoint doubles as a load-balancer health probe.
+//	/flightrecorder  JSON dump of the per-shard flight-recorder rings
+//	                 (?shard=K for one shard), the live view of what each
+//	                 worker was just doing.
+//	/series          The sampler's bounded time series as JSON.
+//	/debug/pprof/    Standard pprof handlers.
+//
+// All reads go through the engine's published-snapshot surfaces
+// (Session.Snapshot, Session.Health, Engine.FlightLog, the pub pointers) —
+// the server never touches worker-owned state, so scraping costs the hot
+// path nothing beyond the atomics it already pays.
+//
+// Sessions come and go while the server stays up (the loadgen harness
+// starts its session after the listener is bound), so the bound session is
+// an atomic pointer: Serve with Config.Session, or bind later with
+// SetSession.
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"splidt/internal/controller"
+	"splidt/internal/engine"
+	"splidt/internal/telemetry/flight"
+
+	"sync/atomic"
+)
+
+// Config wires the server to the subsystems it exports.
+type Config struct {
+	// Engine is required: shard count, table capacity, flight recorders.
+	Engine *engine.Engine
+	// Session, when non-nil, is the session to export. Optional at Serve
+	// time — bind or rebind later with SetSession (the harness creates its
+	// session after the server is up).
+	Session *engine.Session
+	// Controller, when non-nil, adds the verdict counters (allow / block /
+	// mirror, mean TTD) to /metrics. Rebindable via SetController.
+	Controller *controller.Controller
+	// SampleInterval is the sampler's polling period. Default 1s.
+	SampleInterval time.Duration
+	// SeriesDepth bounds the sampler's ring of retained samples.
+	// Default 512.
+	SeriesDepth int
+}
+
+// Server is a running management-plane server. Construct with Serve.
+type Server struct {
+	eng  *engine.Engine
+	sess atomic.Pointer[engine.Session]
+	ctrl atomic.Pointer[controller.Controller]
+	smp  *sampler
+	ln   net.Listener
+	hs   *http.Server
+}
+
+// Serve binds addr (host:port; ":0" picks a free port, see Addr) and
+// starts serving the management plane in a background goroutine. The
+// caller owns the returned server and must Close it.
+func Serve(addr string, cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("telemetry: Config.Engine is required")
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = time.Second
+	}
+	if cfg.SeriesDepth <= 0 {
+		cfg.SeriesDepth = 512
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		eng: cfg.Engine,
+		smp: newSampler(cfg.SampleInterval, cfg.SeriesDepth),
+		ln:  ln,
+	}
+	if cfg.Session != nil {
+		s.sess.Store(cfg.Session)
+	}
+	if cfg.Controller != nil {
+		s.ctrl.Store(cfg.Controller)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/flightrecorder", s.handleFlightRecorder)
+	mux.HandleFunc("/series", s.handleSeries)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.hs = &http.Server{Handler: mux}
+	go func() {
+		// ErrServerClosed is the normal Close path; anything else already
+		// surfaced to clients as failed requests.
+		_ = s.hs.Serve(ln)
+	}()
+	go s.smp.run(s)
+	return s, nil
+}
+
+// Addr returns the bound listen address — the resolved port when Serve was
+// given ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetSession binds (or rebinds) the session the server exports. Safe at
+// any time; a nil session unbinds (endpoints report no-session).
+func (s *Server) SetSession(sess *engine.Session) { s.sess.Store(sess) }
+
+// SetController binds (or rebinds) the controller whose verdict counters
+// /metrics exports.
+func (s *Server) SetController(c *controller.Controller) { s.ctrl.Store(c) }
+
+// Series returns the sampler's retained samples, oldest first.
+func (s *Server) Series() []Sample { return s.smp.series() }
+
+// Close stops the sampler and shuts the HTTP server down, closing the
+// listener. In-flight requests are aborted (this is a diagnostics plane,
+// not a draining proxy).
+func (s *Server) Close() error {
+	s.smp.close()
+	return s.hs.Close()
+}
+
+// session returns the currently bound session, nil when none.
+func (s *Server) session() *engine.Session { return s.sess.Load() }
+
+// healthzShard is one shard's entry in the /healthz body.
+type healthzShard struct {
+	Shard          int    `json:"shard"`
+	State          string `json:"state"`
+	LastProgressNS int64  `json:"last_progress_ns"`
+	Backlog        int    `json:"backlog"`
+	Dropped        int64  `json:"dropped"`
+	Epoch          uint64 `json:"epoch"`
+}
+
+// healthzResponse is the /healthz body: "ok" (200) only when a session is
+// bound, has no recorded fault, and every shard is running.
+type healthzResponse struct {
+	Status string         `json:"status"`
+	Error  string         `json:"error,omitempty"`
+	Shards []healthzShard `json:"shards,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	sess := s.session()
+	if sess == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(healthzResponse{Status: "no-session"})
+		return
+	}
+	h := sess.Health()
+	resp := healthzResponse{Status: "ok", Shards: make([]healthzShard, len(h.Shards))}
+	for i, sh := range h.Shards {
+		resp.Shards[i] = healthzShard{
+			Shard:          i,
+			State:          sh.State.String(),
+			LastProgressNS: int64(sh.LastProgress),
+			Backlog:        sh.Backlog,
+			Dropped:        sh.Dropped,
+			Epoch:          sh.Epoch,
+		}
+		if sh.State != engine.ShardRunning {
+			resp.Status = "degraded"
+		}
+	}
+	if h.Err != nil {
+		resp.Status = "degraded"
+		resp.Error = h.Err.Error()
+	}
+	if resp.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// frEvent is one flight-recorder event in the /flightrecorder body.
+type frEvent struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	TSNS int64  `json:"ts_ns"` // the shard's packet-time clock at the event
+	A    int64  `json:"a"`
+	B    int64  `json:"b"`
+}
+
+type frShard struct {
+	Shard  int       `json:"shard"`
+	Events []frEvent `json:"events"`
+}
+
+func frEvents(evs []flight.Event) []frEvent {
+	out := make([]frEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = frEvent{Seq: ev.Seq, Kind: ev.Kind.String(), TSNS: int64(ev.TS), A: ev.A, B: ev.B}
+	}
+	return out
+}
+
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if q := r.URL.Query().Get("shard"); q != "" {
+		shard, err := strconv.Atoi(q)
+		if err != nil || shard < 0 || shard >= s.eng.Shards() {
+			http.Error(w, "bad shard", http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(frShard{Shard: shard, Events: frEvents(s.eng.FlightLog(shard))})
+		return
+	}
+	all := struct {
+		Shards []frShard `json:"shards"`
+	}{Shards: make([]frShard, s.eng.Shards())}
+	for i := range all.Shards {
+		all.Shards[i] = frShard{Shard: i, Events: frEvents(s.eng.FlightLog(i))}
+	}
+	json.NewEncoder(w).Encode(all)
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		IntervalNS int64    `json:"interval_ns"`
+		Samples    []Sample `json:"samples"`
+	}{IntervalNS: int64(s.smp.interval), Samples: s.smp.series()})
+}

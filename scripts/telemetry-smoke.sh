@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Telemetry-plane smoke: drive a live loadgen run with the management
+# server bound, then scrape /healthz and /metrics and assert the
+# exposition carries real per-shard data. Pure curl + grep — no promtool
+# dependency — so it runs anywhere the CI image does.
+set -euo pipefail
+
+PORT="${SPLIDT_TELEMETRY_PORT:-19309}"
+ADDR="127.0.0.1:${PORT}"
+BIN="$(mktemp -d)/splidt-loadgen"
+LOG="$(mktemp)"
+PAGE="$(mktemp)"
+
+cleanup() {
+    [[ -n "${PID:-}" ]] && kill "$PID" 2>/dev/null || true
+    [[ -n "${PID:-}" ]] && wait "$PID" 2>/dev/null || true
+    rm -f "$LOG" "$PAGE"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/splidt-loadgen
+
+# A long unpaced steady phase: big enough that the run is still live while
+# we scrape, small enough to finish fast once we are done (the kill in
+# cleanup ends it early either way).
+"$BIN" -flows 20000 -feeders 2 -shards 2 -slots 65536 \
+    -phases "steady:30m" -telemetry "$ADDR" >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for /healthz to come up and report a live session (the harness
+# binds it via OnSession after engine start).
+for i in $(seq 1 100); do
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "loadgen exited early:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    if curl -sf "http://${ADDR}/healthz" | grep -q '"status":"ok"'; then
+        break
+    fi
+    if [[ "$i" == 100 ]]; then
+        echo "healthz never reported ok:" >&2
+        curl -s "http://${ADDR}/healthz" >&2 || true
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "healthz ok"
+
+curl -sf "http://${ADDR}/metrics" >"$PAGE"
+
+# Family presence: the core counter families, per-shard and merged.
+for re in \
+    '^# TYPE splidt_packets_total counter$' \
+    '^# TYPE splidt_digests_total counter$' \
+    '^# TYPE splidt_shard_state gauge$' \
+    '^splidt_packets_total\{shard="0"\} [0-9]+$' \
+    '^splidt_packets_total\{shard="1"\} [0-9]+$' \
+    '^splidt_packets_total\{shard="all"\} [0-9]+$' \
+    '^splidt_active_flows [0-9]+$' \
+    '^splidt_fed_packets_total [0-9]+$' \
+    '^splidt_shard_state\{shard="0"\} 0$' \
+    '^splidt_wheel_expiries_total\{shard="all"\} [0-9]+$' \
+    '^splidt_up 1$' \
+    '^splidt_digest_latency_seconds_count [0-9]+$' \
+; do
+    if ! grep -Eq "$re" "$PAGE"; then
+        echo "metrics page missing /$re/:" >&2
+        head -80 "$PAGE" >&2
+        exit 1
+    fi
+done
+
+# The session is live and fed: the merged packet counter must be > 0.
+pkts=$(grep -E '^splidt_packets_total\{shard="all"\} ' "$PAGE" | awk '{print $2}')
+if [[ "$pkts" -le 0 ]]; then
+    echo "no packets processed at scrape time" >&2
+    exit 1
+fi
+
+# Every non-comment line must parse as name{labels} value — the shape
+# Prometheus' text parser accepts (a malformed line poisons the whole
+# scrape, so one bad writer fails here, not in production).
+if grep -Ev '^#' "$PAGE" | grep -Evq '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$'; then
+    echo "unparseable exposition lines:" >&2
+    grep -Ev '^#' "$PAGE" | grep -Ev '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$' >&2
+    exit 1
+fi
+
+# The flight recorder is live on every shard of a healthy session.
+if ! curl -sf "http://${ADDR}/flightrecorder?shard=0" | grep -q '"kind"'; then
+    echo "flightrecorder returned no events for shard 0" >&2
+    exit 1
+fi
+
+echo "telemetry smoke ok: $pkts packets scraped live"

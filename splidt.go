@@ -97,6 +97,8 @@ import (
 	"splidt/internal/pkt"
 	"splidt/internal/rangemark"
 	"splidt/internal/resources"
+	"splidt/internal/telemetry"
+	"splidt/internal/telemetry/flight"
 	"splidt/internal/trace"
 )
 
@@ -484,3 +486,34 @@ type P4Generator = p4gen.Generator
 func NewP4Generator(m *Model, c *Compiled, opts P4Options) (*P4Generator, error) {
 	return p4gen.New(m, c, opts)
 }
+
+// TelemetryServer is the live management plane: a stdlib HTTP server
+// exposing /metrics (Prometheus text), /healthz (session health JSON),
+// /flightrecorder (per-shard postmortem rings), /series (sampler
+// time series), and /debug/pprof — all reading published atomics off
+// the hot path.
+type TelemetryServer = telemetry.Server
+
+// TelemetryConfig sizes a TelemetryServer: the engine it describes, the
+// optional live session and controller, the sampler interval and series
+// depth.
+type TelemetryConfig = telemetry.Config
+
+// TelemetrySample is one sampler observation: rates, occupancy, backlog,
+// and feed lag over one sampling interval.
+type TelemetrySample = telemetry.Sample
+
+// ServeTelemetry binds the management server on addr ("host:port";
+// ":0" picks a free port, see TelemetryServer.Addr) and starts its
+// sampler. Close releases both.
+func ServeTelemetry(addr string, cfg TelemetryConfig) (*TelemetryServer, error) {
+	return telemetry.Serve(addr, cfg)
+}
+
+// FlightEvent is one flight-recorder entry: a monotone sequence number,
+// an event kind, the shard's packet-time stamp, and two kind-specific
+// operands. ShardPanicError.Postmortem carries the final ring.
+type FlightEvent = flight.Event
+
+// FlightKind enumerates flight-recorder event kinds.
+type FlightKind = flight.Kind
